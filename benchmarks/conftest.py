@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure at a CPU-budget scale
+(see DESIGN.md for the paper-scale parameters) and asserts the paper's
+*shape* claims — who wins, what diverges, which overheads dominate — rather
+than absolute numbers.  Rendered tables/charts are printed; run with ``-s``
+to see them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: The shared headline configuration: FMNIST, the paper's synthetic
+#: three-group label skew, 10 clients.  Fig. 2/4/5, Table V (fmnist) and
+#: Fig. 6 all reuse runs from this config via the runner's result cache.
+FMNIST_CONFIG = ExperimentConfig(dataset="fmnist")
+
+
+@pytest.fixture(scope="session")
+def fmnist_config() -> ExperimentConfig:
+    return FMNIST_CONFIG
+
+
+def reduced_config(dataset: str, **overrides) -> ExperimentConfig:
+    """Smaller configs for the expensive 32x32 RGB / ResNet datasets."""
+    presets = {
+        "svhn": dict(num_clients=8, rounds=8, local_steps=8, batch_size=8, train_size=320, test_size=160),
+        "cifar10": dict(num_clients=8, rounds=8, local_steps=8, batch_size=8, train_size=320, test_size=160),
+        "cifar100": dict(
+            num_clients=6, rounds=6, local_steps=5, batch_size=8,
+            train_size=240, test_size=120, width_multiplier=0.05,
+        ),
+        "shakespeare": dict(local_lr=0.5),
+    }
+    base = dict(dataset=dataset)
+    base.update(presets.get(dataset, {}))
+    base.update(overrides)
+    return ExperimentConfig(**base)

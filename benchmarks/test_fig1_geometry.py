@@ -1,0 +1,41 @@
+"""Figs. 1 & 3 — the over-correction geometry as checkable inequalities.
+
+Claims under test (on the exact two-client quadratic construction):
+- the client whose local update is larger / less aligned receives the
+  larger share of the correction budget (Fig. 3's two panels);
+- for EVERY correction budget, splitting it by TACO's Eq. (7) factors
+  yields a lower mean distance to the global optimum than the uniform
+  split (Fig. 1's uniform-vs-tailored pictures, Corollary 2's optimality
+  direction);
+- the tailored split also never loses on the worst-client distance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_geometry
+
+BUDGETS = (0.25, 0.5, 1.0, 1.5, 2.0)
+
+
+def test_fig1_geometry(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig1_geometry.run(budgets=BUDGETS), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # Fig. 3: the misaligned/larger-update client gets the bigger share.
+    assert result.tailored_shares[1] > result.tailored_shares[0]
+    assert result.alphas[1] < result.alphas[0]
+
+    # Fig. 1 / Corollary 2: tailored beats uniform at every matched budget.
+    assert result.budgets_where_tailored_wins() == list(BUDGETS)
+    for budget in BUDGETS:
+        assert result.worst_distance(budget, "tailored") <= result.worst_distance(
+            budget, "uniform"
+        ) + 1e-9
+
+    # Over-correction is visible in the uniform column: past the sweet spot
+    # the worst-client distance grows with the budget.
+    uniform_worst = [result.worst_distance(b, "uniform") for b in BUDGETS]
+    assert uniform_worst[-1] > min(uniform_worst)

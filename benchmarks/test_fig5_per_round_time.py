@@ -1,0 +1,33 @@
+"""Fig. 5 — per-round local computation time per algorithm.
+
+Paper claims under test (the bar/median chart):
+- STEM's median per-round time is the largest by a clear margin;
+- FedAvg and FoolsGold are the cheapest (identical client work);
+- TACO sits just above FedAvg (Low overhead) and below Scaffold;
+- FedProx and FedACG are ~20-25% above FedAvg.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5_per_round_time
+
+
+def test_fig5_per_round_time(benchmark, fmnist_config):
+    result = benchmark.pedantic(
+        lambda: fig5_per_round_time.run(fmnist_config), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    medians = result.medians()
+    assert medians["stem"] == max(medians.values())
+    assert medians["stem"] > 1.3 * medians["fedavg"]
+    assert medians["foolsgold"] == pytest.approx(medians["fedavg"], rel=1e-9)
+    assert medians["fedavg"] < medians["taco"] < medians["scaffold"]
+    assert medians["fedprox"] > 1.15 * medians["fedavg"]
+    assert medians["fedacg"] > 1.15 * medians["fedavg"]
+
+    # Every round's time reflects the slowest client (heterogeneous speeds):
+    # round times vary but stay positive and bounded.
+    for times in result.round_times.values():
+        assert (times > 0).all()

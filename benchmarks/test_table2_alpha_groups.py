@@ -1,0 +1,47 @@
+"""Table II — mean correction coefficient alpha_i per client group.
+
+Paper claims under test:
+- alpha grows with label diversity: Group A (10% of labels) < Group B (20%)
+  < Group C (50%) — TACO's coefficients measure non-IID degree;
+- freeloaders sit far above every benign group (paper: 0.75-0.88 vs
+  <= 0.43), which is exactly what makes Eq. (10) detection work.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, table2_alpha_groups
+
+
+@pytest.mark.parametrize("dataset", ["mnist", "fmnist"])
+def test_table2_alpha_groups(benchmark, dataset):
+    config = ExperimentConfig(
+        dataset=dataset,
+        num_clients=10,
+        num_freeloaders=4,
+        rounds=10,
+        local_steps=10,
+        train_size=400,
+        test_size=150,
+        partition="synthetic",
+        seed=3,
+    )
+    result = benchmark.pedantic(
+        lambda: table2_alpha_groups.run(config), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    means = result.group_means
+    assert {"A", "B", "C", "freeloader"} <= set(means)
+
+    # Label diversity ordering (small slack for the tiny-scale noise).
+    assert means["A"] < means["C"] + 0.02
+    assert means["A"] <= means["B"] + 0.05
+    assert means["B"] <= means["C"] + 0.05
+
+    # Freeloaders clearly above every benign group.
+    benign_max = max(means[g] for g in ("A", "B", "C"))
+    assert means["freeloader"] > benign_max + 0.1
+
+    # All coefficients live in [0, 1].
+    for alpha in result.per_client_alpha.values():
+        assert 0.0 <= alpha <= 1.0

@@ -1,0 +1,66 @@
+"""Table V — round-to-accuracy across the paper's six datasets.
+
+Paper claims under test (shape, not absolute numbers):
+- TACO never fails to converge, on any dataset;
+- at least one uniform-coefficient method (FedProx / Scaffold) collapses or
+  clearly underperforms FedAvg somewhere (the "x" cells of Table V);
+- TACO's final accuracy is competitive everywhere: on every dataset it is
+  within a small margin of the best non-diverged method, and it wins or
+  ties (within 1%) on at least a third of the datasets.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import reduced_config
+from repro.experiments import table5_round_to_accuracy
+
+DATASETS = ("adult", "fmnist", "svhn", "cifar10", "cifar100", "shakespeare")
+
+
+def _base_for(dataset):
+    return reduced_config(dataset)
+
+
+def test_table5_round_to_accuracy(benchmark):
+    def run_grid():
+        cells = {}
+        configs = {}
+        targets = {}
+        for dataset in DATASETS:
+            result = table5_round_to_accuracy.run(
+                datasets=(dataset,), base_config=_base_for(dataset)
+            )
+            cells.update(result.cells)
+            configs.update(result.configs)
+            targets.update(result.targets)
+        return table5_round_to_accuracy.RoundToAccuracyResult(
+            configs=configs, targets=targets, cells=cells
+        )
+
+    result = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    taco_wins = 0
+    overcorrection_hits = 0
+    for dataset in DATASETS:
+        table = result.cells[dataset]
+        taco = table["taco"]
+        assert not taco.diverged, f"TACO diverged on {dataset}"
+
+        finals = {name: cell.mean_accuracy for name, cell in table.items()}
+        best_clean = max(
+            acc for name, acc in finals.items() if not table[name].diverged
+        )
+        assert finals["taco"] >= best_clean - 0.15, (
+            f"TACO far from best on {dataset}: {finals}"
+        )
+        if finals["taco"] >= best_clean - 0.01:
+            taco_wins += 1
+        for method in ("fedprox", "scaffold"):
+            if table[method].diverged or finals[method] < finals["fedavg"] - 0.03:
+                overcorrection_hits += 1
+                break
+
+    assert taco_wins >= 2, f"TACO only top on {taco_wins} datasets"
+    assert overcorrection_hits >= 1, "no over-correction signature anywhere"

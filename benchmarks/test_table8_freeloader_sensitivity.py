@@ -1,0 +1,59 @@
+"""Table VIII — sensitivity of the detection thresholds kappa and lambda.
+
+Paper claims under test (FMNIST, 8/20 freeloaders):
+- a robust mid-band exists: some kappa detects ALL freeloaders with ZERO
+  false positives (the paper's shaded kappa in [0.6, 0.8] region);
+- kappa = 1.0 detects nothing (alpha_i < 1 strictly): TPR = 0, FPR = 0;
+- monotonicity: raising kappa never increases FPR, and lowering kappa
+  never decreases TPR (at fixed lambda).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, table8_freeloader_sensitivity
+
+KAPPAS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_table8_freeloader_sensitivity(benchmark):
+    config = ExperimentConfig(
+        dataset="fmnist",
+        num_clients=10,
+        num_freeloaders=4,
+        rounds=10,
+        local_steps=8,
+        train_size=400,
+        test_size=150,
+        seed=3,
+    )
+    result = benchmark.pedantic(
+        lambda: table8_freeloader_sensitivity.run(
+            config, kappas=KAPPAS, lambda_fractions=(10, 5, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    lambdas = sorted({lam for _, lam in result.reports})
+
+    # kappa = 1.0 never fires.
+    for lam in lambdas:
+        report = result.report(1.0, lam)
+        assert report.true_positive_rate == 0.0
+        assert report.false_positive_rate == 0.0
+
+    # A perfect mid-band cell exists (TPR = 1, FPR = 0).
+    perfect = [
+        (kappa, lam)
+        for (kappa, lam), report in result.reports.items()
+        if report.perfect and kappa < 1.0
+    ]
+    assert perfect, "no (kappa, lambda) cell achieves TPR=1/FPR=0"
+
+    # Monotonicity in kappa at fixed lambda.
+    for lam in lambdas:
+        tprs = [result.report(k, lam).true_positive_rate for k in KAPPAS]
+        fprs = [result.report(k, lam).false_positive_rate for k in KAPPAS]
+        assert all(a >= b - 1e-9 for a, b in zip(tprs, tprs[1:])), (lam, tprs)
+        assert all(a >= b - 1e-9 for a, b in zip(fprs, fprs[1:])), (lam, fprs)

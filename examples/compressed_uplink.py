@@ -1,0 +1,87 @@
+"""Communication-efficient TACO: compressed client uploads.
+
+Wraps the federated simulation with an uplink transport that compresses
+every Delta_i^t (top-k sparsification or stochastic quantisation), then
+compares accuracy and uplink traffic across compressors.  This models the
+network-dominated regime the paper discusses, where bytes-per-round — not
+client compute — governs time-to-accuracy.
+
+Usage::
+
+    python examples/compressed_uplink.py
+"""
+
+import numpy as np
+
+from repro.algorithms import make_strategy
+from repro.analysis import render_table
+from repro.comm import NoCompression, QuantizationCompressor, TopKCompressor, Transport
+from repro.experiments import ExperimentConfig, build_environment, make_clients
+from repro.fl import FederatedSimulation
+
+COMPRESSORS = (
+    ("dense", NoCompression()),
+    ("int8 quantised", QuantizationCompressor(bits=8)),
+    ("top-10%", TopKCompressor(fraction=0.1)),
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="fmnist",
+        num_clients=8,
+        rounds=8,
+        local_steps=10,
+        train_size=400,
+        test_size=200,
+        seed=1,
+    )
+    env = build_environment(config)
+
+    rows = []
+    for label, compressor in COMPRESSORS:
+        model = env.bundle.spec.make_model(
+            rng=np.random.default_rng(config.seed),
+            width_multiplier=config.width_multiplier,
+        )
+        transport = Transport(compressor, bandwidth_bytes_per_second=1_000_000)
+        simulation = FederatedSimulation(
+            model=model,
+            clients=make_clients(env),
+            strategy=make_strategy(
+                "taco",
+                local_lr=config.local_lr,
+                local_steps=config.local_steps,
+                detect_freeloaders=False,
+            ),
+            test_set=env.bundle.test,
+            transport=transport,
+            seed=config.seed,
+        )
+        result = simulation.run(config.rounds)
+        uplink = sum(transport.uplink_seconds(r) for r in range(config.rounds))
+        rows.append(
+            [
+                label,
+                f"{result.history.best_accuracy:.1%}",
+                f"{transport.log.total_bytes / 1e6:.2f} MB",
+                f"{uplink:.2f}s @1MB/s",
+            ]
+        )
+
+    print(
+        render_table(
+            ["uplink", "best acc", "total traffic", "transmission time"],
+            rows,
+            title="TACO under uplink compression",
+        )
+    )
+    print(
+        "\nTop-k keeps 10% of coordinates: ~10x less traffic for a modest\n"
+        "accuracy cost — in the network-dominated regime this directly\n"
+        "multiplies into time-to-accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Build a custom FL algorithm on the Strategy API.
+
+Implements "FedAvgM" (server momentum on top of FedAvg) in ~20 lines by
+subclassing :class:`repro.algorithms.Strategy`, then benchmarks it against
+FedAvg and TACO under the standard non-IID setup.  This is the extension
+path a downstream user would take to prototype a new correction scheme.
+
+Usage::
+
+    python examples/custom_algorithm.py
+"""
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms import Strategy
+from repro.analysis import render_table
+from repro.experiments import ExperimentConfig, run_algorithm
+from repro.fl.state import ClientUpdate, ServerState
+from repro.fl.timing import ComputeProfile
+
+
+class FedAvgM(Strategy):
+    """FedAvg with server-side momentum on the aggregated gradient."""
+
+    name = "fedavgm"
+    has_aggregation_correction = True
+
+    def __init__(self, local_lr: float = 0.01, local_steps: int = 10, momentum: float = 0.7) -> None:
+        super().__init__(local_lr, local_steps)
+        self.momentum = momentum
+        self._velocity: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._velocity = None
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        total = np.zeros_like(updates[0].delta)
+        for update in updates:
+            total += update.delta
+        delta = total / (self.local_steps * len(updates) * self.local_lr)
+        if self._velocity is None:
+            self._velocity = np.zeros_like(delta)
+        self._velocity = self.momentum * self._velocity + (1 - self.momentum) * delta
+        return self._velocity
+
+    def compute_profile(self) -> ComputeProfile:
+        return ComputeProfile(grad=1)  # momentum is server-side: zero client cost
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="fmnist",
+        num_clients=8,
+        rounds=10,
+        local_steps=10,
+        train_size=400,
+        test_size=200,
+        seed=1,
+    )
+
+    rows = []
+    for name in ("fedavg", "taco"):
+        result = run_algorithm(config, name)
+        rows.append([name, f"{result.final_accuracy:.1%}", f"{result.history.instability():.3f}"])
+
+    custom = FedAvgM(local_lr=config.local_lr, local_steps=config.local_steps)
+    result = run_algorithm(config, "custom", strategy=custom)
+    rows.append(["fedavgm (custom)", f"{result.final_accuracy:.1%}", f"{result.history.instability():.3f}"])
+
+    print(
+        render_table(
+            ["algorithm", "final acc", "instability"],
+            rows,
+            title="Custom Strategy subclass vs built-ins",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

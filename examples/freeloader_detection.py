@@ -1,0 +1,60 @@
+"""Freeloader detection with TACO (paper Section IV-A / Table VIII).
+
+Builds a 10-client federation where 4 clients are freeloaders that replay
+the broadcast global gradient instead of training, runs TACO with the
+paper's kappa = 0.6 / lambda = T/5 thresholds, and reports per-client alpha
+statistics plus the detection TPR/FPR.
+
+Usage::
+
+    python examples/freeloader_detection.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.attacks import evaluate_detection
+from repro.experiments import ExperimentConfig, build_environment, run_algorithm
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="fmnist",
+        num_clients=10,
+        num_freeloaders=4,
+        rounds=10,
+        local_steps=10,
+        train_size=400,
+        test_size=200,
+        seed=3,
+    )
+    env = build_environment(config)
+    print(f"freeloaders (ground truth): {env.freeloader_ids}\n")
+
+    result = run_algorithm(config, "taco")
+    mean_alpha = result.history.mean_alpha_by_client()
+
+    rows = []
+    for cid in range(config.num_clients):
+        role = "freeloader" if cid in env.freeloader_ids else "benign"
+        expelled = "expelled" if cid in result.history.expelled_clients else ""
+        rows.append([cid, role, f"{mean_alpha.get(cid, float('nan')):.3f}", expelled])
+    print(render_table(["client", "role", "mean alpha", "status"], rows))
+
+    report = evaluate_detection(
+        result.history.expelled_clients, env.freeloader_ids, range(config.num_clients)
+    )
+    print(
+        f"\nTPR = {report.true_positive_rate:.0%}   FPR = {report.false_positive_rate:.0%}"
+        f"   (kappa = 0.6, lambda = T/5 = {config.expulsion_limit})"
+    )
+    print(
+        "\nFreeloaders replay Delta_t, so their uploads are almost perfectly\n"
+        "aligned with the aggregate and earn conspicuously high alpha_i —\n"
+        "the same coefficient TACO already computes for tailored correction\n"
+        "doubles as a free-rider detector (Eq. 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

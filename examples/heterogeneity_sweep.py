@@ -1,0 +1,56 @@
+"""Sweep the non-IID severity and watch the over-correction gap open.
+
+Runs FedAvg, Scaffold and TACO across Dirichlet concentrations
+phi in {100 (near-IID), 0.5, 0.1 (extreme skew)} on the adult dataset and
+prints final accuracy per cell.  The paper's claim: under mild skew all
+methods look alike; as skew grows, uniform-coefficient correction falls
+behind the tailored one.
+
+Usage::
+
+    python examples/heterogeneity_sweep.py
+"""
+
+from repro.analysis import render_table
+from repro.experiments import ExperimentConfig, run_algorithm
+
+PHIS = (100.0, 0.5, 0.1)
+ALGORITHMS = ("fedavg", "scaffold", "taco")
+
+
+def main() -> None:
+    results = {}
+    for phi in PHIS:
+        config = ExperimentConfig(
+            dataset="adult",
+            num_clients=8,
+            rounds=10,
+            local_steps=12,
+            train_size=500,
+            test_size=250,
+            partition="dirichlet",
+            phi=phi,
+            seed=2,
+        )
+        for name in ALGORITHMS:
+            result = run_algorithm(config, name)
+            results[(phi, name)] = (
+                "x" if result.diverged else f"{result.final_accuracy:.1%}"
+            )
+
+    rows = [
+        [name] + [results[(phi, name)] for phi in PHIS] for name in ALGORITHMS
+    ]
+    print(
+        render_table(
+            ["algorithm"] + [f"Dir({phi:g})" for phi in PHIS],
+            rows,
+            title="Final accuracy vs non-IID severity (adult)",
+        )
+    )
+    print("\nDir(100) is effectively IID; Dir(0.1) gives most clients a"
+          "\nsingle dominant label, the regime where tailoring matters.")
+
+
+if __name__ == "__main__":
+    main()

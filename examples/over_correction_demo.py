@@ -1,0 +1,59 @@
+"""Demonstrate the over-correction phenomenon (the paper's Section III).
+
+Trains Scaffold with its uniform alpha = 1 correction and TACO's tailored
+coefficients on an aggressively skewed federation, then prints both accuracy
+curves and the per-round correction diagnostics.  Under this regime the
+uniform correction regularly destabilises or diverges while the tailored
+one keeps training stable — the paper's Fig. 2 / Fig. 6 story.
+
+Usage::
+
+    python examples/over_correction_demo.py
+"""
+
+import numpy as np
+
+from repro.analysis import accuracy_drop_events, plot_series
+from repro.experiments import ExperimentConfig, run_algorithm
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="fmnist",
+        num_clients=10,
+        rounds=12,
+        local_steps=20,
+        train_size=400,
+        test_size=250,
+        local_lr=0.05,
+        seed=0,
+    )
+
+    curves = {}
+    for name in ("fedavg", "scaffold", "taco"):
+        result = run_algorithm(config, name)
+        curves[name] = result.history.accuracies
+        status = "DIVERGED" if result.diverged else f"final {result.final_accuracy:.1%}"
+        drops = accuracy_drop_events(result.history.accuracies, threshold=0.1)
+        print(f"{name:10s} {status:16s} large accuracy drops: {drops}")
+
+    print()
+    print(
+        plot_series(
+            {name: curve for name, curve in curves.items()},
+            title="Over-correction: uniform Scaffold vs tailored TACO (accuracy per round)",
+            width=60,
+            height=14,
+        )
+    )
+    print(
+        "\nScaffold applies the SAME correction coefficient to every client;\n"
+        "on heavily skewed shards that over-corrects the well-aligned clients\n"
+        "(paper Fig. 1) and the run destabilises. TACO's per-client\n"
+        "coefficients (Eq. 7) keep the correction proportional to each\n"
+        "client's actual drift."
+    )
+
+
+if __name__ == "__main__":
+    main()

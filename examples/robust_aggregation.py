@@ -1,0 +1,89 @@
+"""Robust aggregation under poisoning: FedAvg vs median/Krum vs TACO.
+
+Builds a federation where 2 of 8 clients flip and amplify their updates
+(an untargeted poisoning attack), then compares plain averaging, the
+Byzantine-robust aggregators, and TACO's alpha-weighted aggregation.
+
+The instructive result: TACO's Eq. (7) measures each upload against the
+round's *mean* — amplified attackers dominate that mean, flipping the
+benign clients' cosines to zero, so TACO (like FoolsGold) is NOT a
+Byzantine defence; it targets statistical heterogeneity and free-riding.
+Geometric rules (median/Krum/trimmed-mean) are the right tool here and
+compose freely with any Strategy via this library.
+
+Usage::
+
+    python examples/robust_aggregation.py
+"""
+
+import numpy as np
+
+from repro.algorithms import make_strategy
+from repro.analysis import render_table
+from repro.attacks import SignFlipClient
+from repro.data import IIDPartitioner, load_dataset
+from repro.fl import Client, FederatedSimulation
+
+NUM_CLIENTS = 8
+NUM_ATTACKERS = 2
+ROUNDS = 8
+
+
+def build_clients(bundle, parts):
+    clients = []
+    for cid, indices in enumerate(parts):
+        shard = bundle.train.subset(indices)
+        shard_rng = np.random.default_rng(cid)
+        if cid < NUM_ATTACKERS:
+            clients.append(SignFlipClient(cid, shard, 16, shard_rng, amplification=3.0))
+        else:
+            clients.append(Client(cid, shard, 16, shard_rng))
+    return clients
+
+
+def main() -> None:
+    bundle = load_dataset("adult", 480, 160, seed=0)
+    parts = IIDPartitioner().partition(
+        bundle.train.labels, NUM_CLIENTS, np.random.default_rng(0)
+    )
+
+    rows = []
+    for name in ("fedavg", "median", "krum", "trimmed-mean", "taco"):
+        overrides = {}
+        if name == "taco":
+            overrides["detect_freeloaders"] = False
+        if name == "krum":
+            overrides["byzantine_count"] = NUM_ATTACKERS
+        if name == "trimmed-mean":
+            overrides["trim"] = NUM_ATTACKERS
+        strategy = make_strategy(name, local_lr=0.05, local_steps=5, **overrides)
+        model = bundle.spec.make_model(rng=np.random.default_rng(0))
+        simulation = FederatedSimulation(
+            model, build_clients(bundle, parts), strategy, bundle.test, seed=0
+        )
+        result = simulation.run(ROUNDS)
+        rows.append(
+            [
+                name,
+                "x" if result.diverged else f"{result.history.best_accuracy:.1%}",
+                f"{result.final_accuracy:.1%}",
+            ]
+        )
+
+    print(
+        render_table(
+            ["aggregation", "best acc", "final acc"],
+            rows,
+            title=f"{NUM_ATTACKERS}/{NUM_CLIENTS} sign-flip attackers (3x amplified), adult",
+        )
+    )
+    print(
+        "\nPlain averaging absorbs the flipped updates directly, and TACO's\n"
+        "mean-referenced cosine is itself poisoned by amplified attackers —\n"
+        "neither is a Byzantine defence. The geometric rules (median, Krum,\n"
+        "trimmed-mean) exclude the outliers and keep training on track."
+    )
+
+
+if __name__ == "__main__":
+    main()

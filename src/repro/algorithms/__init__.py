@@ -1,0 +1,38 @@
+"""FL algorithms: the paper's six baselines, TACO, and the Fig. 6 hybrids."""
+
+from .base import Strategy
+from .extensions import FedDyn, FedMoS, FedNova
+from .fedacg import FedACG
+from .fedavg import FedAvg
+from .fedprox import FedProx
+from .foolsgold import FoolsGold
+from .hybrid import TailoredFedProx, TailoredScaffold
+from .registry import ALL_ALGORITHMS, BASELINES, algorithm_names, make_strategy
+from .robust import CoordinateMedianAggregation, KrumAggregation, TrimmedMeanAggregation
+from .scaffold import Scaffold
+from .stem import STEM
+from .taco import INITIAL_ALPHA, TACO
+
+__all__ = [
+    "Strategy",
+    "FedAvg",
+    "FedProx",
+    "FoolsGold",
+    "Scaffold",
+    "STEM",
+    "FedACG",
+    "TACO",
+    "INITIAL_ALPHA",
+    "TailoredFedProx",
+    "TailoredScaffold",
+    "FedNova",
+    "FedDyn",
+    "FedMoS",
+    "KrumAggregation",
+    "CoordinateMedianAggregation",
+    "TrimmedMeanAggregation",
+    "make_strategy",
+    "algorithm_names",
+    "BASELINES",
+    "ALL_ALGORITHMS",
+]

@@ -1,0 +1,129 @@
+"""Strategy API: one class per FL algorithm.
+
+A :class:`Strategy` owns both sides of Algorithm 1's colour-coding:
+
+- **client side** — :meth:`local_direction` maps the mini-batch gradient
+  ``g_{i,k}^t`` to the applied update direction ``v_{i,k}^t`` (Scaffold /
+  STEM / TACO corrections), and :meth:`prox_gradient` contributes the
+  gradient of any loss-regularisation term (FedProx / FedACG);
+- **server side** — :meth:`aggregate` maps the collected ``Delta_i^t`` to the
+  global gradient ``Delta_{t+1}`` of Eq. (6)/(9), and :meth:`post_round`
+  updates auxiliary server state (control variates, momentum, TACO's
+  alpha coefficients and freeloader counters).
+
+The client training loop (:mod:`repro.fl.client`) calls the hooks in this
+order per local step::
+
+    g = grad_fn(params)                       # mini-batch gradient
+    g = g + prox_gradient(params, payload)    # loss-regularisation term
+    v = local_direction(cid, k, params, g, grad_fn, payload)
+    params -= eta_l * v
+
+``grad_fn`` evaluates the mini-batch gradient at *arbitrary* parameters for
+the current batch — STEM uses it to compute its second gradient, and the
+extra work really happens, so measured wall-time reflects the algorithm's
+true overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..fl.state import ClientUpdate, ServerState
+from ..fl.timing import ComputeProfile
+
+GradFn = Callable[[np.ndarray], np.ndarray]
+
+
+class Strategy:
+    """Base class; defaults implement plain FedAvg behaviour."""
+
+    name: str = "base"
+    #: Table III feature flags
+    has_local_correction: bool = False
+    has_aggregation_correction: bool = False
+    has_freeloader_detection: bool = False
+
+    def __init__(self, local_lr: float = 0.01, local_steps: int = 10) -> None:
+        if local_lr <= 0:
+            raise ValueError(f"local learning rate must be positive, got {local_lr}")
+        if local_steps <= 0:
+            raise ValueError(f"local steps must be positive, got {local_steps}")
+        self.local_lr = local_lr
+        self.local_steps = local_steps
+
+    # ------------------------------------------------------------------
+    # Server -> clients
+    # ------------------------------------------------------------------
+    def broadcast(self, state: ServerState) -> Dict[str, Any]:
+        """Payload sent to every client at the start of a round."""
+        return {}
+
+    def client_payload(self, client_id: int, state: ServerState, broadcast: Dict[str, Any]) -> Dict[str, Any]:
+        """Per-client view of the broadcast (e.g. TACO's alpha_i^t)."""
+        return broadcast
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def prox_gradient(self, params: np.ndarray, payload: Dict[str, Any]) -> np.ndarray | None:
+        """Gradient of the loss-regularisation term, or None."""
+        return None
+
+    def local_direction(
+        self,
+        client_id: int,
+        step: int,
+        params: np.ndarray,
+        grad: np.ndarray,
+        grad_fn: GradFn,
+        payload: Dict[str, Any],
+    ) -> np.ndarray:
+        """Map the (regularised) gradient to the applied direction v_{i,k}^t."""
+        return grad
+
+    def client_update_extras(self, client_id: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Extra fields uploaded with Delta_i^t (e.g. STEM's v_{i,K-1})."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        """Compute Delta_{t+1} from the collected local gradients.
+
+        The default is Eq. (6) option (i): Delta = (1/(K N eta_l)) * sum Delta_i.
+        """
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        scale = 1.0 / (self.local_steps * len(updates) * self.local_lr)
+        total = np.zeros_like(updates[0].delta)
+        for update in updates:
+            total += update.delta
+        return scale * total
+
+    def post_round(self, state: ServerState, updates: Sequence[ClientUpdate]) -> None:
+        """Update auxiliary server state after aggregation."""
+
+    def active_clients(self, state: ServerState, all_clients: Sequence[int]) -> List[int]:
+        """Clients participating this round (TACO expels freeloaders)."""
+        return list(all_clients)
+
+    def final_output(self, state: ServerState) -> np.ndarray:
+        """The model the algorithm reports at the end (TACO returns z_T)."""
+        return state.global_params
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def compute_profile(self) -> ComputeProfile:
+        """Unit operations per local step, for the timing model."""
+        return ComputeProfile()
+
+    def reset(self) -> None:
+        """Clear any per-run state so the strategy can be reused."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(lr={self.local_lr}, K={self.local_steps})"

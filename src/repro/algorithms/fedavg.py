@@ -1,0 +1,43 @@
+"""FedAvg (McMahan et al., 2017) — the uncorrected baseline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..fl.state import ClientUpdate, ServerState
+from ..fl.timing import ComputeProfile
+from .base import Strategy
+
+
+class FedAvg(Strategy):
+    """Plain local SGD + uniform (or data-weighted) gradient averaging.
+
+    ``weighting`` selects between Eq. (6)'s two conventions:
+    ``"uniform"`` (p_i = 1/N) or ``"samples"`` (p_i = D_i / D).
+    """
+
+    name = "fedavg"
+
+    def __init__(self, local_lr: float = 0.01, local_steps: int = 10, weighting: str = "uniform") -> None:
+        super().__init__(local_lr, local_steps)
+        if weighting not in ("uniform", "samples"):
+            raise ValueError(f"weighting must be 'uniform' or 'samples', got {weighting!r}")
+        self.weighting = weighting
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        total = np.zeros_like(updates[0].delta)
+        if self.weighting == "uniform":
+            for update in updates:
+                total += update.delta
+            return total / (self.local_steps * len(updates) * self.local_lr)
+        samples = sum(update.num_samples for update in updates)
+        for update in updates:
+            total += (update.num_samples / samples) * update.delta
+        return total / (self.local_steps * self.local_lr)
+
+    def compute_profile(self) -> ComputeProfile:
+        return ComputeProfile(grad=1)

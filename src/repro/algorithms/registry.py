@@ -1,0 +1,77 @@
+"""Algorithm registry with the paper's default hyper-parameters.
+
+Section V-A: zeta = 0.1 (FedProx), alpha = 1 (Scaffold), alpha_t = 0.2
+(STEM), beta = 0.001 (FedACG), gamma = 1/K, kappa = 0.6, lambda = T/5
+(TACO).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import Strategy
+from .extensions import FedDyn, FedMoS, FedNova
+from .fedacg import FedACG
+from .fedavg import FedAvg
+from .fedprox import FedProx
+from .foolsgold import FoolsGold
+from .hybrid import TailoredFedProx, TailoredScaffold
+from .robust import CoordinateMedianAggregation, KrumAggregation, TrimmedMeanAggregation
+from .scaffold import Scaffold
+from .stem import STEM
+from .taco import TACO
+
+Factory = Callable[..., Strategy]
+
+_FACTORIES: Dict[str, Factory] = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "foolsgold": FoolsGold,
+    "scaffold": Scaffold,
+    "stem": STEM,
+    "fedacg": FedACG,
+    "taco": TACO,
+    "taco-prox": TailoredFedProx,
+    "taco-scaffold": TailoredScaffold,
+    # Related-work extensions (Section VI families, not in the paper's
+    # six-baseline evaluation).
+    "fednova": FedNova,
+    "feddyn": FedDyn,
+    "fedmos": FedMoS,
+    # Byzantine-robust aggregation rules (Blanchard et al. lineage).
+    "krum": KrumAggregation,
+    "median": CoordinateMedianAggregation,
+    "trimmed-mean": TrimmedMeanAggregation,
+}
+
+#: The six baselines the paper compares against, in its presentation order.
+BASELINES = ("fedavg", "fedprox", "foolsgold", "scaffold", "stem", "fedacg")
+ALL_ALGORITHMS = BASELINES + ("taco",)
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """All registered algorithm names."""
+    return tuple(_FACTORIES)
+
+
+def make_strategy(
+    name: str,
+    local_lr: float = 0.01,
+    local_steps: int = 10,
+    rounds: int | None = None,
+    **overrides,
+) -> Strategy:
+    """Instantiate an algorithm by name with the paper's defaults.
+
+    ``rounds`` (T) sets TACO's expulsion threshold lambda = T/5 when given.
+    Extra keyword arguments override algorithm-specific hyper-parameters.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(_FACTORIES)}") from None
+    kwargs = dict(local_lr=local_lr, local_steps=local_steps)
+    if name == "taco" and rounds is not None and "expulsion_limit" not in overrides:
+        kwargs["expulsion_limit"] = max(2, rounds // 5)
+    kwargs.update(overrides)
+    return factory(**kwargs)

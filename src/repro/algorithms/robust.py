@@ -1,0 +1,111 @@
+"""Byzantine-robust aggregation rules.
+
+The paper's aggregation-calibration family (FoolsGold) descends from the
+Byzantine-robust literature it cites (Blanchard et al., 2017).  This module
+provides the classic robust aggregators as drop-in strategies so the
+freeloader/attack experiments can be compared against them:
+
+- :class:`KrumAggregation` — select the update closest to its n-f-2 nearest
+  neighbours (Krum), or average the m best (multi-Krum);
+- :class:`CoordinateMedianAggregation` — coordinate-wise median;
+- :class:`TrimmedMeanAggregation` — coordinate-wise mean after trimming the
+  b largest and smallest values per coordinate.
+
+All three keep FedAvg's plain local update (no local correction) and scale
+the robust estimate by 1/(K eta_l), matching Eq. (6)'s units.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..fl.state import ClientUpdate, ServerState
+from .base import Strategy
+
+
+class KrumAggregation(Strategy):
+    """(Multi-)Krum: pick updates with the smallest neighbour distances.
+
+    Parameters
+    ----------
+    byzantine_count:
+        The assumed maximum number of malicious clients f; each update is
+        scored by the sum of squared distances to its n - f - 2 nearest
+        neighbours.
+    multi:
+        Number of lowest-score updates to average (1 = classic Krum).
+    """
+
+    name = "krum"
+    has_aggregation_correction = True
+
+    def __init__(
+        self,
+        local_lr: float = 0.01,
+        local_steps: int = 10,
+        byzantine_count: int = 1,
+        multi: int = 1,
+    ) -> None:
+        super().__init__(local_lr, local_steps)
+        if byzantine_count < 0:
+            raise ValueError(f"byzantine_count must be non-negative, got {byzantine_count}")
+        if multi < 1:
+            raise ValueError(f"multi must be at least 1, got {multi}")
+        self.byzantine_count = byzantine_count
+        self.multi = multi
+        self.last_selected: list[int] = []
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        n = len(updates)
+        neighbours = max(1, n - self.byzantine_count - 2)
+        deltas = np.stack([u.delta for u in updates])
+        distances = ((deltas[:, None, :] - deltas[None, :, :]) ** 2).sum(axis=2)
+        scores = np.empty(n)
+        for i in range(n):
+            others = np.delete(distances[i], i)
+            scores[i] = np.sort(others)[:neighbours].sum()
+        chosen = np.argsort(scores)[: min(self.multi, n)]
+        self.last_selected = [updates[i].client_id for i in chosen]
+        selected = deltas[chosen].mean(axis=0)
+        return selected / (self.local_steps * self.local_lr)
+
+
+class CoordinateMedianAggregation(Strategy):
+    """Coordinate-wise median of the client updates."""
+
+    name = "median"
+    has_aggregation_correction = True
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        deltas = np.stack([u.delta for u in updates])
+        return np.median(deltas, axis=0) / (self.local_steps * self.local_lr)
+
+
+class TrimmedMeanAggregation(Strategy):
+    """Coordinate-wise mean after trimming the b extremes on each side."""
+
+    name = "trimmed-mean"
+    has_aggregation_correction = True
+
+    def __init__(self, local_lr: float = 0.01, local_steps: int = 10, trim: int = 1) -> None:
+        super().__init__(local_lr, local_steps)
+        if trim < 0:
+            raise ValueError(f"trim must be non-negative, got {trim}")
+        self.trim = trim
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        if len(updates) <= 2 * self.trim:
+            raise ValueError(
+                f"need more than {2 * self.trim} updates to trim {self.trim} per side"
+            )
+        deltas = np.sort(np.stack([u.delta for u in updates]), axis=0)
+        kept = deltas[self.trim : len(updates) - self.trim]
+        return kept.mean(axis=0) / (self.local_steps * self.local_lr)

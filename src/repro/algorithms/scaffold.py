@@ -1,0 +1,90 @@
+"""Scaffold (Karimireddy et al., 2020) — control-variate correction.
+
+Every local step applies v = g + alpha * (c_t - c_i^t) (Algorithm 1, line
+6), where c_t is the server control variate and c_i^t the client's.  After a
+round, the option-II updates from the original paper are applied:
+
+    c_i^{t+1} = c_i^t - c_t + Delta_i^t / (K eta_l)
+    c_{t+1}   = c_t + (1/N) * sum_i (c_i^{t+1} - c_i^t)
+
+The correction coefficient alpha is **uniform across clients** (the paper
+re-evaluates with alpha = 1, its original setting); over-correction on hard
+skews is exactly what TACO's tailored coefficients fix (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+from ..fl.state import ClientUpdate, ServerState
+from ..fl.timing import ComputeProfile
+from .base import GradFn, Strategy
+
+
+class Scaffold(Strategy):
+    """Control-variate correction with a uniform coefficient alpha."""
+
+    name = "scaffold"
+    has_local_correction = True
+
+    def __init__(self, local_lr: float = 0.01, local_steps: int = 10, alpha: float = 1.0) -> None:
+        super().__init__(local_lr, local_steps)
+        self.alpha = alpha
+        self._server_control: np.ndarray | None = None
+        self._client_controls: Dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        self._server_control = None
+        self._client_controls = {}
+
+    # ------------------------------------------------------------------
+    def _ensure_controls(self, dim: int, client_id: int) -> None:
+        if self._server_control is None:
+            self._server_control = np.zeros(dim)
+        if client_id not in self._client_controls:
+            self._client_controls[client_id] = np.zeros(dim)
+
+    def client_payload(self, client_id: int, state: ServerState, broadcast: Dict[str, Any]) -> Dict[str, Any]:
+        self._ensure_controls(state.dim, client_id)
+        return {
+            "server_control": self._server_control,
+            "client_control": self._client_controls[client_id],
+        }
+
+    def correction_scale(self, client_id: int, payload: Dict[str, Any]) -> float:
+        """Uniform alpha; overridden by the tailored hybrid (Fig. 6)."""
+        return self.alpha
+
+    def local_direction(
+        self,
+        client_id: int,
+        step: int,
+        params: np.ndarray,
+        grad: np.ndarray,
+        grad_fn: GradFn,
+        payload: Dict[str, Any],
+    ) -> np.ndarray:
+        scale = self.correction_scale(client_id, payload)
+        return grad + scale * (payload["server_control"] - payload["client_control"])
+
+    # ------------------------------------------------------------------
+    def post_round(self, state: ServerState, updates: Sequence[ClientUpdate]) -> None:
+        if self._server_control is None:
+            self._server_control = np.zeros(state.dim)
+        control_shift = np.zeros(state.dim)
+        for update in updates:
+            cid = update.client_id
+            self._ensure_controls(state.dim, cid)
+            new_control = (
+                self._client_controls[cid]
+                - self._server_control
+                + update.delta / (self.local_steps * self.local_lr)
+            )
+            control_shift += new_control - self._client_controls[cid]
+            self._client_controls[cid] = new_control
+        self._server_control = self._server_control + control_shift / state.num_clients
+
+    def compute_profile(self) -> ComputeProfile:
+        return ComputeProfile(grad=1, control_variate=1)

@@ -1,0 +1,49 @@
+"""Analysis utilities: over-correction diagnostics, efficiency, rendering."""
+
+from .ascii_plot import plot_series
+from .convergence import (
+    accuracy_auc,
+    anytime_ranking,
+    crossover_round,
+    rounds_ahead,
+    smoothed,
+)
+from .efficiency import EfficiencyRow, speedup_versus, summarise_run, summarise_runs
+from .heterogeneity import (
+    HeterogeneityReport,
+    effective_num_classes,
+    label_distribution,
+    partition_heterogeneity,
+    tv_distance_from_global,
+)
+from .overcorrection import (
+    CorrectionDiagnostics,
+    accuracy_drop_events,
+    diagnose_corrections,
+    instability_comparison,
+)
+from .tables import render_mean_std, render_table
+
+__all__ = [
+    "plot_series",
+    "accuracy_auc",
+    "crossover_round",
+    "smoothed",
+    "anytime_ranking",
+    "rounds_ahead",
+    "HeterogeneityReport",
+    "label_distribution",
+    "tv_distance_from_global",
+    "effective_num_classes",
+    "partition_heterogeneity",
+    "EfficiencyRow",
+    "summarise_run",
+    "summarise_runs",
+    "speedup_versus",
+    "CorrectionDiagnostics",
+    "diagnose_corrections",
+    "instability_comparison",
+    "accuracy_drop_events",
+    "render_table",
+    "render_mean_std",
+]

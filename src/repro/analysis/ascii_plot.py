@@ -1,0 +1,60 @@
+"""ASCII line charts for figure-style outputs (no matplotlib offline).
+
+The figure benchmarks render their series through :func:`plot_series` so
+curve *shapes* (who converges faster, who diverges) are visible directly in
+the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_MARKS = "ox+*#@%&"
+
+
+def plot_series(
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named y-series (shared x = index) as an ASCII chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    cleaned = {
+        name: np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+        for name, values in series.items()
+    }
+    cleaned = {name: vals for name, vals in cleaned.items() if len(vals)}
+    if not cleaned:
+        raise ValueError("all series are empty or non-finite")
+
+    y_min = min(vals.min() for vals in cleaned.values())
+    y_max = max(vals.max() for vals in cleaned.values())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    x_max = max(len(vals) for vals in cleaned.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, vals) in enumerate(sorted(cleaned.items())):
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        for i, value in enumerate(vals):
+            col = int(i / max(x_max - 1, 1) * (width - 1))
+            row = int((value - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4g} +" + "-" * width)
+    lines.append(" " * 12 + f"0 .. {x_max - 1}  ({y_label})" if y_label else " " * 12 + f"0 .. {x_max - 1}")
+    lines.append(" " * 12 + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Convergence-curve analytics.
+
+Used to characterise the *shape* relations between algorithms' accuracy
+curves the paper reasons about: who is ahead at a given budget, where
+curves cross (e.g. STEM overtaking FedAvg per round while losing per
+second), and the area-under-curve summary of anytime performance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def accuracy_auc(accuracies: Sequence[float]) -> float:
+    """Normalised area under the accuracy-vs-round curve in [0, 1].
+
+    A trapezoidal mean of the curve: 1.0 means instant perfection, and a
+    flat random-guess curve scores its accuracy level.  Summarises anytime
+    performance in one number.
+    """
+    acc = np.asarray(accuracies, dtype=float)
+    if acc.size == 0:
+        raise ValueError("empty accuracy curve")
+    if acc.size == 1:
+        return float(acc[0])
+    # Trapezoidal rule (numpy >= 2 renamed trapz to trapezoid).
+    trapezoid = getattr(np, "trapezoid", None) or getattr(np, "trapz")
+    return float(trapezoid(acc, dx=1.0) / (acc.size - 1))
+
+
+def crossover_round(
+    curve_a: Sequence[float], curve_b: Sequence[float]
+) -> Optional[int]:
+    """First round where curve_a overtakes curve_b for good.
+
+    Returns the 1-based round from which a >= b holds for every remaining
+    round, or None if a never permanently overtakes b (including when a
+    leads from the start — then it returns 1).
+    """
+    a = np.asarray(curve_a, dtype=float)
+    b = np.asarray(curve_b, dtype=float)
+    n = min(len(a), len(b))
+    if n == 0:
+        raise ValueError("empty curves")
+    a, b = a[:n], b[:n]
+    lead = a >= b
+    for start in range(n):
+        if lead[start:].all():
+            return start + 1
+    return None
+
+
+def smoothed(accuracies: Sequence[float], window: int = 3) -> np.ndarray:
+    """Centered moving average with edge shrinkage (for plotting/analysis)."""
+    acc = np.asarray(accuracies, dtype=float)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if window == 1 or acc.size <= 1:
+        return acc.copy()
+    half = window // 2
+    out = np.empty_like(acc)
+    for i in range(acc.size):
+        lo = max(0, i - half)
+        hi = min(acc.size, i + half + 1)
+        out[i] = acc[lo:hi].mean()
+    return out
+
+
+def anytime_ranking(curves: dict[str, Sequence[float]]) -> List[Tuple[str, float]]:
+    """Algorithms sorted by accuracy-AUC, best first."""
+    scored = [(name, accuracy_auc(curve)) for name, curve in curves.items()]
+    return sorted(scored, key=lambda item: item[1], reverse=True)
+
+
+def rounds_ahead(
+    curve_a: Sequence[float], curve_b: Sequence[float]
+) -> int:
+    """Number of rounds where a strictly leads b (ties excluded)."""
+    a = np.asarray(curve_a, dtype=float)
+    b = np.asarray(curve_b, dtype=float)
+    n = min(len(a), len(b))
+    return int((a[:n] > b[:n]).sum())

@@ -1,0 +1,96 @@
+"""Round-to-accuracy / time-to-accuracy summaries across algorithms.
+
+These are the paper's two headline efficiency metrics (Section V-A):
+``summarise_runs`` condenses a set of histories into one row per algorithm
+— final accuracy, rounds-to-target, cumulative compute time to target —
+with the paper's x (convergence failure) / timeout conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..fl.history import TrainingHistory
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One algorithm's efficiency summary (a row of Table V / Fig. 4)."""
+
+    algorithm: str
+    final_accuracy: float
+    best_accuracy: float
+    rounds_to_target: Optional[int]  # None = never reached (paper's "T+"/x)
+    time_to_target: Optional[float]  # None = timeout (paper's "o")
+    total_time: float
+    diverged: bool
+
+    def rounds_label(self, total_rounds: int) -> str:
+        """Render the paper's Table V convention: count, 'T+' or 'x'."""
+        if self.diverged:
+            return "x"
+        if self.rounds_to_target is None:
+            return f"{total_rounds}+"
+        return str(self.rounds_to_target)
+
+    def time_label(self) -> str:
+        if self.diverged:
+            return "x"
+        if self.time_to_target is None:
+            return "o"  # timeout marker used in the paper's Fig. 4
+        return f"{self.time_to_target:.2f}s"
+
+
+def summarise_run(
+    algorithm: str,
+    history: TrainingHistory,
+    target_accuracy: float,
+    diverged: bool = False,
+) -> EfficiencyRow:
+    """Summarise a single run against a target accuracy."""
+    return EfficiencyRow(
+        algorithm=algorithm,
+        final_accuracy=history.final_accuracy,
+        best_accuracy=history.best_accuracy,
+        rounds_to_target=history.rounds_to_accuracy(target_accuracy),
+        time_to_target=history.time_to_accuracy(target_accuracy),
+        total_time=float(history.cumulative_times[-1]) if len(history) else 0.0,
+        diverged=diverged,
+    )
+
+
+def summarise_runs(
+    histories: Mapping[str, TrainingHistory],
+    target_accuracy: float,
+    diverged: Mapping[str, bool] | None = None,
+) -> Dict[str, EfficiencyRow]:
+    """One :class:`EfficiencyRow` per algorithm."""
+    diverged = diverged or {}
+    return {
+        name: summarise_run(name, history, target_accuracy, diverged.get(name, False))
+        for name, history in histories.items()
+    }
+
+
+def speedup_versus(rows: Mapping[str, EfficiencyRow], baseline: str) -> Dict[str, float]:
+    """Relative time-to-target savings versus a baseline algorithm.
+
+    Positive values mean faster than the baseline (the paper reports TACO
+    saves 25.6%-62.7% of FedAvg's client compute time).  Algorithms that
+    never reach the target map to ``-inf``.
+    """
+    if baseline not in rows:
+        raise KeyError(f"baseline {baseline!r} not among rows {sorted(rows)}")
+    base_time = rows[baseline].time_to_target
+    if base_time is None:
+        raise ValueError(f"baseline {baseline!r} never reached the target")
+    out: Dict[str, float] = {}
+    for name, row in rows.items():
+        if row.time_to_target is None:
+            out[name] = float("-inf")
+        else:
+            out[name] = 1.0 - row.time_to_target / base_time
+    return out

@@ -1,0 +1,98 @@
+"""Quantifying a partition's non-IID degree.
+
+The paper's central premise is that clients have *different* non-IID
+degrees (Assumption 2, Table II).  These metrics make that measurable for
+any partition produced by :mod:`repro.data.partition`:
+
+- :func:`label_distribution` — per-client label histogram (normalised);
+- :func:`tv_distance_from_global` — total-variation distance between each
+  client's label distribution and the global one (0 = IID client);
+- :func:`effective_num_classes` — exp(entropy) of a client's labels, i.e.
+  "how many classes does this client effectively see" (Table II's Group A
+  clients have ~1, Group C ~5);
+- :func:`partition_heterogeneity` — a whole-partition summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def label_distribution(labels: np.ndarray, indices: Sequence[int], num_classes: int) -> np.ndarray:
+    """Normalised label histogram of one client's shard."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        raise ValueError("client shard is empty")
+    counts = np.bincount(np.asarray(labels)[idx], minlength=num_classes).astype(float)
+    return counts / counts.sum()
+
+
+def tv_distance_from_global(
+    labels: np.ndarray, client_indices: Sequence[Sequence[int]], num_classes: int
+) -> Dict[int, float]:
+    """Total-variation distance of each client's label mix from the global.
+
+    TV = 0.5 * sum_c |p_i(c) - p(c)|; 0 means the client is perfectly IID,
+    1 - p(max class) is the single-label extreme.
+    """
+    labels = np.asarray(labels)
+    global_dist = np.bincount(labels, minlength=num_classes).astype(float)
+    global_dist /= global_dist.sum()
+    out: Dict[int, float] = {}
+    for cid, indices in enumerate(client_indices):
+        dist = label_distribution(labels, indices, num_classes)
+        out[cid] = float(0.5 * np.abs(dist - global_dist).sum())
+    return out
+
+
+def effective_num_classes(labels: np.ndarray, indices: Sequence[int], num_classes: int) -> float:
+    """exp(Shannon entropy) of the shard's label mix.
+
+    1.0 for a single-label client, ``num_classes`` for a uniform one —
+    a continuous version of Table II's "fraction of labels held".
+    """
+    dist = label_distribution(labels, indices, num_classes)
+    nonzero = dist[dist > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    return float(np.exp(entropy))
+
+
+@dataclass(frozen=True)
+class HeterogeneityReport:
+    """Whole-partition non-IID summary."""
+
+    tv_distances: Dict[int, float]
+    effective_classes: Dict[int, float]
+
+    @property
+    def mean_tv(self) -> float:
+        return float(np.mean(list(self.tv_distances.values())))
+
+    @property
+    def max_tv(self) -> float:
+        return float(max(self.tv_distances.values()))
+
+    @property
+    def spread(self) -> float:
+        """Range of per-client TV distances — the 'different non-IID
+        degrees' the paper's tailored design targets."""
+        values = list(self.tv_distances.values())
+        return float(max(values) - min(values))
+
+
+def partition_heterogeneity(
+    labels: np.ndarray, client_indices: Sequence[Sequence[int]], num_classes: int
+) -> HeterogeneityReport:
+    """Compute the full per-client non-IID report for a partition."""
+    if not client_indices:
+        raise ValueError("no clients in partition")
+    return HeterogeneityReport(
+        tv_distances=tv_distance_from_global(labels, client_indices, num_classes),
+        effective_classes={
+            cid: effective_num_classes(labels, indices, num_classes)
+            for cid, indices in enumerate(client_indices)
+        },
+    )

@@ -1,0 +1,72 @@
+"""Over-correction diagnostics (Section III-B).
+
+The paper's over-correction signature: a corrected local update overshoots
+past the global optimum direction.  We quantify it per round as the fraction
+of clients whose corrected update direction has *negative* cosine with their
+uncorrected gradient-descent direction, plus an aggregate overshoot score,
+and expose instability comparison utilities used by the Fig. 2 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..fl.history import TrainingHistory
+from ..fl.state import cosine_similarity
+
+
+@dataclass(frozen=True)
+class CorrectionDiagnostics:
+    """Per-round summary of how corrections altered client updates."""
+
+    overshoot_fraction: float  # clients whose correction flipped their direction
+    mean_direction_change: float  # mean (1 - cos(uncorrected, corrected))
+    mean_correction_ratio: float  # mean ||correction|| / ||gradient||
+
+
+def diagnose_corrections(
+    raw_directions: Mapping[int, np.ndarray],
+    corrected_directions: Mapping[int, np.ndarray],
+) -> CorrectionDiagnostics:
+    """Compare per-client update directions before and after correction."""
+    if set(raw_directions) != set(corrected_directions):
+        raise ValueError("client id sets must match")
+    if not raw_directions:
+        raise ValueError("need at least one client")
+    flipped = 0
+    direction_changes = []
+    ratios = []
+    for cid, raw in raw_directions.items():
+        corrected = corrected_directions[cid]
+        cos = cosine_similarity(raw, corrected)
+        if cos < 0:
+            flipped += 1
+        direction_changes.append(1.0 - cos)
+        raw_norm = np.linalg.norm(raw)
+        ratios.append(np.linalg.norm(corrected - raw) / raw_norm if raw_norm > 1e-12 else 0.0)
+    return CorrectionDiagnostics(
+        overshoot_fraction=flipped / len(raw_directions),
+        mean_direction_change=float(np.mean(direction_changes)),
+        mean_correction_ratio=float(np.mean(ratios)),
+    )
+
+
+def instability_comparison(histories: Mapping[str, TrainingHistory], window: int = 5) -> Dict[str, float]:
+    """Instability score per algorithm (larger = shakier accuracy curve)."""
+    return {name: history.instability(window) for name, history in histories.items()}
+
+
+def accuracy_drop_events(accuracies: Sequence[float], threshold: float = 0.05) -> int:
+    """Count rounds where accuracy dropped by more than ``threshold``.
+
+    Convergence failures (FedProx/Scaffold on SVHN in the paper) show up as
+    repeated large drops; FedAvg's curve has few or none.
+    """
+    acc = np.asarray(accuracies, dtype=float)
+    if len(acc) < 2:
+        return 0
+    drops = acc[:-1] - acc[1:]
+    return int((drops > threshold).sum())

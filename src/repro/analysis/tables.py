@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment outputs.
+
+Benchmarks print the paper's tables through :func:`render_table` so a run's
+stdout can be compared side by side with the paper (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    header_cells = [str(h) for h in headers]
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+    widths = [
+        max(len(header_cells[col]), *(len(row[col]) for row in body)) if body else len(header_cells[col])
+        for col in range(len(header_cells))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_mean_std(mean: float, std: float, percent: bool = True) -> str:
+    """The paper's 'mean±std' cell format."""
+    if percent:
+        return f"{100 * mean:.2f}±{100 * std:.2f}"
+    return f"{mean:.4f}±{std:.4f}"

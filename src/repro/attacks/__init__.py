@@ -1,0 +1,13 @@
+"""Attacks (freeloaders, poisoning) and detection metrics."""
+
+from .detection import DetectionReport, evaluate_detection
+from .freeloader import FreeloaderClient
+from .poisoning import GaussianNoiseClient, SignFlipClient
+
+__all__ = [
+    "FreeloaderClient",
+    "SignFlipClient",
+    "GaussianNoiseClient",
+    "DetectionReport",
+    "evaluate_detection",
+]

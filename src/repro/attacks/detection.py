@@ -1,0 +1,53 @@
+"""Freeloader-detection evaluation (the paper's TPR / FPR metrics).
+
+Section V-A: TPR = identified freeloaders / freeloaders and
+FPR = misjudged benign clients / benign clients (Table VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Confusion summary of an expulsion run."""
+
+    true_positive_rate: float
+    false_positive_rate: float
+    detected: frozenset
+    freeloaders: frozenset
+    benign: frozenset
+
+    @property
+    def perfect(self) -> bool:
+        return self.true_positive_rate == 1.0 and self.false_positive_rate == 0.0
+
+
+def evaluate_detection(
+    detected: Iterable[int],
+    freeloaders: Sequence[int],
+    all_clients: Sequence[int],
+) -> DetectionReport:
+    """Score a set of expelled client ids against ground truth."""
+    detected_set: Set[int] = set(detected)
+    freeloader_set = set(freeloaders)
+    all_set = set(all_clients)
+    if not freeloader_set <= all_set:
+        raise ValueError("freeloaders must be a subset of all clients")
+    benign = all_set - freeloader_set
+
+    tpr = (
+        len(detected_set & freeloader_set) / len(freeloader_set)
+        if freeloader_set
+        else 0.0
+    )
+    fpr = len(detected_set & benign) / len(benign) if benign else 0.0
+    return DetectionReport(
+        true_positive_rate=tpr,
+        false_positive_rate=fpr,
+        detected=frozenset(detected_set),
+        freeloaders=frozenset(freeloader_set),
+        benign=frozenset(benign),
+    )

@@ -1,0 +1,86 @@
+"""Freeloader (free-rider) clients.
+
+Section IV-A: "Freeloaders refer to lazy clients that only upload previous
+global gradients Delta_t received without contributing any new local
+updates."  A :class:`FreeloaderClient` skips local training entirely and
+uploads the last broadcast global gradient rescaled to look like an
+accumulated local gradient (Delta_i^t = K * eta_l * Delta_t), optionally
+with small camouflage noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+import numpy as np
+
+from ..data.dataset import TensorDataset
+from ..fl.client import Client
+from ..fl.state import ClientUpdate
+from ..fl.timing import CostModel
+
+
+class FreeloaderClient(Client):
+    """A client that replays the global gradient instead of training.
+
+    Parameters
+    ----------
+    camouflage_noise:
+        Relative standard deviation of Gaussian noise added to the replayed
+        gradient (0 = verbatim replay).  Mild noise makes naive
+        norm-equality checks fail while TACO's alpha-based detection still
+        fires, since the *direction* stays aligned with Delta_t.
+    """
+
+    is_freeloader = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        camouflage_noise: float = 0.02,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        if camouflage_noise < 0:
+            raise ValueError(f"camouflage noise must be non-negative, got {camouflage_noise}")
+        self.camouflage_noise = camouflage_noise
+        self._rng = rng
+
+    def local_round(
+        self,
+        model,
+        strategy,
+        global_params: np.ndarray,
+        payload: Dict[str, Any],
+        cost_model: CostModel,
+    ) -> ClientUpdate:
+        started = time.perf_counter()
+        global_delta = payload.get("global_delta")
+        if global_delta is None:
+            # Algorithms that do not broadcast Delta_t: replay nothing useful
+            # on round 0, then mimic whatever direction the anchor moved.
+            global_delta = np.zeros_like(global_params)
+        replay = strategy.local_steps * strategy.local_lr * global_delta
+        if self.camouflage_noise > 0 and np.linalg.norm(replay) > 0:
+            scale = self.camouflage_noise * np.linalg.norm(replay) / np.sqrt(replay.size)
+            replay = replay + self._rng.normal(scale=scale, size=replay.shape)
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=replay,
+            num_samples=self.num_samples,
+            num_steps=strategy.local_steps,
+            sim_time=0.0,  # freeloaders spend no local compute
+            wall_time=time.perf_counter() - started,
+            extras=self._fake_extras(strategy, replay),
+        )
+
+    @staticmethod
+    def _fake_extras(strategy, replay: np.ndarray) -> Dict[str, Any]:
+        """Fabricate any per-update fields the strategy expects (STEM's v)."""
+        if strategy.name == "stem":
+            return {"final_momentum": replay / max(strategy.local_lr, 1e-12) / strategy.local_steps}
+        return {}

@@ -1,0 +1,77 @@
+"""Model-poisoning attackers (beyond free-riding).
+
+Complements :mod:`repro.attacks.freeloader` with the classic untargeted
+poisoning behaviours the Byzantine-robust aggregators in
+:mod:`repro.algorithms.robust` defend against:
+
+- :class:`SignFlipClient` — trains honestly, then uploads the negated
+  (optionally amplified) update;
+- :class:`GaussianNoiseClient` — uploads pure noise scaled to look like a
+  plausible update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..data.dataset import TensorDataset
+from ..fl.client import Client
+from ..fl.state import ClientUpdate
+from ..fl.timing import CostModel
+
+
+class SignFlipClient(Client):
+    """Uploads ``-amplification * Delta_i^t`` after honest local training."""
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        amplification: float = 1.0,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        if amplification <= 0:
+            raise ValueError(f"amplification must be positive, got {amplification}")
+        self.amplification = amplification
+
+    def local_round(self, model, strategy, global_params, payload: Dict[str, Any], cost_model: CostModel) -> ClientUpdate:
+        update = super().local_round(model, strategy, global_params, payload, cost_model)
+        update.delta = -self.amplification * update.delta
+        return update
+
+
+class GaussianNoiseClient(Client):
+    """Uploads Gaussian noise with a norm matched to a typical honest update."""
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        norm_scale: float = 1.0,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        if norm_scale <= 0:
+            raise ValueError(f"norm_scale must be positive, got {norm_scale}")
+        self.norm_scale = norm_scale
+        self._noise_rng = rng
+
+    def local_round(self, model, strategy, global_params, payload: Dict[str, Any], cost_model: CostModel) -> ClientUpdate:
+        update = super().local_round(model, strategy, global_params, payload, cost_model)
+        honest_norm = np.linalg.norm(update.delta)
+        noise = self._noise_rng.normal(size=update.delta.shape)
+        noise_norm = np.linalg.norm(noise)
+        if noise_norm > 1e-12:
+            update.delta = noise * (self.norm_scale * honest_norm / noise_norm)
+        return update

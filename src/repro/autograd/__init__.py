@@ -1,0 +1,54 @@
+"""Reverse-mode autograd engine over numpy.
+
+Public surface:
+
+- :class:`Tensor` — the autograd tensor type.
+- :func:`tensor`, :func:`zeros`, :func:`ones` — constructors.
+- :func:`no_grad`, :func:`is_grad_enabled` — graph-recording control.
+- :func:`concatenate`, :func:`stack`, :func:`where` — multi-input ops.
+- :mod:`repro.autograd.ops` — fused conv/pool/softmax primitives.
+- :func:`check_gradients` — finite-difference validation.
+"""
+
+from .grad_check import check_gradients, numeric_gradient
+from .ops import (
+    avg_pool2d,
+    conv2d,
+    cross_entropy,
+    log_softmax,
+    max_pool2d,
+    nll_loss,
+    softmax,
+)
+from .tensor import (
+    Tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "nll_loss",
+    "check_gradients",
+    "numeric_gradient",
+]

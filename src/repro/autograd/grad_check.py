@@ -1,0 +1,70 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used heavily by the test suite to validate every layer's hand-written
+backward pass against central differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Estimate d(fn)/d(inputs[wrt]) with central differences.
+
+    ``fn`` must return a scalar :class:`Tensor`.
+    """
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for idx in range(flat.size):
+        original = flat[idx]
+        flat[idx] = original + eps
+        plus = fn(*inputs).item()
+        flat[idx] = original - eps
+        minus = fn(*inputs).item()
+        flat[idx] = original
+        grad_flat[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare analytic and numeric gradients for every grad-requiring input.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` on success so it can be used directly in asserts.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = fn(*inputs)
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    for position, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        numeric = numeric_gradient(fn, inputs, position, eps=eps)
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch for input {position}: max abs diff {worst:.3e}\n"
+                f"analytic: {analytic}\nnumeric: {numeric}"
+            )
+    return True

@@ -1,0 +1,219 @@
+"""Compound and performance-sensitive autograd operations.
+
+These operations are implemented as fused primitives (a single forward numpy
+computation plus a hand-written backward) rather than compositions of
+:class:`~repro.autograd.tensor.Tensor` ops, because they dominate the runtime
+of the CNN / ResNet models: convolution via im2col, max pooling, and the
+numerically stabilised log-softmax used by the cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+@lru_cache(maxsize=128)
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gather indices for im2col, plus flat scatter indices for the backward.
+
+    Returns ``(k, i, j, flat)`` where ``flat`` maps each im2col cell to its
+    linear offset within one sample's ``(C, H, W)`` volume — used by the
+    backward pass to scatter gradients with ``np.bincount`` (much faster
+    than ``np.add.at`` on this single-core target).
+    """
+    _, channels, height, width = x_shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    flat = (k * height + i) * width + j
+    return k, i, j, flat
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution, NCHW layout, square kernels.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_channels, height, width)``.
+    weight:
+        Kernel of shape ``(out_channels, in_channels, k, k)``.
+    bias:
+        Optional bias of shape ``(out_channels,)``.
+    """
+    if padding:
+        x = x.pad2d(padding)
+    batch, in_c, height, width = x.shape
+    out_c, w_in_c, kernel, kernel2 = weight.shape
+    if w_in_c != in_c or kernel != kernel2:
+        raise ValueError(
+            f"weight shape {weight.shape} incompatible with input shape {x.shape}"
+        )
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+
+    k, i, j, flat = _im2col_indices(x.shape, kernel, stride)
+    cols = x.data[:, k, i, j]  # (batch, C*k*k, out_h*out_w)
+    w_flat = weight.data.reshape(out_c, -1)
+    out = np.matmul(w_flat, cols)  # (batch, out_c, P) by broadcasting
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_c, 1)
+    out = out.reshape(batch, out_c, out_h, out_w)
+
+    x_shape = x.shape
+    sample_size = in_c * height * width
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        g_flat = g.reshape(batch, out_c, -1)  # (batch, out_c, P)
+        grad_w = np.einsum("bop,bcp->oc", g_flat, cols, optimize=True).reshape(weight.shape)
+        grad_cols = np.matmul(w_flat.T, g_flat)  # (batch, C*k*k, P)
+        # Scatter-add via bincount on per-sample flat indices: much faster
+        # than np.add.at on single-core numpy.
+        idx = np.broadcast_to(flat.ravel(), (batch, flat.size))
+        offsets = (np.arange(batch) * sample_size)[:, None]
+        grad_x = np.bincount(
+            (idx + offsets).ravel(),
+            weights=grad_cols.reshape(batch, -1).ravel(),
+            minlength=batch * sample_size,
+        ).reshape(x_shape).astype(g.dtype, copy=False)
+        if bias is None:
+            return (grad_x, grad_w)
+        grad_b = g_flat.sum(axis=(0, 2))
+        return (grad_x, grad_w, grad_b)
+
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+
+    if stride == kernel and height % kernel == 0 and width % kernel == 0:
+        reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h, out_w, kernel * kernel
+        )
+    else:
+        windows = np.empty((batch, channels, out_h, out_w, kernel * kernel), dtype=x.dtype)
+        for idx_h in range(out_h):
+            for idx_w in range(out_w):
+                patch = x.data[
+                    :,
+                    :,
+                    idx_h * stride : idx_h * stride + kernel,
+                    idx_w * stride : idx_w * stride + kernel,
+                ]
+                windows[:, :, idx_h, idx_w, :] = patch.reshape(batch, channels, -1)
+
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+    x_shape = x.shape
+
+    def backward(g: np.ndarray):
+        rows_in_window, cols_in_window = np.divmod(argmax, kernel)
+        b_idx, c_idx, h_idx, w_idx = np.indices(argmax.shape)
+        src_h = h_idx * stride + rows_in_window
+        src_w = w_idx * stride + cols_in_window
+        flat_idx = ((b_idx * channels + c_idx) * height + src_h) * width + src_w
+        grad_x = np.bincount(
+            flat_idx.ravel(), weights=g.ravel(), minlength=batch * channels * height * width
+        ).reshape(x_shape).astype(g.dtype, copy=False)
+        return (grad_x,)
+
+    requires = is_grad_enabled() and x.requires_grad
+    result = Tensor(out, requires_grad=requires, _parents=(x,) if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over square windows (non-overlapping fast path)."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    if stride != kernel or height % kernel or width % kernel:
+        raise ValueError("avg_pool2d supports non-overlapping windows that tile the input")
+    out_h, out_w = height // kernel, width // kernel
+    reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
+    out = reshaped.mean(axis=(3, 5))
+    scale = 1.0 / (kernel * kernel)
+    x_shape = x.shape
+
+    def backward(g: np.ndarray):
+        expanded = np.repeat(np.repeat(g, kernel, axis=2), kernel, axis=3)
+        return (expanded.reshape(x_shape) * scale,)
+
+    requires = is_grad_enabled() and x.requires_grad
+    result = Tensor(out, requires_grad=requires, _parents=(x,) if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    log_sum = np.log(exp.sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    softmax = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray):
+        return (g - softmax * g.sum(axis=axis, keepdims=True),)
+
+    requires = is_grad_enabled() and x.requires_grad
+    result = Tensor(out, requires_grad=requires, _parents=(x,) if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (via the stable log-softmax)."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    Equivalent to ``torch.nn.functional.cross_entropy`` with mean reduction.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} does not match batch size {n}")
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    return -log_probs[np.arange(n), targets].mean()

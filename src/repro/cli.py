@@ -1,0 +1,235 @@
+"""Command-line interface: run federated experiments from the shell.
+
+Examples::
+
+    python -m repro.cli run --dataset fmnist --algorithm taco --rounds 12
+    python -m repro.cli compare --dataset adult --algorithms fedavg taco
+    python -m repro.cli experiment table5 --datasets adult fmnist
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .algorithms import algorithm_names
+from .analysis import render_table
+from .data import dataset_names
+from .experiments import (
+    ExperimentConfig,
+    default_config_for,
+    run_algorithm,
+    run_suite,
+    target_for,
+)
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="fmnist", choices=sorted(dataset_names()))
+    parser.add_argument("--clients", type=int, default=None, help="number of clients")
+    parser.add_argument("--rounds", type=int, default=None, help="communication rounds T")
+    parser.add_argument("--local-steps", type=int, default=None, help="local updates K")
+    parser.add_argument("--batch-size", type=int, default=None, help="mini-batch size s")
+    parser.add_argument("--lr", type=float, default=None, help="local learning rate eta_l")
+    parser.add_argument("--train-size", type=int, default=None)
+    parser.add_argument("--test-size", type=int, default=None)
+    parser.add_argument("--partition", default=None, choices=["synthetic", "dirichlet"])
+    parser.add_argument("--phi", type=float, default=None, help="Dirichlet concentration")
+    parser.add_argument("--freeloaders", type=int, default=None, help="freeloader count")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = default_config_for(args.dataset)
+    mapping = {
+        "clients": "num_clients",
+        "rounds": "rounds",
+        "local_steps": "local_steps",
+        "batch_size": "batch_size",
+        "lr": "local_lr",
+        "train_size": "train_size",
+        "test_size": "test_size",
+        "partition": "partition",
+        "phi": "phi",
+        "freeloaders": "num_freeloaders",
+        "seed": "seed",
+    }
+    overrides = {
+        field: getattr(args, attr)
+        for attr, field in mapping.items()
+        if getattr(args, attr, None) is not None
+    }
+    return config.with_overrides(**overrides)
+
+
+def _result_row(name: str, result, target: float, total_rounds: int) -> List[str]:
+    rounds_hit = result.history.rounds_to_accuracy(target)
+    return [
+        name,
+        "x" if result.diverged else f"{result.final_accuracy:.2%}",
+        f"{result.output_accuracy:.2%}",
+        str(rounds_hit) if rounds_hit else f"{total_rounds}+",
+        f"{result.history.cumulative_times[-1]:.2f}s",
+    ]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run`` — train one algorithm and print/emit its metrics."""
+    config = _config_from_args(args)
+    result = run_algorithm(config, args.algorithm)
+    target = target_for(config)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "algorithm": args.algorithm,
+                    "dataset": config.dataset,
+                    "final_accuracy": result.final_accuracy,
+                    "output_accuracy": result.output_accuracy,
+                    "diverged": result.diverged,
+                    "rounds_to_target": result.history.rounds_to_accuracy(target),
+                    "accuracies": result.history.accuracies.tolist(),
+                    "cumulative_sim_time": result.history.cumulative_times.tolist(),
+                    "expelled_clients": result.history.expelled_clients,
+                }
+            )
+        )
+    else:
+        print(
+            render_table(
+                ["algorithm", "final acc", "output acc", f"rounds to {target:.0%}", "sim time"],
+                [_result_row(args.algorithm, result, target, config.rounds)],
+                title=f"{config.dataset} — {config.num_clients} clients, T={config.rounds}, K={config.local_steps}",
+            )
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare`` — run several algorithms under identical conditions."""
+    config = _config_from_args(args)
+    results = run_suite(config, args.algorithms)
+    target = target_for(config)
+    rows = [
+        _result_row(name, result, target, config.rounds)
+        for name, result in results.items()
+    ]
+    print(
+        render_table(
+            ["algorithm", "final acc", "output acc", f"rounds to {target:.0%}", "sim time"],
+            rows,
+            title=f"{config.dataset} — {config.num_clients} clients, T={config.rounds}, K={config.local_steps}",
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment`` — regenerate one paper table/figure."""
+    from .experiments import (
+        fig1_geometry,
+        fig2_reevaluation,
+        fig4_time_to_accuracy,
+        fig5_per_round_time,
+        fig6_hybrid_gain,
+        fig7_gamma_sensitivity,
+        table1_compute_time,
+        table2_alpha_groups,
+        table3_comparison,
+        table5_round_to_accuracy,
+        table6_ablation,
+        table7_scalability,
+        table8_freeloader_sensitivity,
+        theory_overcorrection,
+    )
+
+    modules = {
+        "fig1": fig1_geometry,
+        "table1": table1_compute_time,
+        "fig2": fig2_reevaluation,
+        "table2": table2_alpha_groups,
+        "table3": table3_comparison,
+        "table5": table5_round_to_accuracy,
+        "fig4": fig4_time_to_accuracy,
+        "fig5": fig5_per_round_time,
+        "fig6": fig6_hybrid_gain,
+        "table6": table6_ablation,
+        "table7": table7_scalability,
+        "table8": table8_freeloader_sensitivity,
+        "fig7": fig7_gamma_sensitivity,
+        "theory": theory_overcorrection,
+    }
+    module = modules.get(args.name)
+    if module is None:
+        print(f"unknown experiment {args.name!r}; known: {sorted(modules)}", file=sys.stderr)
+        return 2
+    if args.name in ("table3", "fig1"):
+        result = module.run()
+    elif args.name in ("table5",):
+        result = module.run(datasets=tuple(args.datasets) if args.datasets else ("adult", "fmnist"))
+    elif args.name in ("table6", "table7", "fig7"):
+        result = module.run()
+    elif args.name in ("table2", "table8"):
+        config = default_config_for(args.datasets[0] if args.datasets else "fmnist").with_overrides(
+            num_freeloaders=4
+        )
+        result = module.run(config)
+    else:
+        config = default_config_for(args.datasets[0] if args.datasets else "fmnist")
+        result = module.run(config)
+    print(result.render())
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list`` — show datasets, algorithms and experiment ids."""
+    print("datasets:  ", " ".join(sorted(dataset_names())))
+    print("algorithms:", " ".join(sorted(algorithm_names())))
+    print(
+        "experiments:",
+        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 fig7 theory",
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one algorithm")
+    run_p.add_argument("--algorithm", default="taco", choices=sorted(algorithm_names()))
+    run_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    _add_config_arguments(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run several algorithms under identical conditions")
+    cmp_p.add_argument(
+        "--algorithms", nargs="+", default=["fedavg", "taco"],
+        choices=sorted(algorithm_names()),
+    )
+    _add_config_arguments(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", help="experiment id, e.g. table5 or fig2")
+    exp_p.add_argument("--datasets", nargs="*", default=None)
+    exp_p.set_defaults(func=cmd_experiment)
+
+    list_p = sub.add_parser("list", help="list datasets, algorithms and experiments")
+    list_p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

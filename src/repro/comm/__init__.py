@@ -1,0 +1,22 @@
+"""Communication substrate: compression operators and transport accounting."""
+
+from .compression import (
+    CompressedUpdate,
+    Compressor,
+    NoCompression,
+    QuantizationCompressor,
+    RandomKCompressor,
+    TopKCompressor,
+)
+from .transport import TrafficLog, Transport
+
+__all__ = [
+    "Compressor",
+    "CompressedUpdate",
+    "NoCompression",
+    "QuantizationCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "Transport",
+    "TrafficLog",
+]

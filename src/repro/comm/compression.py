@@ -1,0 +1,130 @@
+"""Gradient compression operators for communication-efficient FL.
+
+The paper's efficiency discussion (Section V-A) notes that when network
+transmission dominates, the number of rounds — and the bytes per round —
+determine training time; its related work cites compression-based FL
+(Haddadpour et al., 2021).  This module provides the standard compressor
+family as composable operators over the flat update vectors:
+
+- :class:`NoCompression` — identity (the paper's setting);
+- :class:`QuantizationCompressor` — uniform b-bit stochastic quantisation;
+- :class:`TopKCompressor` — keep the k largest-magnitude coordinates;
+- :class:`RandomKCompressor` — keep k random coordinates (unbiased, scaled).
+
+Every compressor reports the bytes its encoded form would occupy so the
+simulation can track per-round traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+FLOAT_BYTES = 8  # float64 payloads
+INDEX_BYTES = 4  # uint32 coordinate indices
+
+
+@dataclass(frozen=True)
+class CompressedUpdate:
+    """A decoded update plus the traffic its encoding would cost."""
+
+    vector: np.ndarray  # decompressed (server-side view)
+    payload_bytes: int  # bytes on the wire
+
+
+class Compressor:
+    """Base compressor protocol: compress returns the server-side view."""
+
+    name = "base"
+
+    def compress(self, vector: np.ndarray, rng: np.random.Generator) -> CompressedUpdate:
+        raise NotImplementedError
+
+    @staticmethod
+    def dense_bytes(vector: np.ndarray) -> int:
+        return vector.size * FLOAT_BYTES
+
+
+class NoCompression(Compressor):
+    """Identity transport — full-precision dense updates."""
+
+    name = "none"
+
+    def compress(self, vector: np.ndarray, rng: np.random.Generator) -> CompressedUpdate:
+        return CompressedUpdate(vector.copy(), self.dense_bytes(vector))
+
+
+class QuantizationCompressor(Compressor):
+    """Uniform stochastic quantisation to ``bits`` bits per coordinate.
+
+    Values are mapped onto 2^bits levels spanning [min, max]; stochastic
+    rounding keeps the operator unbiased.  Wire cost: bits/8 per coordinate
+    plus the two float range parameters.
+    """
+
+    name = "quantize"
+
+    def __init__(self, bits: int = 8) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.bits = bits
+
+    def compress(self, vector: np.ndarray, rng: np.random.Generator) -> CompressedUpdate:
+        low = float(vector.min(initial=0.0))
+        high = float(vector.max(initial=0.0))
+        levels = (1 << self.bits) - 1
+        if high - low < 1e-12:
+            return CompressedUpdate(vector.copy(), 2 * FLOAT_BYTES)
+        scaled = (vector - low) / (high - low) * levels
+        floor = np.floor(scaled)
+        # Stochastic rounding: round up with probability equal to the
+        # fractional part, making the quantiser unbiased.
+        rounded = floor + (rng.random(vector.shape) < (scaled - floor))
+        decoded = rounded / levels * (high - low) + low
+        payload = int(np.ceil(vector.size * self.bits / 8)) + 2 * FLOAT_BYTES
+        return CompressedUpdate(decoded, payload)
+
+
+class TopKCompressor(Compressor):
+    """Keep the ``fraction`` largest-magnitude coordinates (biased, sparse)."""
+
+    name = "topk"
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def _k(self, size: int) -> int:
+        return max(1, int(round(self.fraction * size)))
+
+    def compress(self, vector: np.ndarray, rng: np.random.Generator) -> CompressedUpdate:
+        k = self._k(vector.size)
+        if k >= vector.size:
+            return CompressedUpdate(vector.copy(), self.dense_bytes(vector))
+        keep = np.argpartition(np.abs(vector), -k)[-k:]
+        sparse = np.zeros_like(vector)
+        sparse[keep] = vector[keep]
+        return CompressedUpdate(sparse, k * (FLOAT_BYTES + INDEX_BYTES))
+
+
+class RandomKCompressor(Compressor):
+    """Keep ``fraction`` random coordinates, rescaled by 1/fraction (unbiased)."""
+
+    name = "randomk"
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def compress(self, vector: np.ndarray, rng: np.random.Generator) -> CompressedUpdate:
+        k = max(1, int(round(self.fraction * vector.size)))
+        if k >= vector.size:
+            return CompressedUpdate(vector.copy(), self.dense_bytes(vector))
+        keep = rng.choice(vector.size, size=k, replace=False)
+        sparse = np.zeros_like(vector)
+        sparse[keep] = vector[keep] / self.fraction
+        return CompressedUpdate(sparse, k * (FLOAT_BYTES + INDEX_BYTES))

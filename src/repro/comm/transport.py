@@ -1,0 +1,65 @@
+"""Uplink transport simulation: compression + traffic/time accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..fl.state import ClientUpdate
+from .compression import Compressor, NoCompression
+
+
+@dataclass
+class TrafficLog:
+    """Per-round uplink accounting."""
+
+    bytes_per_round: List[int] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_per_round)
+
+    def record(self, round_bytes: int) -> None:
+        self.bytes_per_round.append(round_bytes)
+
+
+class Transport:
+    """Applies a compressor to every client upload and tracks traffic.
+
+    ``bandwidth_bytes_per_second`` (optional) converts bytes to simulated
+    uplink seconds so communication time can be combined with the compute
+    timing model when evaluating total time-to-accuracy under a
+    network-dominated regime.
+    """
+
+    def __init__(
+        self,
+        compressor: Compressor | None = None,
+        bandwidth_bytes_per_second: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.compressor = compressor or NoCompression()
+        if bandwidth_bytes_per_second is not None and bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth_bytes_per_second
+        self.rng = np.random.default_rng(seed)
+        self.log = TrafficLog()
+
+    def process_round(self, updates: List[ClientUpdate]) -> List[ClientUpdate]:
+        """Compress every update in place; returns the same list."""
+        round_bytes = 0
+        for update in updates:
+            compressed = self.compressor.compress(update.delta, self.rng)
+            update.delta = compressed.vector
+            round_bytes += compressed.payload_bytes
+        self.log.record(round_bytes)
+        return updates
+
+    def uplink_seconds(self, round_index: int) -> float:
+        """Simulated transmission time for one round (slowest-client model
+        not needed: uploads are sequentialised at the server uplink)."""
+        if self.bandwidth is None:
+            return 0.0
+        return self.log.bytes_per_round[round_index] / self.bandwidth

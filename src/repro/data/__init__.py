@@ -1,0 +1,61 @@
+"""Data substrate: datasets, loaders, synthetic generators, partitioners."""
+
+from .dataset import Dataset, TensorDataset
+from .loader import BatchSampler, DataLoader
+from .partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    NaturalPartitioner,
+    Partitioner,
+    ShardPartitioner,
+    SyntheticGroupPartitioner,
+)
+from .registry import (
+    REGISTRY,
+    DatasetSpec,
+    FederatedDataBundle,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+from .synthetic import (
+    TextCorpus,
+    make_character_corpus,
+    make_image_classification,
+    make_tabular_classification,
+)
+from .transforms import (
+    compose,
+    gaussian_noise,
+    normalize,
+    random_crop,
+    random_horizontal_flip,
+)
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "BatchSampler",
+    "DataLoader",
+    "Partitioner",
+    "IIDPartitioner",
+    "DirichletPartitioner",
+    "SyntheticGroupPartitioner",
+    "ShardPartitioner",
+    "NaturalPartitioner",
+    "DatasetSpec",
+    "FederatedDataBundle",
+    "REGISTRY",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+    "TextCorpus",
+    "make_image_classification",
+    "make_tabular_classification",
+    "make_character_corpus",
+    "compose",
+    "normalize",
+    "random_horizontal_flip",
+    "random_crop",
+    "gaussian_noise",
+]

@@ -1,0 +1,55 @@
+"""Dataset containers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal map-style dataset protocol."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """In-memory dataset of ``(features, labels)`` arrays.
+
+    ``features`` is indexed along the first axis; ``labels`` is a 1-D integer
+    array of the same length.
+    """
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray) -> None:
+        features = np.asarray(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features ({len(features)}) and labels ({len(labels)}) length mismatch"
+            )
+        self.features = features
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __getitem__(self, index):
+        return self.features[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def subset(self, indices: Sequence[int]) -> "TensorDataset":
+        """Return a new dataset restricted to ``indices`` (copies views)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return TensorDataset(self.features[idx], self.labels[idx])
+
+    def label_histogram(self, num_classes: int | None = None) -> np.ndarray:
+        """Count of samples per label."""
+        n = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.labels, minlength=n)

@@ -1,0 +1,75 @@
+"""Mini-batch sampling.
+
+The paper's setting (Section II) samples a mini-batch uniformly at random
+*with replacement across steps* for every local update; :class:`BatchSampler`
+implements exactly that, while :class:`DataLoader` provides conventional
+epoch-style iteration for the centralised examples and evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .dataset import TensorDataset
+
+
+class BatchSampler:
+    """Uniform random mini-batch sampler (the paper's xi_{i,k}^t)."""
+
+    def __init__(
+        self,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        if len(dataset) == 0:
+            raise ValueError("cannot sample from an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.rng = rng
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one mini-batch ``(features, labels)``."""
+        size = min(self.batch_size, len(self.dataset))
+        indices = self.rng.choice(len(self.dataset), size=size, replace=False)
+        return self.dataset.features[indices], self.dataset.labels[indices]
+
+
+class DataLoader:
+    """Epoch iterator over shuffled fixed-size batches."""
+
+    def __init__(
+        self,
+        dataset: TensorDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng(0)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield self.dataset.features[batch], self.dataset.labels[batch]

@@ -1,0 +1,226 @@
+"""Dataset registry mirroring the paper's Table IV.
+
+Every dataset name from the paper maps to a :class:`DatasetSpec` carrying
+its shape, class count, default non-IID partition, paper-scale round/step
+counts (T, K), and a model factory producing the architecture the paper
+pairs with it.  :func:`load_dataset` generates the synthetic stand-in at a
+requested (scaled-down) size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.models import MLP, CharLSTM, PaperCNN, ResNet18
+from ..nn.module import Module
+from .dataset import TensorDataset
+from .partition import (
+    DirichletPartitioner,
+    NaturalPartitioner,
+    Partitioner,
+    SyntheticGroupPartitioner,
+)
+from .synthetic import (
+    make_character_corpus,
+    make_image_classification,
+    make_tabular_classification,
+)
+
+SEQ_LEN = 20
+SHAKESPEARE_VOCAB = 40
+SHAKESPEARE_SPEAKERS = 40
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one paper dataset."""
+
+    name: str
+    kind: str  # "image" | "tabular" | "text"
+    num_classes: int
+    image_size: int = 0
+    channels: int = 0
+    num_features: int = 0
+    noise: float = 0.0
+    paper_train_size: int = 0
+    paper_test_size: int = 0
+    paper_rounds: int = 100  # T in the paper's hyper-parameter table
+    paper_local_steps: int = 100  # K
+    default_partition: str = "synthetic"  # "synthetic" | "dirichlet" | "natural"
+    default_phi: float = 0.5
+    model_name: str = "cnn"
+
+    def make_model(
+        self,
+        rng: np.random.Generator | None = None,
+        width_multiplier: float = 1.0,
+    ) -> Module:
+        """Instantiate the architecture the paper pairs with this dataset."""
+        rng = rng or np.random.default_rng(0)
+        if self.model_name == "mlp":
+            return MLP(self.num_features, self.num_classes, rng=rng)
+        if self.model_name == "cnn":
+            return PaperCNN(
+                self.channels,
+                self.image_size,
+                self.num_classes,
+                width_multiplier=width_multiplier,
+                rng=rng,
+            )
+        if self.model_name == "resnet18":
+            blocks = (2, 2, 2, 2) if width_multiplier >= 1.0 else (1, 1, 1, 1)
+            return ResNet18(
+                self.channels,
+                self.num_classes,
+                width_multiplier=width_multiplier,
+                blocks_per_stage=blocks,
+                rng=rng,
+            )
+        if self.model_name == "lstm":
+            return CharLSTM(self.num_classes, rng=rng)
+        raise ValueError(f"unknown model {self.model_name!r}")
+
+    def make_partitioner(self, override: str | None = None, phi: float | None = None) -> Partitioner:
+        """Build the paper's default partitioner for this dataset."""
+        kind = override or self.default_partition
+        if kind == "synthetic":
+            return SyntheticGroupPartitioner()
+        if kind == "dirichlet":
+            return DirichletPartitioner(phi if phi is not None else self.default_phi)
+        if kind == "natural":
+            raise ValueError("natural partitions are built from a loaded corpus; use FederatedDataBundle.make_partitioner")
+        raise ValueError(f"unknown partition kind {kind!r}")
+
+
+REGISTRY: Dict[str, DatasetSpec] = {
+    "mnist": DatasetSpec(
+        "mnist", "image", 10, image_size=28, channels=1, noise=0.35,
+        paper_train_size=60000, paper_test_size=10000,
+        paper_rounds=100, paper_local_steps=100,
+        default_partition="synthetic", model_name="cnn",
+    ),
+    "fmnist": DatasetSpec(
+        "fmnist", "image", 10, image_size=28, channels=1, noise=0.55,
+        paper_train_size=60000, paper_test_size=10000,
+        paper_rounds=100, paper_local_steps=100,
+        default_partition="synthetic", model_name="cnn",
+    ),
+    "femnist": DatasetSpec(
+        "femnist", "image", 62, image_size=28, channels=1, noise=0.5,
+        paper_train_size=341873, paper_test_size=40832,
+        paper_rounds=100, paper_local_steps=100,
+        default_partition="dirichlet", default_phi=0.2, model_name="cnn",
+    ),
+    "svhn": DatasetSpec(
+        "svhn", "image", 10, image_size=32, channels=3, noise=0.65,
+        paper_train_size=73257, paper_test_size=26032,
+        paper_rounds=100, paper_local_steps=1000,
+        default_partition="synthetic", model_name="cnn",
+    ),
+    "cifar10": DatasetSpec(
+        "cifar10", "image", 10, image_size=32, channels=3, noise=0.75,
+        paper_train_size=50000, paper_test_size=10000,
+        paper_rounds=200, paper_local_steps=1000,
+        default_partition="synthetic", model_name="cnn",
+    ),
+    "cifar100": DatasetSpec(
+        "cifar100", "image", 100, image_size=32, channels=3, noise=0.85,
+        paper_train_size=50000, paper_test_size=10000,
+        paper_rounds=200, paper_local_steps=200,
+        default_partition="dirichlet", default_phi=0.5, model_name="resnet18",
+    ),
+    "adult": DatasetSpec(
+        "adult", "tabular", 2, num_features=14,
+        paper_train_size=32561, paper_test_size=16281,
+        paper_rounds=50, paper_local_steps=100,
+        default_partition="dirichlet", default_phi=0.5, model_name="mlp",
+    ),
+    "shakespeare": DatasetSpec(
+        "shakespeare", "text", SHAKESPEARE_VOCAB,
+        paper_train_size=448340, paper_test_size=70657,
+        paper_rounds=50, paper_local_steps=200,
+        default_partition="natural", model_name="lstm",
+    ),
+}
+
+
+@dataclass
+class FederatedDataBundle:
+    """A loaded dataset plus everything needed to federate it."""
+
+    spec: DatasetSpec
+    train: TensorDataset
+    test: TensorDataset
+    sample_groups: Optional[np.ndarray] = None  # natural-partition group ids
+
+    def make_partitioner(self, override: str | None = None, phi: float | None = None) -> Partitioner:
+        kind = override or self.spec.default_partition
+        if kind == "natural":
+            if self.sample_groups is None:
+                raise ValueError(f"{self.spec.name} has no natural groups")
+            return NaturalPartitioner(self.sample_groups)
+        return self.spec.make_partitioner(override=kind, phi=phi)
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registered dataset names (the paper's Table IV rows)."""
+    return tuple(REGISTRY)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(REGISTRY)}") from None
+
+
+def load_dataset(
+    name: str,
+    train_size: int = 2000,
+    test_size: int = 500,
+    seed: int = 0,
+) -> FederatedDataBundle:
+    """Generate the synthetic stand-in for a paper dataset.
+
+    ``train_size``/``test_size`` default to CPU-friendly scales; pass the
+    spec's ``paper_train_size``/``paper_test_size`` to reproduce at paper
+    scale (slow on one core).
+    """
+    spec = get_spec(name)
+    rng = np.random.default_rng(seed)
+    total = train_size + test_size
+    # Train and test must come from the SAME generative draw (identical
+    # class prototypes / feature mixing / speaker chains), so one joint
+    # dataset is generated and split.
+    if spec.kind == "image":
+        joint = make_image_classification(
+            total, spec.num_classes, spec.image_size, spec.channels, spec.noise, rng
+        )
+        train, test = _split(joint, train_size, rng)
+        return FederatedDataBundle(spec, train, test)
+    if spec.kind == "tabular":
+        joint = make_tabular_classification(total, spec.num_features, rng)
+        train, test = _split(joint, train_size, rng)
+        return FederatedDataBundle(spec, train, test)
+    if spec.kind == "text":
+        speakers = min(SHAKESPEARE_SPEAKERS, max(2, train_size // 40))
+        corpus = make_character_corpus(total, speakers, SHAKESPEARE_VOCAB, SEQ_LEN, rng)
+        order = rng.permutation(total)
+        train_idx, test_idx = order[:train_size], order[train_size:]
+        joint = corpus.as_dataset()
+        return FederatedDataBundle(
+            spec,
+            joint.subset(train_idx),
+            joint.subset(test_idx),
+            sample_groups=corpus.speakers[train_idx],
+        )
+    raise ValueError(f"unknown dataset kind {spec.kind!r}")
+
+
+def _split(dataset, train_size: int, rng: np.random.Generator):
+    order = rng.permutation(len(dataset))
+    return dataset.subset(order[:train_size]), dataset.subset(order[train_size:])

@@ -1,0 +1,86 @@
+"""Input transforms for image training pipelines.
+
+Standard federated image training applies light augmentation on the client
+(the paper's CNN/ResNet baselines follow the usual CIFAR recipe).  These
+transforms operate on NCHW numpy batches and take explicit generators so
+client-side augmentation stays reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def normalize(mean: float, std: float) -> Transform:
+    """Shift-scale pixels: (x - mean) / std."""
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - mean) / std
+
+    return apply
+
+
+def random_horizontal_flip(probability: float = 0.5) -> Transform:
+    """Flip each image left-right with the given probability."""
+    if not 0 <= probability <= 1:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = batch.copy()
+        flips = rng.random(len(batch)) < probability
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def random_crop(padding: int = 2) -> Transform:
+    """Pad reflectively then crop back at a random offset (CIFAR recipe)."""
+    if padding < 0:
+        raise ValueError(f"padding must be non-negative, got {padding}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if padding == 0:
+            return batch.copy()
+        _, _, height, width = batch.shape
+        padded = np.pad(
+            batch, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="reflect"
+        )
+        out = np.empty_like(batch)
+        for i in range(len(batch)):
+            top = rng.integers(0, 2 * padding + 1)
+            left = rng.integers(0, 2 * padding + 1)
+            out[i] = padded[i, :, top : top + height, left : left + width]
+        return out
+
+    return apply
+
+
+def gaussian_noise(std: float = 0.05) -> Transform:
+    """Additive pixel noise (a cheap regulariser)."""
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if std == 0:
+            return batch.copy()
+        return batch + rng.normal(scale=std, size=batch.shape)
+
+    return apply
+
+
+def compose(*transforms: Transform) -> Transform:
+    """Chain transforms left to right."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transforms:
+            batch = transform(batch, rng)
+        return batch
+
+    return apply

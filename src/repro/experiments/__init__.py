@@ -1,0 +1,49 @@
+"""Experiment modules — one per table/figure in the paper's evaluation.
+
+| Paper artifact | Module |
+|---|---|
+| Figs. 1/3  | :mod:`repro.experiments.fig1_geometry` |
+| Table I    | :mod:`repro.experiments.table1_compute_time` |
+| Fig. 2     | :mod:`repro.experiments.fig2_reevaluation` |
+| Table II   | :mod:`repro.experiments.table2_alpha_groups` |
+| Table III  | :mod:`repro.experiments.table3_comparison` |
+| Table V    | :mod:`repro.experiments.table5_round_to_accuracy` |
+| Fig. 4     | :mod:`repro.experiments.fig4_time_to_accuracy` |
+| Fig. 5     | :mod:`repro.experiments.fig5_per_round_time` |
+| Fig. 6     | :mod:`repro.experiments.fig6_hybrid_gain` |
+| Table VI   | :mod:`repro.experiments.table6_ablation` |
+| Table VII  | :mod:`repro.experiments.table7_scalability` |
+| Table VIII | :mod:`repro.experiments.table8_freeloader_sensitivity` |
+| Fig. 7     | :mod:`repro.experiments.fig7_gamma_sensitivity` |
+| §IV-B      | :mod:`repro.experiments.theory_overcorrection` |
+"""
+
+from .config import (
+    DEFAULT_TARGETS,
+    ExperimentConfig,
+    default_config_for,
+    paper_scale_config,
+    target_for,
+)
+from .runner import (
+    Environment,
+    build_environment,
+    make_clients,
+    make_experiment_strategy,
+    run_algorithm,
+    run_suite,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config_for",
+    "paper_scale_config",
+    "target_for",
+    "DEFAULT_TARGETS",
+    "Environment",
+    "build_environment",
+    "make_clients",
+    "make_experiment_strategy",
+    "run_algorithm",
+    "run_suite",
+]

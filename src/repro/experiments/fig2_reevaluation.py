@@ -1,0 +1,70 @@
+"""Fig. 2 — re-evaluation: round-to-accuracy and time-to-accuracy curves.
+
+Reproduces the Section III re-evaluation on FMNIST and SVHN: accuracy vs
+communication round (Figs. 2a/2b) and accuracy vs cumulative client compute
+time (Figs. 2c/2d) for the six prior algorithms plus TACO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..algorithms import BASELINES
+from ..analysis import plot_series
+from ..fl import SimulationResult
+from .config import ExperimentConfig, target_for
+from .runner import run_suite
+
+ALGORITHMS = BASELINES + ("taco",)
+
+
+@dataclass
+class ReevaluationResult:
+    dataset: str
+    target_accuracy: float
+    results: Dict[str, SimulationResult]
+
+    @property
+    def accuracy_curves(self) -> Dict[str, np.ndarray]:
+        return {name: res.history.accuracies for name, res in self.results.items()}
+
+    @property
+    def time_curves(self) -> Dict[str, np.ndarray]:
+        return {name: res.history.cumulative_times for name, res in self.results.items()}
+
+    def rounds_to_target(self) -> Dict[str, int | None]:
+        return {
+            name: res.history.rounds_to_accuracy(self.target_accuracy)
+            for name, res in self.results.items()
+        }
+
+    def time_to_target(self) -> Dict[str, float | None]:
+        return {
+            name: res.history.time_to_accuracy(self.target_accuracy)
+            for name, res in self.results.items()
+        }
+
+    def render(self) -> str:
+        round_plot = plot_series(
+            {name: curve for name, curve in self.accuracy_curves.items()},
+            title=f"Fig. 2 analogue — {self.dataset}: accuracy vs round",
+            y_label="round",
+        )
+        return round_plot
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> ReevaluationResult:
+    """Run the Fig. 2 re-evaluation on one dataset and return the curves."""
+    config = config or ExperimentConfig(dataset="fmnist")
+    results = run_suite(config, algorithms)
+    return ReevaluationResult(
+        dataset=config.dataset,
+        target_accuracy=target_for(config),
+        results=results,
+    )

@@ -1,0 +1,61 @@
+"""Fig. 4 — cumulative client compute time to reach the target accuracy.
+
+Sums the slowest-client simulated local compute time per round until each
+algorithm first reaches the target; algorithms that never reach it are
+marked timeout ("o") and convergence failures "x", matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..algorithms import BASELINES
+from ..analysis import render_table, speedup_versus, summarise_runs
+from ..analysis.efficiency import EfficiencyRow
+from .config import ExperimentConfig, target_for
+from .runner import run_suite
+
+ALGORITHMS = BASELINES + ("taco",)
+
+
+@dataclass
+class TimeToAccuracyResult:
+    dataset: str
+    target_accuracy: float
+    rows: Dict[str, EfficiencyRow]
+
+    def time_savings_vs_fedavg(self) -> Dict[str, float]:
+        return speedup_versus(self.rows, "fedavg")
+
+    def render(self) -> str:
+        return render_table(
+            ["algorithm", "time to target", "total time (s)", "final acc (%)"],
+            [
+                [
+                    name,
+                    row.time_label(),
+                    f"{row.total_time:.2f}",
+                    f"{100 * row.final_accuracy:.2f}",
+                ]
+                for name, row in self.rows.items()
+            ],
+            title=f"Fig. 4 analogue — {self.dataset}, target {100 * self.target_accuracy:.0f}%",
+        )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+    target_accuracy: Optional[float] = None,
+) -> TimeToAccuracyResult:
+    """Run Fig. 4: time-to-target summary per algorithm."""
+    config = config or ExperimentConfig(dataset="fmnist")
+    target = target_accuracy if target_accuracy is not None else target_for(config)
+    results = run_suite(config, algorithms)
+    rows = summarise_runs(
+        {name: res.history for name, res in results.items()},
+        target,
+        diverged={name: res.diverged for name, res in results.items()},
+    )
+    return TimeToAccuracyResult(dataset=config.dataset, target_accuracy=target, rows=rows)

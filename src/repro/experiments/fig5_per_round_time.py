@@ -1,0 +1,55 @@
+"""Fig. 5 — per-round local computation time per algorithm.
+
+Records the slowest participating client's simulated compute time for every
+round of a run (the paper plots these as box/median bars).  The headline
+shape: STEM highest, FedProx/FedACG/Scaffold elevated, FedAvg/FoolsGold
+lowest, TACO marginally above FedAvg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..algorithms import BASELINES
+from ..analysis import render_table
+from .config import ExperimentConfig
+from .runner import run_suite
+
+ALGORITHMS = BASELINES + ("taco",)
+
+
+@dataclass
+class PerRoundTimeResult:
+    dataset: str
+    round_times: Dict[str, np.ndarray]
+
+    def medians(self) -> Dict[str, float]:
+        return {name: float(np.median(times)) for name, times in self.round_times.items()}
+
+    def render(self) -> str:
+        medians = self.medians()
+        base = medians["fedavg"]
+        return render_table(
+            ["algorithm", "median s/round", "vs fedavg"],
+            [
+                [name, f"{median:.4f}", f"{100 * (median / base - 1):+.1f}%"]
+                for name, median in medians.items()
+            ],
+            title=f"Fig. 5 analogue — per-round local compute time, {self.dataset}",
+        )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> PerRoundTimeResult:
+    """Run Fig. 5: per-round local compute-time distributions."""
+    config = config or ExperimentConfig(dataset="fmnist")
+    results = run_suite(config, algorithms)
+    return PerRoundTimeResult(
+        dataset=config.dataset,
+        round_times={name: res.history.round_times for name, res in results.items()},
+    )

@@ -1,0 +1,103 @@
+"""Table V — round-to-accuracy across datasets.
+
+For each dataset: final test accuracy (mean ± std over seeds) after T
+rounds, plus rounds-to-target with the paper's conventions (count, "T+"
+when never reached, "x" on convergence failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms import BASELINES
+from ..analysis import render_mean_std, render_table
+from .config import ExperimentConfig, default_config_for, target_for
+from .runner import run_algorithm
+
+ALGORITHMS = BASELINES + ("taco",)
+DEFAULT_DATASETS = ("adult", "fmnist", "svhn", "cifar10", "cifar100", "shakespeare")
+
+
+@dataclass
+class AccuracyCell:
+    mean_accuracy: float
+    std_accuracy: float
+    rounds_to_target: Optional[int]
+    diverged: bool
+
+    def rounds_label(self, total_rounds: int) -> str:
+        if self.diverged:
+            return "x"
+        if self.rounds_to_target is None:
+            return f"{total_rounds}+"
+        return str(self.rounds_to_target)
+
+
+@dataclass
+class RoundToAccuracyResult:
+    configs: Dict[str, ExperimentConfig]
+    targets: Dict[str, float]
+    cells: Dict[str, Dict[str, AccuracyCell]]  # dataset -> algorithm -> cell
+
+    def best_algorithm(self, dataset: str) -> str:
+        table = self.cells[dataset]
+        return max(table, key=lambda name: table[name].mean_accuracy)
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, table in self.cells.items():
+            total_rounds = self.configs[dataset].rounds
+            rows = [
+                [
+                    name,
+                    render_mean_std(cell.mean_accuracy, cell.std_accuracy),
+                    cell.rounds_label(total_rounds),
+                ]
+                for name, cell in table.items()
+            ]
+            blocks.append(
+                render_table(
+                    ["algorithm", "acc (%)", f"rounds to {100 * self.targets[dataset]:.0f}%"],
+                    rows,
+                    title=f"Table V analogue — {dataset} ({total_rounds} rounds)",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seeds: Sequence[int] = (0,),
+    base_config: ExperimentConfig | None = None,
+) -> RoundToAccuracyResult:
+    """Run the Table V grid. ``seeds`` > 1 produces the ±std columns."""
+    configs: Dict[str, ExperimentConfig] = {}
+    targets: Dict[str, float] = {}
+    cells: Dict[str, Dict[str, AccuracyCell]] = {}
+    for dataset in datasets:
+        config = default_config_for(dataset, base_config)
+        configs[dataset] = config
+        targets[dataset] = target_for(config)
+        cells[dataset] = {}
+        for name in algorithms:
+            finals: List[float] = []
+            rounds_hits: List[Optional[int]] = []
+            diverged = False
+            for seed in seeds:
+                seeded = config.with_overrides(seed=seed)
+                result = run_algorithm(seeded, name)
+                finals.append(result.final_accuracy)
+                rounds_hits.append(result.history.rounds_to_accuracy(targets[dataset]))
+                diverged = diverged or result.diverged
+            reached = [r for r in rounds_hits if r is not None]
+            cells[dataset][name] = AccuracyCell(
+                mean_accuracy=float(np.mean(finals)),
+                std_accuracy=float(np.std(finals)),
+                rounds_to_target=int(np.median(reached)) if len(reached) == len(rounds_hits) else None,
+                diverged=diverged,
+            )
+    return RoundToAccuracyResult(configs=configs, targets=targets, cells=cells)

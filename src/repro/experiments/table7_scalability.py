@@ -1,0 +1,62 @@
+"""Table VII — scalability: many-client comparison.
+
+The paper runs 100 clients with full participation on adult, FEMNIST and
+CIFAR-100.  The client count is configurable (the CPU-scaled default uses
+fewer, paper-scale passes 100) — the claim under test is that TACO's lead
+holds or grows as the federation gets larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..algorithms import BASELINES
+from ..analysis import render_table
+from .config import ExperimentConfig, default_config_for
+from .runner import run_algorithm
+
+ALGORITHMS = BASELINES + ("taco",)
+DEFAULT_DATASETS = ("adult", "femnist", "cifar100")
+
+
+@dataclass
+class ScalabilityResult:
+    num_clients: int
+    accuracies: Dict[str, Dict[str, float]]  # dataset -> algorithm -> acc
+
+    def best_algorithm(self, dataset: str) -> str:
+        table = self.accuracies[dataset]
+        return max(table, key=table.get)
+
+    def render(self) -> str:
+        datasets = list(self.accuracies)
+        algorithms = list(next(iter(self.accuracies.values())))
+        rows = [
+            [name] + [f"{100 * self.accuracies[d][name]:.2f}%" for d in datasets]
+            for name in algorithms
+        ]
+        return render_table(
+            ["algorithm"] + list(datasets),
+            rows,
+            title=f"Table VII analogue — {self.num_clients}-client scalability",
+        )
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    num_clients: int = 40,
+    base_config: ExperimentConfig | None = None,
+) -> ScalabilityResult:
+    """Run Table VII: the many-client comparison grid."""
+    accuracies: Dict[str, Dict[str, float]] = {}
+    for dataset in datasets:
+        config = default_config_for(dataset, base_config).with_overrides(
+            num_clients=num_clients
+        )
+        accuracies[dataset] = {}
+        for name in algorithms:
+            result = run_algorithm(config, name)
+            accuracies[dataset][name] = result.final_accuracy
+    return ScalabilityResult(num_clients=num_clients, accuracies=accuracies)

@@ -1,0 +1,76 @@
+"""Table VIII — sensitivity of the freeloader-detection thresholds.
+
+Sweeps kappa (the per-round suspicion threshold, Eq. 10) and lambda (the
+strike count before expulsion) on an FMNIST run with 40% freeloaders, and
+reports TPR/FPR for every cell.  The paper's shape: TPR = 100% / FPR = 0%
+across a wide mid-band (kappa in [0.6, 0.8]); kappa = 1.0 detects nothing;
+small kappa with small lambda misjudges benign clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..analysis import render_table
+from ..attacks import DetectionReport, evaluate_detection
+from .config import ExperimentConfig
+from .runner import build_environment, run_algorithm
+
+DEFAULT_KAPPAS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+DEFAULT_LAMBDA_FRACTIONS = (10, 5, 2)  # lambda = T/10, T/5, T/2
+
+
+@dataclass
+class FreeloaderSensitivityResult:
+    dataset: str
+    rounds: int
+    reports: Dict[Tuple[float, int], DetectionReport]  # (kappa, lambda) -> report
+
+    def report(self, kappa: float, lam: int) -> DetectionReport:
+        return self.reports[(kappa, lam)]
+
+    def render(self) -> str:
+        lambdas = sorted({lam for _, lam in self.reports})
+        headers = ["kappa"] + [f"lam={lam} TPR/FPR" for lam in lambdas]
+        kappas = sorted({kappa for kappa, _ in self.reports})
+        rows = []
+        for kappa in kappas:
+            cells = [f"{kappa}"]
+            for lam in lambdas:
+                report = self.reports[(kappa, lam)]
+                cells.append(
+                    f"{100 * report.true_positive_rate:.0f}%/{100 * report.false_positive_rate:.1f}%"
+                )
+            rows.append(cells)
+        return render_table(
+            headers, rows, title=f"Table VIII analogue — detection sensitivity, {self.dataset}"
+        )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    kappas: Sequence[float] = DEFAULT_KAPPAS,
+    lambda_fractions: Sequence[int] = DEFAULT_LAMBDA_FRACTIONS,
+) -> FreeloaderSensitivityResult:
+    """Run Table VIII: the kappa x lambda detection grid."""
+    config = config or ExperimentConfig(dataset="fmnist", num_freeloaders=8)
+    if config.num_freeloaders == 0:
+        raise ValueError("Table VIII requires freeloaders (the paper uses 8 of 20)")
+    env = build_environment(config)
+    all_clients = list(range(config.num_clients))
+
+    reports: Dict[Tuple[float, int], DetectionReport] = {}
+    for kappa in kappas:
+        for fraction in lambda_fractions:
+            lam = max(1, config.rounds // fraction)
+            result = run_algorithm(
+                config, "taco", kappa=kappa, expulsion_limit=lam
+            )
+            detected = set(result.history.expelled_clients)
+            reports[(kappa, lam)] = evaluate_detection(
+                detected, env.freeloader_ids, all_clients
+            )
+    return FreeloaderSensitivityResult(
+        dataset=config.dataset, rounds=config.rounds, reports=reports
+    )

@@ -1,0 +1,39 @@
+"""Federated-learning core: clients, server, simulation, timing, metrics."""
+
+from .checkpoint import load_history, load_model, save_history, save_model
+from .client import Client
+from .history import RoundRecord, TrainingHistory
+from .metrics import evaluate, instability, rounds_to_target, time_to_target
+from .sampling import AvailabilitySampling, FullParticipation, UniformSampling
+from .server import Server
+from .simulation import FederatedSimulation, SimulationResult
+from .state import ClientUpdate, ServerState, cosine_similarity, weighted_average
+from .timing import DEFAULT_UNIT_COSTS, ComputeProfile, CostModel, sample_speed_factors
+
+__all__ = [
+    "Client",
+    "save_model",
+    "load_model",
+    "save_history",
+    "load_history",
+    "Server",
+    "FederatedSimulation",
+    "SimulationResult",
+    "TrainingHistory",
+    "RoundRecord",
+    "ClientUpdate",
+    "ServerState",
+    "cosine_similarity",
+    "weighted_average",
+    "ComputeProfile",
+    "CostModel",
+    "DEFAULT_UNIT_COSTS",
+    "sample_speed_factors",
+    "FullParticipation",
+    "UniformSampling",
+    "AvailabilitySampling",
+    "evaluate",
+    "instability",
+    "rounds_to_target",
+    "time_to_target",
+]

@@ -1,0 +1,79 @@
+"""Checkpointing: persist and restore models and training runs.
+
+Long federated runs (the paper's T = 200, K = 1000 settings) need restart
+capability.  Checkpoints are plain ``.npz`` archives (model parameters +
+buffers) and ``.json`` metadata (round, history), so they stay portable and
+diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from ..nn.module import Module
+from .history import RoundRecord, TrainingHistory
+
+
+def save_model(model: Module, path: str | Path) -> None:
+    """Persist a model's parameters and buffers to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    np.savez(path, **{key.replace("/", "_"): value for key, value in state.items()})
+
+
+def load_model(model: Module, path: str | Path) -> Module:
+    """Restore parameters and buffers saved by :func:`save_model`."""
+    archive = np.load(Path(path))
+    state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model
+
+
+def save_history(history: TrainingHistory, path: str | Path) -> None:
+    """Persist a :class:`TrainingHistory` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = []
+    for record in history.records:
+        records.append(
+            {
+                "round": record.round,
+                "test_accuracy": record.test_accuracy,
+                "test_loss": record.test_loss,
+                "round_sim_time": record.round_sim_time,
+                "cumulative_sim_time": record.cumulative_sim_time,
+                "round_wall_time": record.round_wall_time,
+                "participating": list(record.participating),
+                "alphas": {str(k): v for k, v in record.alphas.items()},
+                "expelled": list(record.expelled),
+                "update_norms": {str(k): v for k, v in record.update_norms.items()},
+            }
+        )
+    path.write_text(json.dumps({"records": records}, indent=2))
+
+
+def load_history(path: str | Path) -> TrainingHistory:
+    """Restore a history saved by :func:`save_history`."""
+    payload = json.loads(Path(path).read_text())
+    history = TrainingHistory()
+    for item in payload["records"]:
+        history.append(
+            RoundRecord(
+                round=item["round"],
+                test_accuracy=item["test_accuracy"],
+                test_loss=item["test_loss"],
+                round_sim_time=item["round_sim_time"],
+                cumulative_sim_time=item["cumulative_sim_time"],
+                round_wall_time=item["round_wall_time"],
+                participating=list(item["participating"]),
+                alphas={int(k): v for k, v in item["alphas"].items()},
+                expelled=list(item["expelled"]),
+                update_norms={int(k): v for k, v in item["update_norms"].items()},
+            )
+        )
+    return history

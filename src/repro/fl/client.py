@@ -1,0 +1,113 @@
+"""FL client: runs K local SGD steps under a strategy's update rule.
+
+Clients share the caller's model instance (parameters are swapped in and out
+as flat vectors) so simulating 100 clients does not allocate 100 models —
+important on the single-core CPU budget this reproduction targets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+from ..data.dataset import TensorDataset
+from ..data.loader import BatchSampler
+from ..nn.module import Module
+from .state import ClientUpdate
+from .timing import CostModel
+
+
+class Client:
+    """A benign FL client with a local dataset.
+
+    Parameters
+    ----------
+    client_id:
+        Stable integer identity (used by stateful strategies).
+    dataset:
+        The client's local shard.
+    batch_size:
+        Mini-batch size ``s`` for local SGD.
+    speed_factor:
+        Relative compute slowness (1.0 = reference hardware); feeds the
+        simulated timing model.
+    rng:
+        Private generator for mini-batch sampling.
+    """
+
+    is_freeloader = False
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+    ) -> None:
+        self.client_id = client_id
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.speed_factor = speed_factor
+        self.sampler = BatchSampler(dataset, batch_size, rng)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def local_round(
+        self,
+        model: Module,
+        strategy,
+        global_params: np.ndarray,
+        payload: Dict[str, Any],
+        cost_model: CostModel,
+    ) -> ClientUpdate:
+        """Run K local steps from ``global_params`` and return Delta_i^t.
+
+        A strategy may supply ``payload["start_shift"]`` to begin local
+        training from an offset point (FedACG's momentum lookahead); the
+        uploaded delta is measured from that start, matching Eq. (5) with
+        w_{i,0}^t = the broadcast initialisation.
+        """
+        started = time.perf_counter()
+        start = global_params + payload.get("start_shift", 0.0)
+        params = start.copy()
+
+        for step in range(strategy.local_steps):
+            features, labels = self.sampler.sample()
+            features_t = Tensor(features)
+
+            def grad_fn(at_params: np.ndarray) -> np.ndarray:
+                model.load_vector(at_params)
+                model.zero_grad()
+                loss = cross_entropy(model(features_t), labels)
+                loss.backward()
+                return model.gradient_vector()
+
+            grad = grad_fn(params)
+            prox = strategy.prox_gradient(params, payload)
+            if prox is not None:
+                grad = grad + prox
+            direction = strategy.local_direction(
+                self.client_id, step, params, grad, grad_fn, payload
+            )
+            params = params - strategy.local_lr * direction
+
+        delta = start - params  # Eq. (5)
+        wall = time.perf_counter() - started
+        sim = cost_model.round_seconds(
+            strategy.compute_profile(), strategy.local_steps, self.speed_factor
+        )
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=delta,
+            num_samples=self.num_samples,
+            num_steps=strategy.local_steps,
+            sim_time=sim,
+            wall_time=wall,
+            extras=strategy.client_update_extras(self.client_id, payload),
+        )

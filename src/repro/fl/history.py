@@ -1,0 +1,101 @@
+"""Per-round training history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .metrics import instability, rounds_to_target, time_to_target
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about one communication round."""
+
+    round: int
+    test_accuracy: float
+    test_loss: float
+    round_sim_time: float  # slowest-client simulated local compute
+    cumulative_sim_time: float
+    round_wall_time: float  # measured seconds for the round
+    participating: List[int] = field(default_factory=list)
+    alphas: Dict[int, float] = field(default_factory=dict)  # TACO alpha_i^t
+    expelled: List[int] = field(default_factory=list)
+    update_norms: Dict[int, float] = field(default_factory=dict)
+
+
+class TrainingHistory:
+    """Accumulates round records and answers the paper's metric queries."""
+
+    def __init__(self) -> None:
+        self.records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Series accessors
+    # ------------------------------------------------------------------
+    @property
+    def accuracies(self) -> np.ndarray:
+        return np.array([r.test_accuracy for r in self.records])
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.test_loss for r in self.records])
+
+    @property
+    def cumulative_times(self) -> np.ndarray:
+        return np.array([r.cumulative_sim_time for r in self.records])
+
+    @property
+    def round_times(self) -> np.ndarray:
+        return np.array([r.round_sim_time for r in self.records])
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].test_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return float(self.accuracies.max())
+
+    @property
+    def expelled_clients(self) -> List[int]:
+        expelled: List[int] = []
+        for record in self.records:
+            expelled.extend(record.expelled)
+        return expelled
+
+    # ------------------------------------------------------------------
+    # Paper metrics
+    # ------------------------------------------------------------------
+    def rounds_to_accuracy(self, target: float) -> Optional[int]:
+        """Round-to-accuracy: first round reaching ``target`` (Table V)."""
+        return rounds_to_target(self.accuracies, target)
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Time-to-accuracy: cumulative compute time at ``target`` (Fig. 4)."""
+        return time_to_target(self.accuracies, self.cumulative_times, target)
+
+    def instability(self, window: int = 5) -> float:
+        return instability(self.accuracies, window=window)
+
+    def mean_alpha_by_client(self) -> Dict[int, float]:
+        """Average TACO correction coefficient per client (Table II)."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            for client, alpha in record.alphas.items():
+                sums[client] = sums.get(client, 0.0) + alpha
+                counts[client] = counts.get(client, 0) + 1
+        return {client: sums[client] / counts[client] for client in sums}

@@ -1,0 +1,62 @@
+"""Model evaluation and accuracy-target extraction."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad
+from ..data.dataset import TensorDataset
+from ..nn.module import Module
+
+
+def evaluate(model: Module, dataset: TensorDataset, batch_size: int = 256) -> Tuple[float, float]:
+    """Return ``(accuracy, mean loss)`` of the model on a dataset."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    was_training = model.training
+    model.eval()
+    correct = 0
+    loss_sum = 0.0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            features = dataset.features[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            logits = model(Tensor(features))
+            predictions = logits.data.argmax(axis=1)
+            correct += int((predictions == labels).sum())
+            loss_sum += cross_entropy(logits, labels).item() * len(labels)
+    if was_training:
+        model.train()
+    return correct / len(dataset), loss_sum / len(dataset)
+
+
+def rounds_to_target(accuracies: np.ndarray, target: float) -> Optional[int]:
+    """First (1-based) round index reaching ``target`` accuracy, else None."""
+    hits = np.flatnonzero(np.asarray(accuracies) >= target)
+    return int(hits[0]) + 1 if hits.size else None
+
+
+def time_to_target(
+    accuracies: np.ndarray, cumulative_times: np.ndarray, target: float
+) -> Optional[float]:
+    """Cumulative client compute time when ``target`` is first reached."""
+    hits = np.flatnonzero(np.asarray(accuracies) >= target)
+    if not hits.size:
+        return None
+    return float(np.asarray(cumulative_times)[hits[0]])
+
+
+def instability(accuracies: np.ndarray, window: int = 5) -> float:
+    """Mean rolling standard deviation of the accuracy curve.
+
+    The paper (Sections I, III-B) highlights that over-corrected methods show
+    greater accuracy instability across rounds; this scalar summarises it.
+    """
+    acc = np.asarray(accuracies, dtype=float)
+    if len(acc) < 2:
+        return 0.0
+    window = min(window, len(acc))
+    stds = [acc[i : i + window].std() for i in range(len(acc) - window + 1)]
+    return float(np.mean(stds))

@@ -1,0 +1,63 @@
+"""Client participation schemes.
+
+The paper uses full participation (20 or 100 clients); uniform subsampling
+is provided for partial-participation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class FullParticipation:
+    """Every active client participates every round (the paper's setting)."""
+
+    def select(self, active: Sequence[int], round_index: int, rng: np.random.Generator) -> List[int]:
+        return list(active)
+
+
+class UniformSampling:
+    """A uniform random fraction of active clients participates each round."""
+
+    def __init__(self, fraction: float) -> None:
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def select(self, active: Sequence[int], round_index: int, rng: np.random.Generator) -> List[int]:
+        count = max(1, round(self.fraction * len(active)))
+        chosen = rng.choice(len(active), size=min(count, len(active)), replace=False)
+        return sorted(active[i] for i in chosen)
+
+
+class AvailabilitySampling:
+    """Each client is independently available with its own probability.
+
+    Models heterogeneous, correlated-in-expectation client availability
+    (edge devices charging / on wifi), cf. Rodio et al. (2023) cited by the
+    paper.  If nobody is available in a round, one uniformly random client
+    is drafted so training never stalls.
+    """
+
+    def __init__(self, availability: dict[int, float] | float = 0.8) -> None:
+        if isinstance(availability, (int, float)):
+            if not 0 < availability <= 1:
+                raise ValueError(f"availability must be in (0, 1], got {availability}")
+        else:
+            for cid, prob in availability.items():
+                if not 0 < prob <= 1:
+                    raise ValueError(f"availability for client {cid} must be in (0, 1]")
+        self.availability = availability
+
+    def _prob(self, client_id: int) -> float:
+        if isinstance(self.availability, dict):
+            return self.availability.get(client_id, 1.0)
+        return float(self.availability)
+
+    def select(self, active: Sequence[int], round_index: int, rng: np.random.Generator) -> List[int]:
+        chosen = [cid for cid in active if rng.random() < self._prob(cid)]
+        if not chosen:
+            chosen = [active[int(rng.integers(len(active)))]]
+        return sorted(chosen)

@@ -1,0 +1,193 @@
+"""The federated-learning simulation driver.
+
+``FederatedSimulation`` wires clients, server, strategy, timing model and
+metrics into the training loop of Algorithm 1/2:
+
+1. broadcast w_t (+ algorithm payload) to the active clients,
+2. each client runs K local steps under the strategy's update rule,
+3. the server aggregates Delta_i^t via the strategy and steps w_{t+1},
+4. the slowest client's simulated compute time is charged to the round,
+5. the global model is evaluated on the test set.
+
+Freeloader clients (``repro.attacks``) plug in through the same Client
+interface; TACO's expulsion shows up via ``Strategy.active_clients``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import TensorDataset
+from ..nn.module import Module
+from .client import Client
+from .history import RoundRecord, TrainingHistory
+from .metrics import evaluate
+from .sampling import FullParticipation
+from .server import Server
+from .state import ClientUpdate
+from .timing import CostModel
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a full FL run."""
+
+    history: TrainingHistory
+    final_params: np.ndarray  # w_T
+    output_params: np.ndarray  # the algorithm's reported output (TACO: z_T)
+    final_accuracy: float
+    output_accuracy: float
+    diverged: bool
+
+
+class FederatedSimulation:
+    """Run one FL training job.
+
+    Parameters
+    ----------
+    model:
+        The shared architecture; its initial parameters become w_0.
+    clients:
+        Client objects (benign or freeloaders) with local shards.
+    strategy:
+        The FL algorithm (owns local correction + aggregation).
+    test_set:
+        Held-out data for the per-round global evaluation.
+    global_lr:
+        eta_g; defaults to the paper's K * eta_l when None.
+    cost_model:
+        Simulated timing model; a default CNN-scale model when None.
+    eval_every:
+        Evaluate the global model every this many rounds (1 = every round).
+    transport:
+        Optional :class:`repro.comm.Transport` applied to client uploads
+        (compression + traffic accounting) before aggregation.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        clients: Sequence[Client],
+        strategy,
+        test_set: TensorDataset,
+        global_lr: Optional[float] = None,
+        cost_model: Optional[CostModel] = None,
+        participation=None,
+        eval_every: int = 1,
+        seed: int = 0,
+        transport=None,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.model = model
+        self.clients = {client.client_id: client for client in clients}
+        if len(self.clients) != len(clients):
+            raise ValueError("client ids must be unique")
+        self.strategy = strategy
+        self.test_set = test_set
+        self.global_lr = global_lr if global_lr is not None else strategy.local_steps * strategy.local_lr
+        self.cost_model = cost_model or CostModel()
+        self.participation = participation or FullParticipation()
+        self.transport = transport
+        self.eval_every = max(1, eval_every)
+        self.rng = np.random.default_rng(seed)
+
+        self.server = Server(model.parameters_vector(), self.global_lr, len(clients))
+        self.history = TrainingHistory()
+        self._cumulative_sim_time = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, rounds: int) -> SimulationResult:
+        """Train for ``rounds`` communication rounds."""
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        self.strategy.reset()
+        diverged = False
+        for _ in range(rounds):
+            record = self.run_round()
+            if not np.isfinite(record.test_loss) or not np.isfinite(
+                self.server.state.global_params
+            ).all():
+                diverged = True
+                break
+
+        final_params = self.server.state.global_params.copy()
+        output_params = self.strategy.final_output(self.server.state).copy()
+        self.model.load_vector(final_params)
+        final_accuracy = self.history.final_accuracy if len(self.history) else 0.0
+        if np.isfinite(output_params).all():
+            self.model.load_vector(output_params)
+            output_accuracy, _ = evaluate(self.model, self.test_set)
+        else:
+            output_accuracy = 0.0
+        self.model.load_vector(final_params)
+        return SimulationResult(
+            history=self.history,
+            final_params=final_params,
+            output_params=output_params,
+            final_accuracy=final_accuracy,
+            output_accuracy=output_accuracy,
+            diverged=diverged,
+        )
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundRecord:
+        """Execute one communication round and record it."""
+        state = self.server.state
+        round_started = time.perf_counter()
+
+        previously_active = self.strategy.active_clients(state, sorted(self.clients))
+        participating = self.participation.select(previously_active, state.round, self.rng)
+        if not participating:
+            raise RuntimeError("no clients available to participate")
+
+        broadcast = self.strategy.broadcast(state)
+        global_params = state.global_params
+
+        updates: List[ClientUpdate] = []
+        for client_id in participating:
+            client = self.clients[client_id]
+            payload = self.strategy.client_payload(client_id, state, broadcast)
+            update = client.local_round(
+                self.model, self.strategy, global_params, payload, self.cost_model
+            )
+            updates.append(update)
+
+        if self.transport is not None:
+            updates = self.transport.process_round(updates)
+
+        round_index = state.round
+        self.server.run_aggregation(self.strategy, updates)
+
+        still_active = set(self.strategy.active_clients(self.server.state, sorted(self.clients)))
+        expelled = [cid for cid in participating if cid not in still_active]
+
+        round_sim = max(update.sim_time for update in updates)
+        self._cumulative_sim_time += round_sim
+
+        if (round_index + 1) % self.eval_every == 0 or not len(self.history):
+            self.model.load_vector(self.server.state.global_params)
+            accuracy, loss = evaluate(self.model, self.test_set)
+        else:
+            accuracy = self.history.records[-1].test_accuracy
+            loss = self.history.records[-1].test_loss
+
+        alphas = dict(getattr(self.strategy, "last_alphas", {}) or {})
+        record = RoundRecord(
+            round=round_index,
+            test_accuracy=accuracy,
+            test_loss=loss,
+            round_sim_time=round_sim,
+            cumulative_sim_time=self._cumulative_sim_time,
+            round_wall_time=time.perf_counter() - round_started,
+            participating=list(participating),
+            alphas=alphas,
+            expelled=expelled,
+            update_norms={u.client_id: u.delta_norm for u in updates},
+        )
+        self.history.append(record)
+        return record

@@ -1,0 +1,76 @@
+"""Shared state containers crossing the client/server boundary.
+
+Everything at this boundary is a flat float64 numpy vector (see DESIGN.md):
+``ServerState.global_params`` is the paper's w_t, ``ServerState.global_delta``
+is the aggregated global gradient Δ_t of Eq. (6)/(9), and
+``ClientUpdate.delta`` is the accumulated local gradient Δ_i^t of Eq. (5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ServerState:
+    """Mutable server-side state carried across communication rounds."""
+
+    global_params: np.ndarray  # w_t
+    round: int = 0
+    global_delta: Optional[np.ndarray] = None  # Δ_t (None before round 1)
+    prev_global_params: Optional[np.ndarray] = None  # w_{t-1}
+    num_clients: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dim(self) -> int:
+        return self.global_params.size
+
+    def advance(self, new_params: np.ndarray, new_delta: np.ndarray) -> None:
+        """Commit the aggregation result and move to the next round."""
+        self.prev_global_params = self.global_params
+        self.global_params = new_params
+        self.global_delta = new_delta
+        self.round += 1
+
+
+@dataclass
+class ClientUpdate:
+    """One client's contribution to a communication round."""
+
+    client_id: int
+    delta: np.ndarray  # Δ_i^t = w_{i,0}^t - w_{i,K}^t
+    num_samples: int
+    num_steps: int
+    sim_time: float  # simulated local computation seconds
+    wall_time: float = 0.0  # measured seconds (perf_counter)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delta_norm(self) -> float:
+        return float(np.linalg.norm(self.delta))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine between two vectors; 0.0 when either is (near) zero."""
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a < 1e-12 or norm_b < 1e-12:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def weighted_average(vectors: List[np.ndarray], weights: List[float]) -> np.ndarray:
+    """Weighted mean of flat vectors (weights normalised internally)."""
+    if not vectors:
+        raise ValueError("cannot average zero vectors")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError(f"weights must sum to a positive value, got {total}")
+    out = np.zeros_like(vectors[0])
+    for vector, weight in zip(vectors, weights):
+        out += (weight / total) * vector
+    return out

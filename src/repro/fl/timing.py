@@ -1,0 +1,109 @@
+"""Simulated computation-time model for time-to-accuracy evaluation.
+
+The paper's time-to-accuracy results (Table I, Table III, Figs. 2c/2d, 4, 5)
+are driven by how much *extra local computation* each algorithm imposes per
+local update step: FedProx and FedACG evaluate a proximal/regulariser term,
+Scaffold applies a control-variate correction, STEM computes a second
+mini-batch gradient, and TACO adds one scaled-vector addition.
+
+:class:`CostModel` converts a per-step :class:`ComputeProfile` into simulated
+seconds.  The default unit costs are calibrated so the per-algorithm
+*relative* overheads match the paper's Table I measurements on the CNN
+(+23.5% FedProx, +7.7% Scaffold, +40.9% STEM, +24.2% FedACG, ~+7% TACO);
+the real-time benchmarks validate the same ordering on this machine, since
+the extra work (e.g. STEM's second gradient) is genuinely performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+#: Default relative unit costs, calibrated against the paper's Table I.
+DEFAULT_UNIT_COSTS: Dict[str, float] = {
+    "grad": 1.0,  # one mini-batch forward+backward
+    "extra_grad": 0.41,  # STEM's second gradient (shares the forward graph)
+    "prox": 0.225,  # proximal/regulariser gradient over all parameters
+    "control_variate": 0.077,  # Scaffold's c_t - c_i^t addition + bookkeeping
+    "correction": 0.06,  # TACO's gamma(1-alpha_i)Delta_t addition
+    "momentum": 0.015,  # client-side momentum bookkeeping (FedACG lookahead)
+}
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Unit operations an algorithm performs in one local update step."""
+
+    grad: int = 1
+    extra_grad: int = 0
+    prox: int = 0
+    control_variate: int = 0
+    correction: int = 0
+    momentum: int = 0
+
+    def units(self) -> Dict[str, int]:
+        return {
+            "grad": self.grad,
+            "extra_grad": self.extra_grad,
+            "prox": self.prox,
+            "control_variate": self.control_variate,
+            "correction": self.correction,
+            "momentum": self.momentum,
+        }
+
+
+@dataclass
+class CostModel:
+    """Convert compute profiles into simulated seconds.
+
+    Parameters
+    ----------
+    base_step_seconds:
+        Simulated duration of one plain SGD step (one ``grad`` unit) on the
+        reference client.  The paper's Table I implies ~3.2ms/step for the
+        CNN on FMNIST; the default keeps that scale.
+    unit_costs:
+        Relative cost of each unit operation (``grad`` defines 1.0).
+    """
+
+    base_step_seconds: float = 0.0032
+    unit_costs: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_UNIT_COSTS))
+
+    def step_seconds(self, profile: ComputeProfile, speed_factor: float = 1.0) -> float:
+        """Simulated seconds for one local step on a client with the given speed."""
+        relative = sum(
+            self.unit_costs.get(unit, 0.0) * count for unit, count in profile.units().items()
+        )
+        return self.base_step_seconds * relative * speed_factor
+
+    def round_seconds(self, profile: ComputeProfile, num_steps: int, speed_factor: float = 1.0) -> float:
+        """Simulated seconds for a K-step local round."""
+        return self.step_seconds(profile, speed_factor) * num_steps
+
+    def relative_overhead(self, profile: ComputeProfile) -> float:
+        """Fractional extra time versus plain SGD (FedAvg), e.g. 0.235."""
+        baseline = self.step_seconds(ComputeProfile())
+        return self.step_seconds(profile) / baseline - 1.0
+
+    @classmethod
+    def scaled_for_model(cls, num_parameters: int, reference_parameters: int = 30_000) -> "CostModel":
+        """A cost model whose base step time scales with model size.
+
+        Useful for Table III, where the per-round overhead is reported for
+        ResNet-18 rather than the small CNN.
+        """
+        scale = max(num_parameters, 1) / reference_parameters
+        return cls(base_step_seconds=0.0032 * scale)
+
+
+def sample_speed_factors(num_clients: int, rng: np.random.Generator, spread: float = 0.3) -> np.ndarray:
+    """Per-client compute-speed multipliers in [1, 1+spread].
+
+    Clients at the edge are heterogeneous; the slowest client defines the
+    per-round time (Fig. 5 records exactly that maximum).
+    """
+    if spread < 0:
+        raise ValueError(f"spread must be non-negative, got {spread}")
+    return 1.0 + rng.random(num_clients) * spread

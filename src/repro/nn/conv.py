@@ -1,0 +1,50 @@
+"""2-D convolution layer (NCHW, square kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, conv2d
+from . import init
+from .module import Module, Parameter
+
+
+class Conv2d(Module):
+    """Convolution over ``(batch, channels, height, width)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in, rng=rng
+            )
+        )
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_channels,), fan_in=fan_in, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding})"
+        )

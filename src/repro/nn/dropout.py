@@ -1,0 +1,29 @@
+"""Dropout regularisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    Takes an explicit generator so training runs are reproducible.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,43 @@
+"""Embedding lookup layer for the character-level LSTM model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, is_grad_enabled
+from .module import Module, Parameter
+
+
+class Embedding(Module):
+    """Map integer token ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(scale=0.1, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.min(initial=0) < 0 or token_ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError("token id out of range for embedding table")
+        data = self.weight.data[token_ids]
+        weight = self.weight
+        table_shape = weight.shape
+
+        def backward(g: np.ndarray):
+            grad = np.zeros(table_shape, dtype=g.dtype)
+            np.add.at(grad, token_ids, g)
+            return (grad,)
+
+        requires = is_grad_enabled() and weight.requires_grad
+        out = Tensor(data, requires_grad=requires, _parents=(weight,) if requires else ())
+        if requires:
+            out._backward = backward
+        return out

@@ -1,0 +1,50 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer class targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target_t
+        return (diff * diff).mean()
+
+
+class L2Regularizer(Module):
+    """``(coefficient / 2) * ||w - anchor||^2`` over a module's parameters.
+
+    This is the proximal term used by FedProx (anchor = global model w_t) and
+    FedACG (anchor = w_t + m_t); see Algorithm 1 lines 4 in the paper.
+    """
+
+    def __init__(self, coefficient: float) -> None:
+        super().__init__()
+        self.coefficient = coefficient
+
+    def forward(self, module: Module, anchor: np.ndarray) -> Tensor:
+        total: Tensor | None = None
+        offset = 0
+        for param in module.parameters():
+            span = param.size
+            anchor_chunk = anchor[offset : offset + span].reshape(param.shape)
+            diff = param - Tensor(anchor_chunk)
+            term = (diff * diff).sum()
+            total = term if total is None else total + term
+            offset += span
+        if total is None:
+            return Tensor(0.0)
+        return total * (self.coefficient / 2.0)

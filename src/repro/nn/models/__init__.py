@@ -1,0 +1,8 @@
+"""Model architectures used in the paper's experiments."""
+
+from .char_lstm import CharLSTM
+from .cnn import PaperCNN
+from .mlp import MLP
+from .resnet import BasicBlock, ResNet18
+
+__all__ = ["MLP", "PaperCNN", "ResNet18", "BasicBlock", "CharLSTM"]

@@ -1,0 +1,43 @@
+"""Character-level LSTM for the Shakespeare next-character task (LEAF)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..embedding import Embedding
+from ..linear import Linear
+from ..module import Module
+from ..recurrent import LSTM
+
+
+class CharLSTM(Module):
+    """Embedding -> LSTM -> linear head predicting the next character.
+
+    Input is an integer array of shape ``(batch, seq_len)``; output logits
+    have shape ``(batch, vocab_size)`` for the character following the
+    sequence (the LEAF Shakespeare formulation).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int = 8,
+        hidden_size: int = 32,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        self.lstm = LSTM(embedding_dim, hidden_size, rng=rng)
+        self.head = Linear(hidden_size, vocab_size, rng=rng)
+        self.vocab_size = vocab_size
+        self.num_classes = vocab_size
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        if isinstance(token_ids, Tensor):
+            token_ids = token_ids.data
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        embedded = self.embedding(token_ids)
+        _, (h, _) = self.lstm(embedded)
+        return self.head(h)

@@ -1,0 +1,56 @@
+"""CNN used for the image datasets.
+
+The paper: "a CNN model with two 5x5 convolutional layers and three fully
+connected layers with ReLU activation" (following Li et al.'s non-IID
+benchmark).  The architecture adapts to the input resolution/channels of the
+dataset (28x28x1 for MNIST-family, 32x32x3 for SVHN/CIFAR).
+
+A ``width_multiplier`` below 1.0 shrinks the channel/hidden sizes for fast
+CPU tests while keeping the exact layer structure (and hence the same
+relative per-algorithm compute overheads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor, max_pool2d
+from ..conv import Conv2d
+from ..linear import Linear
+from ..module import Module
+
+
+class PaperCNN(Module):
+    """Two 5x5 conv layers + three fully-connected layers, ReLU throughout."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        image_size: int = 28,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        c1 = max(2, int(6 * width_multiplier))
+        c2 = max(2, int(16 * width_multiplier))
+        h1 = max(4, int(120 * width_multiplier))
+        h2 = max(4, int(84 * width_multiplier))
+
+        self.conv1 = Conv2d(in_channels, c1, kernel_size=5, padding=2, rng=rng)
+        self.conv2 = Conv2d(c1, c2, kernel_size=5, padding=2, rng=rng)
+        pooled = image_size // 4  # two 2x2 max-pools
+        self.flat_features = c2 * pooled * pooled
+        self.fc1 = Linear(self.flat_features, h1, rng=rng)
+        self.fc2 = Linear(h1, h2, rng=rng)
+        self.fc3 = Linear(h2, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = max_pool2d(self.conv1(x).relu(), 2)
+        x = max_pool2d(self.conv2(x).relu(), 2)
+        x = x.flatten(start_dim=1)
+        x = self.fc1(x).relu()
+        x = self.fc2(x).relu()
+        return self.fc3(x)

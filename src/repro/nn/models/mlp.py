@@ -1,0 +1,45 @@
+"""MLP used for the tabular ``adult`` dataset.
+
+The paper: "an MLP model with three hidden layers (32, 16, 8) to train on a
+tabular dataset (adult)".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..activations import ReLU
+from ..linear import Linear
+from ..module import Module, Sequential
+
+
+class MLP(Module):
+    """Multilayer perceptron with ReLU activations."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (32, 16, 8),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.flatten(start_dim=1)
+        return self.net(x)

@@ -1,0 +1,93 @@
+"""ResNet-18 (CIFAR-style stem) used for CIFAR-100 in the paper.
+
+The block structure matches He et al. (2016) with the 3x3-stem variant used
+for 32x32 inputs.  ``width_multiplier`` scales the channel widths and
+``blocks_per_stage`` can shrink the depth for CPU-budgeted tests; the default
+arguments give the standard [2, 2, 2, 2] ResNet-18.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..conv import Conv2d
+from ..linear import Linear
+from ..module import Module
+from ..normalization import BatchNorm2d
+from ..pooling import GlobalAvgPool2d
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity / 1x1-projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut_conv = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_channels)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+        else:
+            shortcut = x
+        return (out + shortcut).relu()
+
+
+class ResNet18(Module):
+    """ResNet-18 with a CIFAR stem (3x3 conv, no initial max-pool)."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 100,
+        width_multiplier: float = 1.0,
+        blocks_per_stage: Sequence[int] = (2, 2, 2, 2),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        widths = [max(4, int(w * width_multiplier)) for w in (64, 128, 256, 512)]
+        self.stem_conv = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+
+        self._blocks: list[BasicBlock] = []
+        in_c = widths[0]
+        block_index = 0
+        for stage, (width, count) in enumerate(zip(widths, blocks_per_stage)):
+            for block_in_stage in range(count):
+                stride = 2 if stage > 0 and block_in_stage == 0 else 1
+                block = BasicBlock(in_c, width, stride=stride, rng=rng)
+                setattr(self, f"block{block_index}", block)
+                self._blocks.append(block)
+                in_c = width
+                block_index += 1
+
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_c, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem_conv(x)).relu()
+        for block in self._blocks:
+            out = block(out)
+        out = self.pool(out)
+        return self.fc(out)

@@ -1,0 +1,209 @@
+"""Module/Parameter abstractions for the neural-network substrate.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+and supports the operations federated learning needs at the client/server
+boundary: flattening all parameters into a single numpy vector and loading
+such a vector back (see ``parameters_vector`` / ``load_vector``).  The
+parameter-vector view is what the FL algorithms in :mod:`repro.algorithms`
+operate on — it makes the code read like the paper's math over ``w``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor registered on a :class:`Module`."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration happens automatically via ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. batch-norm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield f"{prefix}{name}", self._buffers[name]
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # ------------------------------------------------------------------
+    # Train / eval
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradient utilities
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Flat-vector view (the FL boundary)
+    # ------------------------------------------------------------------
+    def parameters_vector(self) -> np.ndarray:
+        """Concatenate all parameters into a single float64 vector."""
+        if not self.parameters():
+            return np.zeros(0)
+        return np.concatenate([param.data.reshape(-1) for param in self.parameters()])
+
+    def gradient_vector(self) -> np.ndarray:
+        """Concatenate all parameter gradients (zeros where unset)."""
+        chunks = []
+        for param in self.parameters():
+            if param.grad is None:
+                chunks.append(np.zeros(param.size))
+            else:
+                chunks.append(param.grad.reshape(-1))
+        return np.concatenate(chunks) if chunks else np.zeros(0)
+
+    def load_vector(self, vector: np.ndarray) -> None:
+        """Load a flat parameter vector back into the structured parameters."""
+        expected = self.num_parameters()
+        if vector.size != expected:
+            raise ValueError(f"vector has {vector.size} entries, model needs {expected}")
+        offset = 0
+        for param in self.parameters():
+            span = param.size
+            param.data[...] = vector[offset : offset + span].reshape(param.shape)
+            offset += span
+
+    def add_to_gradients(self, vector: np.ndarray) -> None:
+        """Add a flat vector into the per-parameter gradients (creates them)."""
+        expected = self.num_parameters()
+        if vector.size != expected:
+            raise ValueError(f"vector has {vector.size} entries, model needs {expected}")
+        offset = 0
+        for param in self.parameters():
+            span = param.size
+            chunk = vector[offset : offset + span].reshape(param.shape)
+            if param.grad is None:
+                param.grad = chunk.copy()
+            else:
+                param.grad += chunk
+            offset += span
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buffer in self.named_buffers():
+            state[f"buffer:{name}"] = np.array(buffer, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("buffer:"):
+                self._load_buffer(name[len("buffer:") :], value)
+            else:
+                if name not in params:
+                    raise KeyError(f"unexpected parameter {name!r}")
+                params[name].data[...] = value
+        missing = set(params) - {k for k in state if not k.startswith("buffer:")}
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module._set_buffer(parts[-1], np.array(value, copy=True))
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+            self._layers.append(layer)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x

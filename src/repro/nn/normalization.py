@@ -1,0 +1,62 @@
+"""Normalisation layers.
+
+``BatchNorm2d`` keeps running statistics as buffers (excluded from the FL
+parameter vector is *not* done here — the paper's FedAvg-style methods
+synchronise all model state, and we follow that: gamma/beta are parameters,
+running stats are buffers carried on the global model only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            new_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
+            new_var = (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
+            self._set_buffer("running_mean", new_mean)
+            self._set_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalised = (x - mean) / (var + self.eps) ** 0.5
+        gamma = self.weight.reshape(1, self.num_features, 1, 1)
+        beta = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalised * gamma + beta
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalised = (x - mean) / (var + self.eps) ** 0.5
+        return normalised * self.weight + self.bias

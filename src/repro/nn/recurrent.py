@@ -1,0 +1,66 @@
+"""Recurrent layers (LSTM) for the Shakespeare next-character task."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concatenate
+from . import init
+from .module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused gate weights.
+
+    Gate ordering follows the torch convention: input, forget, cell, output.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.xavier_uniform((4 * hidden_size, input_size), input_size, hidden_size, rng)
+        )
+        self.weight_hh = Parameter(
+            init.xavier_uniform((4 * hidden_size, hidden_size), hidden_size, hidden_size, rng)
+        )
+        self.bias = Parameter(np.zeros(4 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        gates = x @ self.weight_ih.T + h @ self.weight_hh.T + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Multi-step LSTM over ``(batch, seq, features)`` inputs.
+
+    Returns the full hidden sequence and the final ``(h, c)`` state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        batch, seq_len, _ = x.shape
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        outputs = []
+        for step in range(seq_len):
+            h, c = self.cell(x[:, step, :], h, c)
+            outputs.append(h.reshape(batch, 1, self.hidden_size))
+        sequence = concatenate(outputs, axis=1)
+        return sequence, (h, c)

@@ -1,0 +1,6 @@
+"""Optimisers and learning-rate schedulers."""
+
+from .lr_scheduler import CosineAnnealingLR, InverseSqrtLR, LRScheduler, StepLR
+from .sgd import SGD
+
+__all__ = ["SGD", "LRScheduler", "StepLR", "CosineAnnealingLR", "InverseSqrtLR"]

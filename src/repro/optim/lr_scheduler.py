@@ -1,0 +1,76 @@
+"""Learning-rate schedulers for the SGD optimiser.
+
+Corollary 1's proof picks the learning rate as a function of T; in practice
+FL work either fixes eta_l (the paper's setting) or decays it.  These
+schedulers mutate ``optimizer.lr`` in place on :meth:`step`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .sgd import SGD
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per round/epoch."""
+
+    def __init__(self, optimizer: SGD) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> float:
+        self.step_count += 1
+        self.optimizer.lr = self.compute_lr(self.step_count)
+        return self.optimizer.lr
+
+    def compute_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: SGD, period: int, gamma: float = 0.1) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        super().__init__(optimizer)
+        self.period = period
+        self.gamma = gamma
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.period)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: SGD, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be non-negative, got {min_lr}")
+        super().__init__(optimizer)
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def compute_lr(self, step: int) -> float:
+        progress = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))
+
+
+class InverseSqrtLR(LRScheduler):
+    """eta_t = eta_0 / sqrt(1 + step / period) — the classic SGD decay used
+    in FL convergence analyses."""
+
+    def __init__(self, optimizer: SGD, period: int = 1) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        super().__init__(optimizer)
+        self.period = period
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr / math.sqrt(1.0 + step / self.period)

@@ -1,0 +1,43 @@
+"""Convergence-theory quantities from Section IV-B of the paper."""
+
+from .assumptions import (
+    ClientHeterogeneity,
+    estimate_client_heterogeneity,
+    estimate_gradient_bound,
+    estimate_smoothness,
+    full_gradient,
+)
+from .bounds import (
+    ErrorBoundTerms,
+    client_drift_epsilon,
+    convergence_rate_envelope,
+    error_bound_terms,
+    overcorrection_term,
+    uniform_vs_tailored_y,
+)
+from .corollaries import (
+    corollary2_gap,
+    lemma1_residual,
+    lemma2_residual,
+    model_output_z,
+    optimal_correction_factors,
+)
+
+__all__ = [
+    "ClientHeterogeneity",
+    "estimate_client_heterogeneity",
+    "estimate_gradient_bound",
+    "estimate_smoothness",
+    "full_gradient",
+    "overcorrection_term",
+    "ErrorBoundTerms",
+    "error_bound_terms",
+    "client_drift_epsilon",
+    "convergence_rate_envelope",
+    "uniform_vs_tailored_y",
+    "optimal_correction_factors",
+    "corollary2_gap",
+    "lemma1_residual",
+    "lemma2_residual",
+    "model_output_z",
+]

@@ -1,0 +1,106 @@
+"""Empirical estimators for the paper's Assumptions 1-3.
+
+- Assumption 1 (L-smoothness): :func:`estimate_smoothness` probes gradient
+  Lipschitz ratios ||grad f(w1) - grad f(w2)|| / ||w1 - w2|| over random
+  parameter pairs.
+- Assumption 2 (heterogeneous, bounded cosine similarity): per client,
+  mu_i bounds (grad f)^T E[Delta_i] / ||grad f||^2 and c_i lower-bounds
+  cos(grad f, E[Delta_i]).  :func:`estimate_client_heterogeneity` measures
+  both from a round of local updates — these are the per-client non-IID
+  descriptors Corollary 2 builds on.
+- Assumption 3 (bounded gradient): :func:`estimate_gradient_bound` records
+  the largest observed global gradient norm G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+from ..data.dataset import TensorDataset
+from ..fl.state import ClientUpdate, cosine_similarity
+from ..nn.module import Module
+
+
+def full_gradient(model: Module, dataset: TensorDataset, params: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    """Exact dataset gradient of the mean loss at ``params``."""
+    model.load_vector(params)
+    model.zero_grad()
+    total = np.zeros(model.num_parameters())
+    for start in range(0, len(dataset), batch_size):
+        features = dataset.features[start : start + batch_size]
+        labels = dataset.labels[start : start + batch_size]
+        model.zero_grad()
+        loss = cross_entropy(model(Tensor(features)), labels)
+        loss.backward()
+        total += model.gradient_vector() * (len(labels) / len(dataset))
+    return total
+
+
+def estimate_smoothness(
+    model: Module,
+    dataset: TensorDataset,
+    params: np.ndarray,
+    rng: np.random.Generator,
+    probes: int = 8,
+    radius: float = 0.1,
+) -> float:
+    """Estimate the Lipschitz constant L of the gradient (Assumption 1)."""
+    if probes <= 0:
+        raise ValueError("probes must be positive")
+    base_grad = full_gradient(model, dataset, params)
+    worst = 0.0
+    for _ in range(probes):
+        direction = rng.normal(size=params.size)
+        direction *= radius / np.linalg.norm(direction)
+        other = params + direction
+        other_grad = full_gradient(model, dataset, other)
+        ratio = np.linalg.norm(other_grad - base_grad) / np.linalg.norm(direction)
+        worst = max(worst, float(ratio))
+    return worst
+
+
+@dataclass(frozen=True)
+class ClientHeterogeneity:
+    """Assumption 2's per-client descriptors (mu_i, c_i)."""
+
+    client_id: int
+    mu: float
+    cosine: float
+
+    @property
+    def ratio(self) -> float:
+        """mu_i / c_i — the quantity Corollary 2 says (1 - alpha_i) should track."""
+        if self.cosine <= 1e-9:
+            return float("inf")
+        return self.mu / self.cosine
+
+
+def estimate_client_heterogeneity(
+    updates: Sequence[ClientUpdate],
+    true_gradient: np.ndarray,
+) -> Dict[int, ClientHeterogeneity]:
+    """Measure (mu_i, c_i) from one round's accumulated local gradients.
+
+    mu_i = (grad f)^T Delta_i / ||grad f||^2   (Eq. 11, tight version)
+    c_i  = cos(grad f, Delta_i)                (Eq. 12)
+    """
+    grad_norm_sq = float(np.dot(true_gradient, true_gradient))
+    if grad_norm_sq <= 1e-18:
+        raise ValueError("true gradient is numerically zero; cannot estimate heterogeneity")
+    out: Dict[int, ClientHeterogeneity] = {}
+    for update in updates:
+        mu = float(np.dot(true_gradient, update.delta)) / grad_norm_sq
+        cos = cosine_similarity(true_gradient, update.delta)
+        out[update.client_id] = ClientHeterogeneity(update.client_id, mu=mu, cosine=cos)
+    return out
+
+
+def estimate_gradient_bound(gradients: Sequence[np.ndarray]) -> float:
+    """Assumption 3's G: the largest observed global gradient norm."""
+    if not gradients:
+        raise ValueError("need at least one gradient sample")
+    return float(max(np.linalg.norm(g) for g in gradients))

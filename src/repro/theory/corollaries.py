@@ -1,0 +1,92 @@
+"""Corollary 2's optimal-coefficient characterisation and the Lemma checks.
+
+Corollary 2: subject to sum_i (1 - alpha_i^t) >= sigma, the Y_t-minimising
+coefficients satisfy (1 - alpha_i^t) proportional to mu_i / c_i — clients
+with larger local-gradient magnitude (mu_i) or lower alignment (c_i) need a
+larger correction factor.  :func:`optimal_correction_factors` computes the
+optimum, and :func:`corollary2_gap` scores how far a given coefficient
+assignment is from that proportionality (0 = optimal).
+
+Lemmas 1 and 2 are exact algebraic identities of TACO's update rules;
+:func:`lemma1_residual` / :func:`lemma2_residual` evaluate them on live
+simulation traces so tests can assert they hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from .assumptions import ClientHeterogeneity
+
+
+def optimal_correction_factors(
+    heterogeneity: Mapping[int, ClientHeterogeneity],
+    total_correction: float,
+) -> Dict[int, float]:
+    """Corollary 2's minimiser: (1 - alpha_i) = sigma * (mu_i/c_i) / sum_j (mu_j/c_j)."""
+    if total_correction <= 0:
+        raise ValueError("total correction budget must be positive")
+    ratios = {cid: min(max(h.ratio, 0.0), 1e6) for cid, h in heterogeneity.items()}
+    ratio_sum = sum(ratios.values())
+    if ratio_sum <= 0:
+        raise ValueError("all mu_i/c_i ratios are zero; no correction is needed")
+    return {cid: total_correction * ratio / ratio_sum for cid, ratio in ratios.items()}
+
+
+def corollary2_gap(
+    alphas: Mapping[int, float],
+    heterogeneity: Mapping[int, ClientHeterogeneity],
+) -> float:
+    """Normalised distance of (1 - alpha_i) from Corollary 2 proportionality.
+
+    Returns the L2 distance between the normalised correction-factor
+    distribution and the normalised mu_i/c_i distribution; 0 means the
+    assignment is exactly Corollary-2 optimal, and a uniform assignment on
+    heterogeneous clients scores strictly worse than the tailored one.
+    """
+    if set(alphas) != set(heterogeneity):
+        raise ValueError("alphas and heterogeneity must cover the same clients")
+    clients = sorted(alphas)
+    corrections = np.array([1.0 - alphas[cid] for cid in clients], dtype=float)
+    ratios = np.array([min(max(heterogeneity[cid].ratio, 0.0), 1e6) for cid in clients])
+    if corrections.sum() <= 0 or ratios.sum() <= 0:
+        raise ValueError("degenerate correction factors or ratios")
+    corrections /= corrections.sum()
+    ratios /= ratios.sum()
+    return float(np.linalg.norm(corrections - ratios))
+
+
+# ----------------------------------------------------------------------
+# Lemma identities
+# ----------------------------------------------------------------------
+def lemma1_residual(
+    delta_next: np.ndarray,
+    minibatch_avg: np.ndarray,
+    mean_alpha: float,
+    delta_prev: np.ndarray,
+) -> float:
+    """||Delta_{t+1} - (tilde Delta_t + (1 - alpha_t) Delta_t)|| (Lemma 1)."""
+    return float(
+        np.linalg.norm(delta_next - (minibatch_avg + (1.0 - mean_alpha) * delta_prev))
+    )
+
+
+def lemma2_residual(
+    z_next: np.ndarray,
+    z_curr: np.ndarray,
+    global_lr: float,
+    minibatch_avg: np.ndarray,
+) -> float:
+    """||z_{t+1} - (z_t - eta_g tilde Delta_t)|| (Lemma 2)."""
+    return float(np.linalg.norm(z_next - (z_curr - global_lr * minibatch_avg)))
+
+
+def model_output_z(
+    params: np.ndarray, prev_params: np.ndarray | None, mean_alpha: float
+) -> np.ndarray:
+    """Definition 2 / Eq. (15): z_t = w_t + (1 - alpha_t)(w_t - w_{t-1})."""
+    if prev_params is None:
+        return params.copy()
+    return params + (1.0 - mean_alpha) * (params - prev_params)

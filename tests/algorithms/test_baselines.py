@@ -1,0 +1,234 @@
+"""Unit tests for the six baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import STEM, FedACG, FedAvg, FedProx, FoolsGold, Scaffold
+from repro.fl.state import ClientUpdate, ServerState
+
+
+def update(cid, delta, samples=10, extras=None):
+    return ClientUpdate(
+        cid, np.asarray(delta, dtype=float), samples, 2, 0.1, extras=extras or {}
+    )
+
+
+class TestFedProx:
+    def test_prox_gradient_formula(self):
+        prox = FedProx(local_lr=0.1, local_steps=2, zeta=0.3)
+        anchor = np.zeros(3)
+        params = np.full(3, 2.0)
+        grad = prox.prox_gradient(params, {"anchor": anchor, "zeta": 0.3})
+        np.testing.assert_allclose(grad, 0.3 * params)
+
+    def test_payload_carries_anchor_and_zeta(self):
+        prox = FedProx(zeta=0.2)
+        state = ServerState(global_params=np.ones(3), num_clients=2)
+        payload = prox.client_payload(0, state, prox.broadcast(state))
+        np.testing.assert_allclose(payload["anchor"], np.ones(3))
+        assert payload["zeta"] == pytest.approx(0.2)
+
+    def test_zero_zeta_is_fedavg_local(self):
+        prox = FedProx(zeta=0.0)
+        grad = prox.prox_gradient(np.ones(2), {"anchor": np.zeros(2), "zeta": 0.0})
+        np.testing.assert_allclose(grad, np.zeros(2))
+
+    def test_negative_zeta_rejected(self):
+        with pytest.raises(ValueError):
+            FedProx(zeta=-0.1)
+
+    def test_profile_charges_prox(self):
+        assert FedProx().compute_profile().prox == 1
+
+    def test_uniform_zeta_across_clients(self):
+        """The over-correction premise: FedProx's coefficient is uniform."""
+        prox = FedProx(zeta=0.1)
+        state = ServerState(global_params=np.zeros(2), num_clients=3)
+        zetas = {prox.per_client_zeta(cid, state) for cid in range(5)}
+        assert zetas == {0.1}
+
+
+class TestFoolsGold:
+    def test_downweights_outlier(self):
+        fg = FoolsGold(local_lr=0.1, local_steps=2)
+        state = ServerState(global_params=np.zeros(2), num_clients=3)
+        updates = [
+            update(0, [1.0, 0.0]),
+            update(1, [1.0, 0.1]),
+            update(2, [1.0, -0.1]),
+            update(3, [-1.0, 0.0]),  # opposite the crowd
+        ]
+        fg.aggregate(state, updates)
+        weights = fg.last_weights
+        assert weights[3] < weights[0]
+        assert weights[3] == pytest.approx(FoolsGold.MIN_WEIGHT)
+
+    def test_equal_updates_equal_weights(self):
+        fg = FoolsGold(local_lr=0.1, local_steps=2)
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        updates = [update(0, [1.0, 1.0]), update(1, [1.0, 1.0])]
+        fg.aggregate(state, updates)
+        assert fg.last_weights[0] == pytest.approx(fg.last_weights[1])
+
+    def test_aggregate_scale_matches_fedavg_for_identical_updates(self):
+        fg = FoolsGold(local_lr=0.1, local_steps=5)
+        fa = FedAvg(local_lr=0.1, local_steps=5)
+        updates = [update(0, [2.0, 2.0]), update(1, [2.0, 2.0])]
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        np.testing.assert_allclose(
+            fg.aggregate(state, updates),
+            fa.aggregate(ServerState(global_params=np.zeros(2)), updates),
+        )
+
+    def test_no_local_correction_flag(self):
+        assert not FoolsGold().has_local_correction
+        assert FoolsGold().has_aggregation_correction
+
+
+class TestScaffold:
+    def test_first_round_controls_are_zero(self):
+        sc = Scaffold(local_lr=0.1, local_steps=2)
+        state = ServerState(global_params=np.zeros(3), num_clients=2)
+        payload = sc.client_payload(0, state, {})
+        np.testing.assert_allclose(payload["server_control"], np.zeros(3))
+        np.testing.assert_allclose(payload["client_control"], np.zeros(3))
+
+    def test_direction_adds_control_difference(self):
+        sc = Scaffold(local_lr=0.1, local_steps=2, alpha=1.0)
+        payload = {"server_control": np.full(2, 0.5), "client_control": np.full(2, 0.2)}
+        grad = np.ones(2)
+        direction = sc.local_direction(0, 0, np.zeros(2), grad, None, payload)
+        np.testing.assert_allclose(direction, grad + 0.3)
+
+    def test_alpha_scales_correction(self):
+        sc = Scaffold(local_lr=0.1, local_steps=2, alpha=0.5)
+        payload = {"server_control": np.ones(2), "client_control": np.zeros(2)}
+        direction = sc.local_direction(0, 0, np.zeros(2), np.zeros(2), None, payload)
+        np.testing.assert_allclose(direction, np.full(2, 0.5))
+
+    def test_control_variate_update_rule(self):
+        """c_i^{t+1} = c_i - c + Delta_i/(K eta_l); c updates by the mean shift."""
+        sc = Scaffold(local_lr=0.1, local_steps=5)
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        updates = [update(0, [1.0, 0.0]), update(1, [0.0, 1.0])]
+        sc.client_payload(0, state, {})
+        sc.client_payload(1, state, {})
+        sc.post_round(state, updates)
+        np.testing.assert_allclose(sc._client_controls[0], np.array([2.0, 0.0]))
+        np.testing.assert_allclose(sc._client_controls[1], np.array([0.0, 2.0]))
+        np.testing.assert_allclose(sc._server_control, np.array([1.0, 1.0]))
+
+    def test_controls_sum_property(self, rng):
+        """Server control equals the mean of client controls (full part.)."""
+        sc = Scaffold(local_lr=0.1, local_steps=3)
+        state = ServerState(global_params=np.zeros(4), num_clients=3)
+        for _ in range(4):
+            updates = [update(i, rng.normal(size=4)) for i in range(3)]
+            for cid in range(3):
+                sc.client_payload(cid, state, {})
+            sc.post_round(state, updates)
+        mean_control = np.mean([sc._client_controls[i] for i in range(3)], axis=0)
+        np.testing.assert_allclose(sc._server_control, mean_control, atol=1e-12)
+
+    def test_reset(self):
+        sc = Scaffold(local_lr=0.1, local_steps=2)
+        state = ServerState(global_params=np.zeros(2), num_clients=1)
+        sc.client_payload(0, state, {})
+        sc.post_round(state, [update(0, [1.0, 1.0])])
+        sc.reset()
+        assert sc._server_control is None
+        assert not sc._client_controls
+
+
+class TestSTEM:
+    def test_first_step_is_plain_gradient(self):
+        stem = STEM(local_lr=0.1, local_steps=3, alpha_t=0.2)
+        grad = np.array([1.0, 2.0])
+        direction = stem.local_direction(0, 0, np.zeros(2), grad, None, {})
+        np.testing.assert_allclose(direction, grad)
+
+    def test_momentum_recursion(self):
+        """v_k = g_k + (1 - alpha)(v_{k-1} - grad_at_prev_params)."""
+        stem = STEM(local_lr=0.1, local_steps=3, alpha_t=0.2)
+        g0 = np.array([1.0, 0.0])
+        stem.local_direction(0, 0, np.zeros(2), g0, None, {})
+
+        prev_grad = np.array([0.5, 0.5])
+        calls = []
+
+        def grad_fn(params):
+            calls.append(params.copy())
+            return prev_grad
+
+        g1 = np.array([0.0, 1.0])
+        direction = stem.local_direction(0, 1, np.ones(2), g1, grad_fn, {})
+        np.testing.assert_allclose(direction, g1 + 0.8 * (g0 - prev_grad))
+        assert len(calls) == 1  # the second gradient evaluation happened
+        np.testing.assert_allclose(calls[0], np.zeros(2))  # at previous params
+
+    def test_upload_includes_final_momentum(self):
+        stem = STEM(local_lr=0.1, local_steps=1, alpha_t=0.2)
+        grad = np.ones(2)
+        stem.local_direction(0, 0, np.zeros(2), grad, None, {})
+        extras = stem.client_update_extras(0, {})
+        np.testing.assert_allclose(extras["final_momentum"], grad)
+
+    def test_aggregate_folds_momentum(self):
+        stem = STEM(local_lr=0.1, local_steps=5, alpha_t=0.2)
+        state = ServerState(global_params=np.zeros(2), num_clients=1)
+        updates = [update(0, [1.0, 1.0], extras={"final_momentum": np.array([2.0, 2.0])})]
+        delta = stem.aggregate(state, updates)
+        expected = (np.array([1.0, 1.0]) + 0.1 * np.array([2.0, 2.0])) / (5 * 1 * 0.1)
+        np.testing.assert_allclose(delta, expected)
+
+    def test_profile_has_double_gradient(self):
+        profile = STEM().compute_profile()
+        assert profile.grad == 1
+        assert profile.extra_grad == 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            STEM(alpha_t=0.0)
+
+
+class TestFedACG:
+    def test_lookahead_broadcast(self):
+        acg = FedACG(local_lr=0.1, local_steps=2, momentum_decay=0.5)
+        state = ServerState(global_params=np.zeros(3), num_clients=1)
+        acg._momentum = np.full(3, 2.0)
+        broadcast = acg.broadcast(state)
+        np.testing.assert_allclose(broadcast["start_shift"], -np.ones(3))
+
+    def test_server_step_equals_average_end_model(self, rng):
+        """FedACG's invariant: w_{t+1} = avg of client end models."""
+        acg = FedACG(local_lr=0.1, local_steps=5, momentum_decay=0.5)
+        w0 = rng.normal(size=4)
+        state = ServerState(global_params=w0.copy(), num_clients=2)
+        acg._momentum = rng.normal(size=4)
+        broadcast = acg.broadcast(state)
+        start = w0 + broadcast["start_shift"]
+        ends = [start + rng.normal(size=4) for _ in range(2)]
+        updates = [update(i, start - end) for i, end in enumerate(ends)]
+        delta = acg.aggregate(state, updates)
+        eta_g = 5 * 0.1
+        w1 = w0 - eta_g * delta
+        np.testing.assert_allclose(w1, np.mean(ends, axis=0), atol=1e-12)
+
+    def test_prox_pulls_toward_lookahead_anchor(self):
+        acg = FedACG(beta=0.1)
+        state = ServerState(global_params=np.ones(2), num_clients=1)
+        acg._momentum = np.zeros(2)
+        payload = acg.client_payload(0, state, acg.broadcast(state))
+        grad = acg.prox_gradient(np.full(2, 3.0), payload)
+        np.testing.assert_allclose(grad, 0.1 * (3.0 - 1.0) * np.ones(2))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            FedACG(beta=-1.0)
+        with pytest.raises(ValueError):
+            FedACG(momentum_decay=1.0)
+
+    def test_profile(self):
+        profile = FedACG().compute_profile()
+        assert profile.prox == 1
+        assert profile.momentum == 1

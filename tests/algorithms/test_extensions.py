@@ -1,0 +1,119 @@
+"""Unit tests for the related-work extension algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg, FedDyn, FedMoS, FedNova
+from repro.fl.state import ClientUpdate, ServerState
+
+
+def update(cid, delta, samples=10, steps=4):
+    return ClientUpdate(cid, np.asarray(delta, dtype=float), samples, steps, 0.1)
+
+
+class TestFedNova:
+    def test_uniform_steps_equals_fedavg(self):
+        nova = FedNova(local_lr=0.1, local_steps=4)
+        fedavg = FedAvg(local_lr=0.1, local_steps=4)
+        updates = [update(0, [1.0, 2.0]), update(1, [3.0, 0.0])]
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        np.testing.assert_allclose(
+            nova.aggregate(state, updates),
+            fedavg.aggregate(ServerState(global_params=np.zeros(2)), updates),
+            atol=1e-12,
+        )
+
+    def test_normalises_heterogeneous_steps(self):
+        """A client that ran 4x the steps must not dominate 4x."""
+        nova = FedNova(local_lr=0.1, local_steps=4)
+        updates = [
+            update(0, [16.0, 0.0], steps=16),  # 1.0 progress per step
+            update(1, [1.0, 0.0], steps=4),  # 0.25 progress per step
+        ]
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        delta = nova.aggregate(state, updates)
+        assert delta[1] == pytest.approx(0.0)
+        # tau_eff = 10, mean per-step progress = 0.625 -> 15.625.
+        assert delta[0] == pytest.approx(10 * 0.625 / 0.4)
+        fedavg = FedAvg(local_lr=0.1, local_steps=4)
+        fa_delta = fedavg.aggregate(ServerState(global_params=np.zeros(2)), updates)
+        assert delta[0] < fa_delta[0]  # FedAvg over-counts the 16-step client
+
+    def test_steps_for_override(self):
+        nova = FedNova(local_steps=4)
+        nova.client_steps[3] = 9
+        assert nova.steps_for(3) == 9
+        assert nova.steps_for(0) == 4
+
+
+class TestFedDyn:
+    def test_first_round_is_prox_only(self):
+        dyn = FedDyn(local_lr=0.1, local_steps=2, mu=0.5)
+        state = ServerState(global_params=np.ones(2), num_clients=1)
+        payload = dyn.client_payload(0, state, dyn.broadcast(state))
+        grad = dyn.prox_gradient(np.full(2, 3.0), payload)
+        np.testing.assert_allclose(grad, 0.5 * 2.0 * np.ones(2))
+
+    def test_dynamic_term_accumulates(self):
+        dyn = FedDyn(local_lr=0.1, local_steps=2, mu=0.5)
+        state = ServerState(global_params=np.zeros(2), num_clients=1)
+        dyn.post_round(state, [update(0, [1.0, 0.0])])
+        np.testing.assert_allclose(dyn._h[0], [-0.5, 0.0])
+        dyn.post_round(state, [update(0, [1.0, 0.0])])
+        np.testing.assert_allclose(dyn._h[0], [-1.0, 0.0])
+
+    def test_h_enters_gradient(self):
+        dyn = FedDyn(local_lr=0.1, local_steps=2, mu=0.5)
+        state = ServerState(global_params=np.zeros(2), num_clients=1)
+        dyn.post_round(state, [update(0, [1.0, 0.0])])
+        payload = dyn.client_payload(0, state, dyn.broadcast(state))
+        grad = dyn.prox_gradient(np.zeros(2), payload)
+        np.testing.assert_allclose(grad, [0.5, 0.0])  # -h with w = anchor
+
+    def test_reset(self):
+        dyn = FedDyn(mu=0.5)
+        dyn._h[0] = np.ones(2)
+        dyn.reset()
+        assert not dyn._h
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            FedDyn(mu=-0.1)
+
+
+class TestFedMoS:
+    def test_client_momentum_recursion(self):
+        mos = FedMoS(local_lr=0.1, local_steps=3, client_momentum=0.5)
+        g0 = np.array([1.0, 0.0])
+        v0 = mos.local_direction(0, 0, np.zeros(2), g0, None, {})
+        np.testing.assert_allclose(v0, g0)
+        g1 = np.array([0.0, 1.0])
+        v1 = mos.local_direction(0, 1, np.zeros(2), g1, None, {})
+        np.testing.assert_allclose(v1, 0.5 * g0 + g1)
+
+    def test_momentum_resets_each_round(self):
+        mos = FedMoS(local_lr=0.1, local_steps=3, client_momentum=0.9)
+        mos.local_direction(0, 0, np.zeros(2), np.ones(2), None, {})
+        mos.local_direction(0, 1, np.zeros(2), np.ones(2), None, {})
+        fresh = mos.local_direction(0, 0, np.zeros(2), np.full(2, 5.0), None, {})
+        np.testing.assert_allclose(fresh, np.full(2, 5.0))
+
+    def test_server_momentum_smooths(self):
+        mos = FedMoS(local_lr=0.1, local_steps=4, server_momentum=0.5)
+        state = ServerState(global_params=np.zeros(2), num_clients=1)
+        first = mos.aggregate(state, [update(0, [1.0, 0.0])])
+        second = mos.aggregate(state, [update(0, [1.0, 0.0])])
+        assert second[0] > first[0]  # velocity builds toward the target
+        limit = 1.0 / (4 * 1 * 0.1)
+        assert second[0] < limit + 1e-9
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            FedMoS(client_momentum=1.0)
+        with pytest.raises(ValueError):
+            FedMoS(server_momentum=-0.1)
+
+    def test_feature_flags(self):
+        mos = FedMoS()
+        assert mos.has_local_correction
+        assert mos.has_aggregation_correction

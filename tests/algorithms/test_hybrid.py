@@ -1,0 +1,94 @@
+"""Unit tests for the Fig. 6 tailored hybrids."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import TailoredFedProx, TailoredScaffold
+from repro.algorithms.hybrid import _tailored_scales
+from repro.fl.state import ClientUpdate, ServerState
+
+
+def update(cid, delta):
+    return ClientUpdate(cid, np.asarray(delta, dtype=float), 10, 2, 0.1)
+
+
+class TestTailoredScales:
+    def test_mean_one(self):
+        scales = _tailored_scales({0: 0.2, 1: 0.4, 2: 0.6})
+        assert np.mean(list(scales.values())) == pytest.approx(1.0)
+
+    def test_proportional_to_correction_factor(self):
+        scales = _tailored_scales({0: 0.2, 1: 0.6})
+        assert scales[0] / scales[1] == pytest.approx(0.8 / 0.4)
+
+    def test_degenerate_all_alpha_one(self):
+        scales = _tailored_scales({0: 1.0, 1: 1.0})
+        assert scales == {0: 1.0, 1: 1.0}
+
+    def test_empty(self):
+        assert _tailored_scales({}) == {}
+
+
+class TestTailoredFedProx:
+    def test_zeta_default_before_first_round(self):
+        prox = TailoredFedProx(local_lr=0.1, local_steps=2, zeta=0.1)
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        assert prox.per_client_zeta(0, state) == pytest.approx(0.1)
+
+    def test_zeta_tailored_after_round(self):
+        prox = TailoredFedProx(local_lr=0.1, local_steps=2, zeta=0.1)
+        state = ServerState(global_params=np.zeros(2), num_clients=3)
+        updates = [
+            update(0, [1.0, 0.0]),
+            update(1, [1.0, 0.1]),
+            update(2, [0.0, 3.0]),  # divergent, needs more correction
+        ]
+        prox.post_round(state, updates)
+        zetas = {cid: prox.per_client_zeta(cid, state) for cid in range(3)}
+        assert zetas[2] > zetas[0]
+        # Mean zeta preserved at the original value.
+        assert np.mean(list(zetas.values())) == pytest.approx(0.1)
+
+    def test_reset(self):
+        prox = TailoredFedProx()
+        prox._scales = {0: 2.0}
+        prox.reset()
+        assert not prox._scales
+
+
+class TestTailoredScaffold:
+    def test_budget_bounds_average_scale(self):
+        sc = TailoredScaffold(local_lr=0.1, local_steps=2, budget=0.3)
+        state = ServerState(global_params=np.zeros(2), num_clients=2)
+        updates = [update(0, [1.0, 0.2]), update(1, [0.8, -0.1])]
+        for cid in range(2):
+            sc.client_payload(cid, state, {})
+        sc.post_round(state, updates)
+        scales = [sc.correction_scale(cid, {}) for cid in range(2)]
+        assert np.mean(scales) == pytest.approx(0.3, abs=1e-9)
+
+    def test_divergent_client_scaled_harder(self):
+        sc = TailoredScaffold(local_lr=0.1, local_steps=2, budget=0.3)
+        state = ServerState(global_params=np.zeros(2), num_clients=3)
+        updates = [
+            update(0, [1.0, 0.0]),
+            update(1, [1.0, 0.1]),
+            update(2, [0.0, 4.0]),
+        ]
+        for cid in range(3):
+            sc.client_payload(cid, state, {})
+        sc.post_round(state, updates)
+        assert sc.correction_scale(2, {}) > sc.correction_scale(0, {})
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            TailoredScaffold(budget=0.0)
+        with pytest.raises(ValueError):
+            TailoredScaffold(budget=1.5)
+
+    def test_inherits_control_variate_machinery(self):
+        sc = TailoredScaffold(local_lr=0.1, local_steps=5)
+        state = ServerState(global_params=np.zeros(2), num_clients=1)
+        sc.client_payload(0, state, {})
+        sc.post_round(state, [update(0, [1.0, 0.0])])
+        np.testing.assert_allclose(sc._client_controls[0], np.array([2.0, 0.0]))

@@ -1,0 +1,120 @@
+"""Unit tests for the Byzantine-robust aggregation rules."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    CoordinateMedianAggregation,
+    KrumAggregation,
+    TrimmedMeanAggregation,
+)
+from repro.fl.state import ClientUpdate, ServerState
+
+
+def update(cid, delta):
+    return ClientUpdate(cid, np.asarray(delta, dtype=float), 10, 2, 0.1)
+
+
+def state(dim=2, n=4):
+    return ServerState(global_params=np.zeros(dim), num_clients=n)
+
+
+HONEST = [
+    [1.0, 1.0],
+    [1.1, 0.9],
+    [0.9, 1.1],
+    [1.0, 1.05],
+]
+POISON = [100.0, -100.0]
+
+
+class TestKrum:
+    def test_rejects_outlier(self):
+        krum = KrumAggregation(local_lr=0.1, local_steps=2, byzantine_count=1)
+        updates = [update(i, d) for i, d in enumerate(HONEST)] + [update(9, POISON)]
+        delta = krum.aggregate(state(), updates)
+        assert 9 not in krum.last_selected
+        assert np.abs(delta).max() < 10  # poison magnitude never leaks through
+
+    def test_selects_central_update(self):
+        krum = KrumAggregation(local_lr=0.1, local_steps=2, byzantine_count=1)
+        updates = [update(i, d) for i, d in enumerate(HONEST)]
+        krum.aggregate(state(), updates)
+        assert len(krum.last_selected) == 1
+
+    def test_multi_krum_averages(self):
+        krum = KrumAggregation(local_lr=0.1, local_steps=2, byzantine_count=1, multi=3)
+        updates = [update(i, d) for i, d in enumerate(HONEST)] + [update(9, POISON)]
+        krum.aggregate(state(), updates)
+        assert len(krum.last_selected) == 3
+        assert 9 not in krum.last_selected
+
+    def test_scaling_matches_eq6_units(self):
+        krum = KrumAggregation(local_lr=0.1, local_steps=5)
+        updates = [update(0, [1.0, 0.0]), update(1, [1.0, 0.0]), update(2, [1.0, 0.0])]
+        delta = krum.aggregate(state(n=3), updates)
+        np.testing.assert_allclose(delta, [2.0, 0.0])  # 1 / (5 * 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            KrumAggregation(byzantine_count=-1)
+        with pytest.raises(ValueError):
+            KrumAggregation(multi=0)
+
+    def test_empty_updates(self):
+        with pytest.raises(ValueError):
+            KrumAggregation().aggregate(state(), [])
+
+
+class TestMedian:
+    def test_ignores_single_outlier(self):
+        median = CoordinateMedianAggregation(local_lr=0.1, local_steps=2)
+        updates = [update(i, d) for i, d in enumerate(HONEST)] + [update(9, POISON)]
+        delta = median.aggregate(state(), updates)
+        assert np.abs(delta - np.array([5.0, 5.0])).max() < 1.0  # ~1.0/(2*0.1)
+
+    def test_exact_median(self):
+        median = CoordinateMedianAggregation(local_lr=0.1, local_steps=5)
+        updates = [update(0, [0.0]), update(1, [1.0]), update(2, [10.0])]
+        delta = median.aggregate(ServerState(global_params=np.zeros(1)), updates)
+        np.testing.assert_allclose(delta, [2.0])
+
+
+class TestTrimmedMean:
+    def test_trims_extremes(self):
+        tm = TrimmedMeanAggregation(local_lr=0.1, local_steps=5, trim=1)
+        updates = [update(0, [0.0]), update(1, [1.0]), update(2, [100.0])]
+        delta = tm.aggregate(ServerState(global_params=np.zeros(1)), updates)
+        np.testing.assert_allclose(delta, [2.0])  # only the middle survives
+
+    def test_needs_enough_updates(self):
+        tm = TrimmedMeanAggregation(trim=1)
+        with pytest.raises(ValueError):
+            tm.aggregate(state(), [update(0, [1.0]), update(1, [2.0])])
+
+    def test_zero_trim_is_mean(self):
+        tm = TrimmedMeanAggregation(local_lr=0.1, local_steps=5, trim=0)
+        updates = [update(0, [1.0]), update(1, [3.0])]
+        delta = tm.aggregate(ServerState(global_params=np.zeros(1)), updates)
+        np.testing.assert_allclose(delta, [4.0])
+
+    def test_invalid_trim(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregation(trim=-1)
+
+
+class TestRobustVsPoisonEndToEnd:
+    def test_median_survives_poisoned_client(self, rng):
+        """A sign-flipping client breaks plain averaging but not the median."""
+        from repro.algorithms import FedAvg
+
+        honest = [update(i, rng.normal(loc=1.0, scale=0.05, size=4)) for i in range(4)]
+        poison = update(9, np.full(4, -50.0))
+        fedavg_delta = FedAvg(local_lr=0.1, local_steps=2).aggregate(
+            state(dim=4, n=5), honest + [poison]
+        )
+        median_delta = CoordinateMedianAggregation(local_lr=0.1, local_steps=2).aggregate(
+            state(dim=4, n=5), honest + [poison]
+        )
+        assert fedavg_delta.mean() < 0  # poisoned average points the wrong way
+        assert median_delta.mean() > 0  # robust rule preserved the honest sign

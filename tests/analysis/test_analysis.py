@@ -1,0 +1,166 @@
+"""Tests for the analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_drop_events,
+    diagnose_corrections,
+    instability_comparison,
+    plot_series,
+    render_mean_std,
+    render_table,
+    speedup_versus,
+    summarise_run,
+    summarise_runs,
+)
+from repro.fl import RoundRecord, TrainingHistory
+
+
+def history_from(accuracies, step_time=1.0):
+    history = TrainingHistory()
+    cumulative = 0.0
+    for i, acc in enumerate(accuracies):
+        cumulative += step_time
+        history.append(
+            RoundRecord(
+                round=i,
+                test_accuracy=acc,
+                test_loss=1 - acc,
+                round_sim_time=step_time,
+                cumulative_sim_time=cumulative,
+                round_wall_time=0.0,
+            )
+        )
+    return history
+
+
+class TestOverCorrectionDiagnostics:
+    def test_overshoot_fraction(self):
+        raw = {0: np.array([1.0, 0.0]), 1: np.array([0.0, 1.0])}
+        corrected = {0: np.array([-1.0, 0.0]), 1: np.array([0.0, 1.0])}
+        diag = diagnose_corrections(raw, corrected)
+        assert diag.overshoot_fraction == pytest.approx(0.5)
+
+    def test_identity_correction_is_clean(self):
+        raw = {0: np.array([1.0, 2.0])}
+        diag = diagnose_corrections(raw, {0: raw[0].copy()})
+        assert diag.overshoot_fraction == 0.0
+        assert diag.mean_direction_change == pytest.approx(0.0)
+        assert diag.mean_correction_ratio == pytest.approx(0.0)
+
+    def test_correction_ratio(self):
+        raw = {0: np.array([2.0, 0.0])}
+        corrected = {0: np.array([2.0, 2.0])}
+        diag = diagnose_corrections(raw, corrected)
+        assert diag.mean_correction_ratio == pytest.approx(1.0)
+
+    def test_mismatched_clients_raise(self):
+        with pytest.raises(ValueError):
+            diagnose_corrections({0: np.ones(2)}, {1: np.ones(2)})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            diagnose_corrections({}, {})
+
+    def test_accuracy_drop_events(self):
+        acc = [0.2, 0.5, 0.1, 0.6, 0.58]
+        assert accuracy_drop_events(acc, threshold=0.05) == 1
+        assert accuracy_drop_events(acc, threshold=0.01) == 2
+        assert accuracy_drop_events([0.5], threshold=0.1) == 0
+
+    def test_instability_comparison(self):
+        histories = {
+            "smooth": history_from(np.linspace(0.1, 0.9, 20)),
+            "shaky": history_from(0.5 + 0.2 * np.sin(np.arange(20))),
+        }
+        scores = instability_comparison(histories)
+        assert scores["shaky"] > scores["smooth"]
+
+
+class TestEfficiency:
+    def test_summarise_run(self):
+        history = history_from([0.2, 0.5, 0.8], step_time=2.0)
+        row = summarise_run("algo", history, target_accuracy=0.5)
+        assert row.rounds_to_target == 2
+        assert row.time_to_target == pytest.approx(4.0)
+        assert row.final_accuracy == pytest.approx(0.8)
+        assert row.total_time == pytest.approx(6.0)
+
+    def test_labels(self):
+        history = history_from([0.1, 0.2])
+        row = summarise_run("algo", history, target_accuracy=0.9)
+        assert row.rounds_label(total_rounds=2) == "2+"
+        assert row.time_label() == "o"
+        diverged = summarise_run("algo", history, 0.9, diverged=True)
+        assert diverged.rounds_label(2) == "x"
+        assert diverged.time_label() == "x"
+
+    def test_reached_labels(self):
+        history = history_from([0.95])
+        row = summarise_run("algo", history, 0.9)
+        assert row.rounds_label(1) == "1"
+        assert row.time_label().endswith("s")
+
+    def test_speedup_versus(self):
+        rows = summarise_runs(
+            {
+                "fedavg": history_from([0.2, 0.9], step_time=2.0),
+                "taco": history_from([0.9, 0.95], step_time=1.0),
+                "slow": history_from([0.1, 0.2], step_time=1.0),
+            },
+            target_accuracy=0.85,
+        )
+        savings = speedup_versus(rows, "fedavg")
+        assert savings["taco"] == pytest.approx(1 - 1.0 / 4.0)
+        assert savings["fedavg"] == pytest.approx(0.0)
+        assert savings["slow"] == float("-inf")
+
+    def test_speedup_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedup_versus({}, "fedavg")
+
+    def test_speedup_baseline_never_reaches(self):
+        rows = summarise_runs({"fedavg": history_from([0.1])}, 0.9)
+        with pytest.raises(ValueError):
+            speedup_versus(rows, "fedavg")
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["a", 1.0], ["long-name", 22.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_render_table_with_title(self):
+        assert render_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_mean_std(self):
+        assert render_mean_std(0.8345, 0.0123) == "83.45±1.23"
+        assert render_mean_std(0.5, 0.1, percent=False) == "0.5000±0.1000"
+
+    def test_plot_series_contains_marks_and_legend(self):
+        chart = plot_series({"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]}, width=20, height=6)
+        assert "o=a" in chart
+        assert "x=b" in chart
+        assert "o" in chart
+
+    def test_plot_series_handles_nan(self):
+        chart = plot_series({"a": [0.1, float("nan"), 0.3]}, width=10, height=4)
+        assert "o=a" in chart
+
+    def test_plot_series_empty_raises(self):
+        with pytest.raises(ValueError):
+            plot_series({})
+        with pytest.raises(ValueError):
+            plot_series({"a": [float("nan")]})
+
+    def test_plot_series_constant_series(self):
+        chart = plot_series({"flat": [1.0, 1.0, 1.0]}, width=12, height=4)
+        assert "flat" in chart

@@ -1,0 +1,89 @@
+"""Tests for convergence-curve analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_auc,
+    anytime_ranking,
+    crossover_round,
+    rounds_ahead,
+    smoothed,
+)
+
+
+class TestAUC:
+    def test_flat_curve(self):
+        assert accuracy_auc([0.5] * 10) == pytest.approx(0.5)
+
+    def test_linear_ramp(self):
+        assert accuracy_auc(np.linspace(0, 1, 11)) == pytest.approx(0.5)
+
+    def test_single_point(self):
+        assert accuracy_auc([0.7]) == pytest.approx(0.7)
+
+    def test_fast_riser_beats_slow_riser(self):
+        fast = 1 - np.exp(-np.arange(20) / 3)
+        slow = 1 - np.exp(-np.arange(20) / 10)
+        assert accuracy_auc(fast) > accuracy_auc(slow)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_auc([])
+
+
+class TestCrossover:
+    def test_permanent_overtake(self):
+        a = [0.1, 0.2, 0.6, 0.7]
+        b = [0.3, 0.4, 0.5, 0.5]
+        assert crossover_round(a, b) == 3
+
+    def test_leads_from_start(self):
+        assert crossover_round([0.5, 0.6], [0.1, 0.2]) == 1
+
+    def test_never_overtakes(self):
+        assert crossover_round([0.1, 0.2], [0.5, 0.6]) is None
+
+    def test_temporary_lead_not_counted(self):
+        a = [0.5, 0.1, 0.6]
+        b = [0.4, 0.4, 0.4]
+        assert crossover_round(a, b) == 3
+
+    def test_length_mismatch_uses_overlap(self):
+        assert crossover_round([0.9, 0.9, 0.9], [0.1]) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            crossover_round([], [])
+
+
+class TestSmoothing:
+    def test_window_one_identity(self):
+        curve = [0.1, 0.9, 0.1]
+        np.testing.assert_allclose(smoothed(curve, window=1), curve)
+
+    def test_reduces_variance(self, rng):
+        noisy = 0.5 + 0.2 * rng.standard_normal(50)
+        assert smoothed(noisy, window=5).std() < noisy.std()
+
+    def test_preserves_length(self, rng):
+        curve = rng.random(17)
+        assert len(smoothed(curve, window=4)) == 17
+
+    def test_constant_curve_unchanged(self):
+        np.testing.assert_allclose(smoothed([0.3] * 8, window=3), [0.3] * 8)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            smoothed([0.5], window=0)
+
+
+class TestRanking:
+    def test_orders_by_auc(self):
+        ranking = anytime_ranking(
+            {"good": [0.5, 0.8, 0.9], "bad": [0.1, 0.2, 0.3]}
+        )
+        assert [name for name, _ in ranking] == ["good", "bad"]
+
+    def test_rounds_ahead(self):
+        assert rounds_ahead([0.5, 0.5, 0.9], [0.4, 0.5, 0.8]) == 2

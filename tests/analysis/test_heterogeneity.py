@@ -1,0 +1,133 @@
+"""Tests for partition non-IID metrics — including the Table II correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    effective_num_classes,
+    label_distribution,
+    partition_heterogeneity,
+    tv_distance_from_global,
+)
+from repro.data import DirichletPartitioner, IIDPartitioner, SyntheticGroupPartitioner
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.integers(0, 10, size=800)
+
+
+class TestLabelDistribution:
+    def test_normalised(self, labels):
+        dist = label_distribution(labels, np.arange(100), 10)
+        assert dist.sum() == pytest.approx(1.0)
+        assert (dist >= 0).all()
+
+    def test_single_label_shard(self):
+        labels = np.array([3, 3, 3, 0, 1])
+        dist = label_distribution(labels, [0, 1, 2], 5)
+        assert dist[3] == pytest.approx(1.0)
+
+    def test_empty_shard_raises(self, labels):
+        with pytest.raises(ValueError):
+            label_distribution(labels, [], 10)
+
+
+class TestTVDistance:
+    def test_full_population_is_zero(self, labels):
+        tv = tv_distance_from_global(labels, [np.arange(len(labels))], 10)
+        assert tv[0] == pytest.approx(0.0)
+
+    def test_single_label_client_near_max(self, labels):
+        only_threes = np.flatnonzero(labels == 3)
+        tv = tv_distance_from_global(labels, [only_threes], 10)
+        assert tv[0] > 0.8  # ~1 - p(3)
+
+    def test_bounded(self, labels, rng):
+        parts = DirichletPartitioner(0.2, min_samples_per_client=1).partition(labels, 6, rng)
+        tv = tv_distance_from_global(labels, parts, 10)
+        assert all(0.0 <= v <= 1.0 for v in tv.values())
+
+
+class TestEffectiveClasses:
+    def test_single_label_is_one(self):
+        labels = np.array([2] * 10)
+        assert effective_num_classes(labels, np.arange(10), 5) == pytest.approx(1.0)
+
+    def test_uniform_is_num_classes(self):
+        labels = np.tile(np.arange(4), 25)
+        assert effective_num_classes(labels, np.arange(100), 4) == pytest.approx(4.0)
+
+    def test_between_one_and_num_classes(self, labels, rng):
+        parts = DirichletPartitioner(0.5).partition(labels, 5, rng)
+        for p in parts:
+            value = effective_num_classes(labels, p, 10)
+            assert 1.0 <= value <= 10.0 + 1e-9
+
+
+class TestPartitionReport:
+    def test_iid_partition_low_heterogeneity(self, labels, rng):
+        parts = IIDPartitioner().partition(labels, 5, rng)
+        report = partition_heterogeneity(labels, parts, 10)
+        assert report.mean_tv < 0.15
+
+    def test_dirichlet_severity_ordering(self, labels):
+        def mean_tv(phi):
+            parts = DirichletPartitioner(phi, min_samples_per_client=1).partition(
+                labels, 6, np.random.default_rng(0)
+            )
+            return partition_heterogeneity(labels, parts, 10).mean_tv
+
+        assert mean_tv(0.1) > mean_tv(10.0)
+
+    def test_group_partition_has_spread(self, labels, rng):
+        """The paper's three-group design produces clients with *different*
+        non-IID degrees — the spread the tailored correction targets."""
+        part = SyntheticGroupPartitioner()
+        parts = part.partition(labels, 9, rng)
+        report = partition_heterogeneity(labels, parts, 10)
+        assert report.spread > 0.2
+
+    def test_group_effective_classes_order(self, labels, rng):
+        """Group A clients see ~1 effective class, Group C ~5 (Table II)."""
+        part = SyntheticGroupPartitioner()
+        parts = part.partition(labels, 12, rng)
+        report = partition_heterogeneity(labels, parts, 10)
+        by_group = {"A": [], "B": [], "C": []}
+        for cid, group in enumerate(part.client_groups):
+            by_group[group].append(report.effective_classes[cid])
+        assert np.mean(by_group["A"]) < np.mean(by_group["C"])
+
+    def test_empty_partition_raises(self, labels):
+        with pytest.raises(ValueError):
+            partition_heterogeneity(labels, [], 10)
+
+
+class TestAlphaCorrelation:
+    def test_taco_alpha_tracks_effective_classes(self):
+        """End-to-end Table II logic: clients with more effective classes
+        earn higher mean alpha under TACO."""
+        from repro.experiments import ExperimentConfig, build_environment, run_algorithm
+
+        config = ExperimentConfig(
+            dataset="mnist",
+            num_clients=9,
+            rounds=6,
+            local_steps=8,
+            train_size=450,
+            test_size=120,
+            partition="synthetic",
+            seed=2,
+        )
+        env = build_environment(config)
+        result = run_algorithm(config, "taco")
+        alphas = result.history.mean_alpha_by_client()
+
+        eff = {
+            cid: effective_num_classes(ds.labels, np.arange(len(ds)), 10)
+            for cid, ds in enumerate(env.client_datasets)
+        }
+        pairs = [(eff[cid], alphas[cid]) for cid in alphas]
+        xs, ys = zip(*pairs)
+        correlation = np.corrcoef(xs, ys)[0, 1]
+        assert correlation > 0.3, f"alpha does not track label diversity: r={correlation:.2f}"

@@ -1,0 +1,144 @@
+"""Tests for freeloader clients and detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import TACO, FedAvg
+from repro.attacks import DetectionReport, FreeloaderClient, evaluate_detection
+from repro.data import TensorDataset
+from repro.fl import Client, CostModel
+from repro.fl.state import cosine_similarity
+from repro.nn.models import MLP
+
+
+@pytest.fixture
+def dataset(rng):
+    return TensorDataset(rng.normal(size=(30, 5)), rng.integers(0, 2, 30))
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(5, 2, hidden=(4,), rng=rng)
+
+
+class TestFreeloaderClient:
+    def test_replays_global_delta(self, dataset, model):
+        strategy = TACO(local_lr=0.1, local_steps=4)
+        client = FreeloaderClient(
+            0, dataset, 8, np.random.default_rng(0), camouflage_noise=0.0
+        )
+        global_delta = np.random.default_rng(1).normal(size=model.num_parameters())
+        params = model.parameters_vector()
+        update = client.local_round(
+            model, strategy, params, {"global_delta": global_delta}, CostModel()
+        )
+        np.testing.assert_allclose(update.delta, 4 * 0.1 * global_delta)
+
+    def test_camouflage_noise_perturbs_but_keeps_direction(self, dataset, model):
+        strategy = TACO(local_lr=0.1, local_steps=4)
+        client = FreeloaderClient(
+            0, dataset, 8, np.random.default_rng(0), camouflage_noise=0.05
+        )
+        global_delta = np.random.default_rng(1).normal(size=model.num_parameters())
+        update = client.local_round(
+            model, strategy, model.parameters_vector(), {"global_delta": global_delta}, CostModel()
+        )
+        replay = 4 * 0.1 * global_delta
+        assert not np.allclose(update.delta, replay)
+        assert cosine_similarity(update.delta, replay) > 0.99
+
+    def test_no_global_delta_uploads_zeros(self, dataset, model):
+        strategy = FedAvg(local_lr=0.1, local_steps=4)
+        client = FreeloaderClient(0, dataset, 8, np.random.default_rng(0))
+        update = client.local_round(
+            model, strategy, model.parameters_vector(), {}, CostModel()
+        )
+        np.testing.assert_allclose(update.delta, 0.0)
+
+    def test_spends_no_simulated_compute(self, dataset, model):
+        strategy = FedAvg(local_lr=0.1, local_steps=4)
+        client = FreeloaderClient(0, dataset, 8, np.random.default_rng(0))
+        update = client.local_round(
+            model, strategy, model.parameters_vector(), {}, CostModel()
+        )
+        assert update.sim_time == 0.0
+
+    def test_is_freeloader_flag(self, dataset):
+        assert FreeloaderClient(0, dataset, 8, np.random.default_rng(0)).is_freeloader
+        assert not Client(0, dataset, 8, np.random.default_rng(0)).is_freeloader
+
+    def test_fakes_stem_momentum(self, dataset, model):
+        from repro.algorithms import STEM
+
+        strategy = STEM(local_lr=0.1, local_steps=4)
+        client = FreeloaderClient(0, dataset, 8, np.random.default_rng(0))
+        delta = np.random.default_rng(1).normal(size=model.num_parameters())
+        update = client.local_round(
+            model, strategy, model.parameters_vector(), {"global_delta": delta}, CostModel()
+        )
+        assert "final_momentum" in update.extras
+
+    def test_invalid_noise(self, dataset):
+        with pytest.raises(ValueError):
+            FreeloaderClient(0, dataset, 8, np.random.default_rng(0), camouflage_noise=-1.0)
+
+    def test_freeloader_gets_high_alpha(self, dataset, model, rng):
+        """The Table II effect: replayed global gradients align with the
+        aggregate, earning conspicuously high alpha_i."""
+        strategy = TACO(local_lr=0.05, local_steps=4)
+        global_delta = rng.normal(size=model.num_parameters())
+        params = model.parameters_vector()
+        payload = {"global_delta": global_delta, "alpha": 0.1}
+
+        benign_updates = []
+        for cid in range(4):
+            shard = TensorDataset(
+                rng.normal(size=(20, 5)), np.full(20, cid % 2, dtype=int)
+            )
+            client = Client(cid, shard, 8, np.random.default_rng(cid))
+            benign_updates.append(
+                client.local_round(model, strategy, params, payload, CostModel())
+            )
+        freeloader = FreeloaderClient(9, dataset, 8, np.random.default_rng(9))
+        # The freeloader replays the mean benign direction (what Delta_t
+        # converges to), the worst case for detection.
+        mean_direction = np.mean([u.delta for u in benign_updates], axis=0) / (4 * 0.05)
+        fl_update = freeloader.local_round(
+            model, strategy, params, {"global_delta": mean_direction}, CostModel()
+        )
+        alphas = TACO.compute_alphas(benign_updates + [fl_update])
+        benign_alphas = [alphas[u.client_id] for u in benign_updates]
+        assert alphas[9] > max(benign_alphas)
+
+
+class TestDetectionMetrics:
+    def test_perfect_detection(self):
+        report = evaluate_detection({1, 3}, [1, 3], [0, 1, 2, 3])
+        assert report.true_positive_rate == 1.0
+        assert report.false_positive_rate == 0.0
+        assert report.perfect
+
+    def test_partial_detection(self):
+        report = evaluate_detection({1}, [1, 3], [0, 1, 2, 3])
+        assert report.true_positive_rate == 0.5
+        assert report.false_positive_rate == 0.0
+
+    def test_false_positives(self):
+        report = evaluate_detection({0, 1}, [1], [0, 1, 2])
+        assert report.true_positive_rate == 1.0
+        assert report.false_positive_rate == 0.5
+        assert not report.perfect
+
+    def test_no_detection(self):
+        report = evaluate_detection(set(), [1, 2], [0, 1, 2])
+        assert report.true_positive_rate == 0.0
+        assert report.false_positive_rate == 0.0
+
+    def test_freeloaders_must_be_subset(self):
+        with pytest.raises(ValueError):
+            evaluate_detection(set(), [9], [0, 1])
+
+    def test_no_freeloaders_tpr_zero(self):
+        report = evaluate_detection({0}, [], [0, 1])
+        assert report.true_positive_rate == 0.0
+        assert report.false_positive_rate == 0.5

@@ -1,0 +1,90 @@
+"""Tests for model-poisoning attackers and robust-aggregation defence."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import CoordinateMedianAggregation, FedAvg, make_strategy
+from repro.attacks import GaussianNoiseClient, SignFlipClient
+from repro.data import IIDPartitioner, TensorDataset, load_dataset
+from repro.fl import Client, CostModel, FederatedSimulation
+
+
+@pytest.fixture
+def dataset(rng):
+    return TensorDataset(rng.normal(size=(40, 5)), rng.integers(0, 2, 40))
+
+
+@pytest.fixture
+def model(rng):
+    from repro.nn.models import MLP
+
+    return MLP(5, 2, hidden=(4,), rng=rng)
+
+
+class TestSignFlip:
+    def test_flips_honest_update(self, dataset, model):
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = model.parameters_vector()
+        honest = Client(0, dataset, 8, np.random.default_rng(1))
+        attacker = SignFlipClient(0, dataset, 8, np.random.default_rng(1))
+        honest_update = honest.local_round(model, strategy, params, {}, CostModel())
+        poison_update = attacker.local_round(model, strategy, params, {}, CostModel())
+        np.testing.assert_allclose(poison_update.delta, -honest_update.delta)
+
+    def test_amplification(self, dataset, model):
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = model.parameters_vector()
+        honest = Client(0, dataset, 8, np.random.default_rng(1))
+        attacker = SignFlipClient(0, dataset, 8, np.random.default_rng(1), amplification=3.0)
+        honest_update = honest.local_round(model, strategy, params, {}, CostModel())
+        poison_update = attacker.local_round(model, strategy, params, {}, CostModel())
+        np.testing.assert_allclose(poison_update.delta, -3.0 * honest_update.delta)
+
+    def test_is_malicious_flag(self, dataset):
+        assert SignFlipClient(0, dataset, 8, np.random.default_rng(0)).is_malicious
+
+    def test_invalid_amplification(self, dataset):
+        with pytest.raises(ValueError):
+            SignFlipClient(0, dataset, 8, np.random.default_rng(0), amplification=0.0)
+
+
+class TestGaussianNoise:
+    def test_norm_matched(self, dataset, model):
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = model.parameters_vector()
+        honest = Client(0, dataset, 8, np.random.default_rng(1))
+        honest_norm = honest.local_round(model, strategy, params, {}, CostModel()).delta_norm
+        attacker = GaussianNoiseClient(0, dataset, 8, np.random.default_rng(1))
+        noise_norm = attacker.local_round(model, strategy, params, {}, CostModel()).delta_norm
+        assert noise_norm == pytest.approx(honest_norm, rel=1e-6)
+
+    def test_invalid_scale(self, dataset):
+        with pytest.raises(ValueError):
+            GaussianNoiseClient(0, dataset, 8, np.random.default_rng(0), norm_scale=0.0)
+
+
+class TestRobustDefenceEndToEnd:
+    def test_median_beats_fedavg_under_sign_flip(self, rng):
+        """With 2/6 amplified sign-flippers, median aggregation keeps
+        training while plain FedAvg degrades."""
+        bundle = load_dataset("adult", 360, 120, seed=0)
+        parts = IIDPartitioner().partition(bundle.train.labels, 6, rng)
+
+        def make_clients():
+            clients = []
+            for i, p in enumerate(parts):
+                cls = SignFlipClient if i < 2 else Client
+                kwargs = {"amplification": 3.0} if i < 2 else {}
+                clients.append(cls(i, bundle.train.subset(p), 16, np.random.default_rng(i), **kwargs))
+            return clients
+
+        accuracies = {}
+        for name, strategy in (
+            ("fedavg", FedAvg(local_lr=0.05, local_steps=5)),
+            ("median", CoordinateMedianAggregation(local_lr=0.05, local_steps=5)),
+        ):
+            model = bundle.spec.make_model(rng=np.random.default_rng(0))
+            sim = FederatedSimulation(model, make_clients(), strategy, bundle.test, seed=0)
+            accuracies[name] = sim.run(8).history.best_accuracy
+        assert accuracies["median"] > accuracies["fedavg"] - 0.02
+        assert accuracies["median"] > 0.6

@@ -1,0 +1,64 @@
+"""Exhaustive conv2d configuration grid vs a reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+
+
+def reference_conv(x, w, b, stride, padding):
+    """Naive direct convolution for cross-checking the im2col fast path."""
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    batch, in_c, height, width = x.shape
+    out_c, _, k, _ = w.shape
+    out_h = (height - k) // stride + 1
+    out_w = (width - k) // stride + 1
+    out = np.zeros((batch, out_c, out_h, out_w))
+    for n in range(batch):
+        for o in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[n, :, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[n, o, i, j] = (patch * w[o]).sum()
+            if b is not None:
+                out[n, o] += b[o]
+    return out
+
+
+@pytest.mark.parametrize("kernel", [1, 2, 3, 5])
+@pytest.mark.parametrize("stride", [1, 2])
+@pytest.mark.parametrize("padding", [0, 1, 2])
+def test_conv2d_matches_reference(kernel, stride, padding):
+    rng = np.random.default_rng(kernel * 10 + stride * 3 + padding)
+    size = 7
+    if size + 2 * padding < kernel:
+        pytest.skip("kernel larger than padded input")
+    x = rng.normal(size=(2, 3, size, size))
+    w = rng.normal(size=(4, 3, kernel, kernel))
+    b = rng.normal(size=4)
+    ours = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+    expected = reference_conv(x, w, b, stride, padding)
+    np.testing.assert_allclose(ours.data, expected, atol=1e-10)
+
+
+def test_conv2d_1x1_is_channel_mix():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(1, 3, 4, 4))
+    w = rng.normal(size=(2, 3, 1, 1))
+    out = conv2d(Tensor(x), Tensor(w), None)
+    expected = np.einsum("oc,bchw->bohw", w[:, :, 0, 0], x)
+    np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+
+def test_conv2d_gradients_on_strided_padded(rng):
+    from repro.autograd import check_gradients
+
+    x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+    w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.2, requires_grad=True)
+    b = Tensor(rng.normal(size=3), requires_grad=True)
+    assert check_gradients(
+        lambda x, w, b: (conv2d(x, w, b, stride=2, padding=2) ** 2).mean(),
+        [x, w, b],
+        atol=1e-3,
+    )

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TensorDataset, load_dataset
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    """A CPU-cheap config used by integration tests."""
+    return ExperimentConfig(
+        dataset="adult",
+        num_clients=4,
+        rounds=3,
+        local_steps=3,
+        batch_size=16,
+        train_size=200,
+        test_size=80,
+        width_multiplier=0.3,
+    )
+
+
+@pytest.fixture
+def tiny_image_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="mnist",
+        num_clients=4,
+        rounds=2,
+        local_steps=2,
+        batch_size=8,
+        train_size=120,
+        test_size=60,
+        width_multiplier=0.25,
+    )
+
+
+@pytest.fixture
+def adult_bundle():
+    return load_dataset("adult", train_size=300, test_size=100, seed=0)
+
+
+@pytest.fixture
+def small_dataset(rng) -> TensorDataset:
+    features = rng.normal(size=(60, 5))
+    labels = rng.integers(0, 3, size=60)
+    return TensorDataset(features, labels)

@@ -1,0 +1,55 @@
+"""Structural tests for the character-corpus windowing and splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, make_character_corpus
+
+
+class TestWindowing:
+    def test_consecutive_windows_overlap(self, rng):
+        """Window i+1 of the same speaker is window i shifted by one char."""
+        corpus = make_character_corpus(30, 1, 12, seq_len=6, rng=rng)
+        np.testing.assert_array_equal(
+            corpus.sequences[1][:-1], corpus.sequences[0][1:]
+        )
+        assert corpus.sequences[1][-1] == corpus.next_chars[0]
+
+    def test_next_char_continues_stream(self, rng):
+        corpus = make_character_corpus(20, 1, 12, seq_len=4, rng=rng)
+        # sample 0's next char is the first char of the window 1 tail
+        assert corpus.next_chars[0] == corpus.sequences[1][-1]
+
+    def test_sample_counts_split_across_speakers(self, rng):
+        corpus = make_character_corpus(25, 4, 10, 5, rng)
+        counts = np.bincount(corpus.speakers, minlength=4)
+        assert counts.sum() == 25
+        assert counts.max() - counts.min() <= 1
+
+    def test_vocab_respected(self, rng):
+        corpus = make_character_corpus(40, 2, 7, 5, rng)
+        assert corpus.sequences.max() < 7
+        assert corpus.next_chars.max() < 7
+        assert corpus.vocab_size == 7
+
+
+class TestShakespeareSplit:
+    def test_train_groups_align_with_train_rows(self):
+        bundle = load_dataset("shakespeare", 150, 50, seed=4)
+        assert len(bundle.sample_groups) == len(bundle.train)
+
+    def test_natural_partition_covers_train(self):
+        bundle = load_dataset("shakespeare", 150, 50, seed=4)
+        part = bundle.make_partitioner()
+        indices = part.partition(bundle.train.labels, 3, np.random.default_rng(0))
+        joined = np.concatenate(indices)
+        assert len(np.unique(joined)) == len(bundle.train)
+
+    def test_clients_hold_disjoint_speakers(self):
+        bundle = load_dataset("shakespeare", 200, 50, seed=4)
+        part = bundle.make_partitioner()
+        indices = part.partition(bundle.train.labels, 2, np.random.default_rng(0))
+        speakers_per_client = [
+            set(np.unique(bundle.sample_groups[idx])) for idx in indices
+        ]
+        assert not (speakers_per_client[0] & speakers_per_client[1])

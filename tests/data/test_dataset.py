@@ -1,0 +1,90 @@
+"""Tests for dataset containers and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchSampler, DataLoader, TensorDataset
+
+
+class TestTensorDataset:
+    def test_len_getitem(self, rng):
+        ds = TensorDataset(rng.normal(size=(10, 3)), rng.integers(0, 2, 10))
+        assert len(ds) == 10
+        x, y = ds[4]
+        assert x.shape == (3,)
+        assert y in (0, 1)
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            TensorDataset(rng.normal(size=(5, 2)), np.zeros(4, dtype=int))
+
+    def test_num_classes(self):
+        ds = TensorDataset(np.zeros((4, 1)), np.array([0, 2, 1, 2]))
+        assert ds.num_classes == 3
+
+    def test_subset(self, rng):
+        ds = TensorDataset(rng.normal(size=(10, 2)), np.arange(10) % 3)
+        sub = ds.subset([0, 5, 9])
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.features[1], ds.features[5])
+
+    def test_label_histogram(self):
+        ds = TensorDataset(np.zeros((6, 1)), np.array([0, 0, 1, 2, 2, 2]))
+        np.testing.assert_array_equal(ds.label_histogram(), [2, 1, 3])
+        np.testing.assert_array_equal(ds.label_histogram(5), [2, 1, 3, 0, 0])
+
+
+class TestBatchSampler:
+    def test_batch_shape(self, small_dataset, rng):
+        sampler = BatchSampler(small_dataset, 8, rng)
+        x, y = sampler.sample()
+        assert x.shape[0] == 8
+        assert y.shape == (8,)
+
+    def test_batch_capped_at_dataset_size(self, rng):
+        ds = TensorDataset(np.zeros((5, 2)), np.zeros(5, dtype=int))
+        x, _ = BatchSampler(ds, 100, rng).sample()
+        assert x.shape[0] == 5
+
+    def test_no_duplicates_within_batch(self, rng):
+        ds = TensorDataset(np.arange(20).reshape(20, 1).astype(float), np.zeros(20, dtype=int))
+        x, _ = BatchSampler(ds, 10, rng).sample()
+        assert len(np.unique(x)) == 10
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = BatchSampler(small_dataset, 4, np.random.default_rng(3)).sample()
+        b = BatchSampler(small_dataset, 4, np.random.default_rng(3)).sample()
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_rejects_empty_dataset(self, rng):
+        with pytest.raises(ValueError):
+            BatchSampler(TensorDataset(np.zeros((0, 2)), np.zeros(0, dtype=int)), 4, rng)
+
+    def test_rejects_bad_batch_size(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            BatchSampler(small_dataset, 0, rng)
+
+
+class TestDataLoader:
+    def test_covers_all_samples(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=7, shuffle=True)
+        seen = sum(len(y) for _, y in loader)
+        assert seen == len(small_dataset)
+
+    def test_len(self, small_dataset):
+        assert len(DataLoader(small_dataset, batch_size=7)) == 9  # ceil(60/7)
+        assert len(DataLoader(small_dataset, batch_size=7, drop_last=True)) == 8
+
+    def test_drop_last(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=7, drop_last=True)
+        assert all(len(y) == 7 for _, y in loader)
+
+    def test_no_shuffle_preserves_order(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=10, shuffle=False)
+        first_batch = next(iter(loader))[0]
+        np.testing.assert_allclose(first_batch, small_dataset.features[:10])
+
+    def test_shuffle_changes_order(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=60, shuffle=True, rng=np.random.default_rng(1))
+        batch = next(iter(loader))[0]
+        assert not np.allclose(batch, small_dataset.features)

@@ -1,0 +1,161 @@
+"""Tests for the non-IID partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    NaturalPartitioner,
+    ShardPartitioner,
+    SyntheticGroupPartitioner,
+)
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.integers(0, 10, size=600)
+
+
+def assert_valid_partition(indices, labels, num_clients):
+    """Every sample assigned exactly once."""
+    assert len(indices) == num_clients
+    joined = np.concatenate(indices)
+    assert len(joined) == len(labels)
+    assert len(np.unique(joined)) == len(labels)
+
+
+class TestIID:
+    def test_partition_valid(self, labels, rng):
+        indices = IIDPartitioner().partition(labels, 6, rng)
+        assert_valid_partition(indices, labels, 6)
+
+    def test_sizes_near_equal(self, labels, rng):
+        indices = IIDPartitioner().partition(labels, 7, rng)
+        sizes = [len(i) for i in indices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_label_distribution_uniformish(self, labels, rng):
+        indices = IIDPartitioner().partition(labels, 4, rng)
+        for idx in indices:
+            hist = np.bincount(labels[idx], minlength=10) / len(idx)
+            assert hist.max() < 0.3  # no single-label concentration
+
+    def test_too_many_clients_raises(self, rng):
+        with pytest.raises(ValueError):
+            IIDPartitioner().partition(np.zeros(3, dtype=int), 5, rng)
+
+
+class TestDirichlet:
+    def test_partition_valid(self, labels, rng):
+        indices = DirichletPartitioner(0.5).partition(labels, 8, rng)
+        assert_valid_partition(indices, labels, 8)
+
+    def test_small_phi_is_skewed(self, labels, rng):
+        indices = DirichletPartitioner(0.05, min_samples_per_client=1).partition(labels, 8, rng)
+        concentrations = []
+        for idx in indices:
+            hist = np.bincount(labels[idx], minlength=10) / len(idx)
+            concentrations.append(hist.max())
+        assert np.mean(concentrations) > 0.5  # most mass on few labels
+
+    def test_large_phi_near_iid(self, labels, rng):
+        indices = DirichletPartitioner(100.0).partition(labels, 4, rng)
+        for idx in indices:
+            hist = np.bincount(labels[idx], minlength=10) / len(idx)
+            assert hist.max() < 0.25
+
+    def test_skew_monotone_in_phi(self, labels):
+        def mean_max(phi, seed):
+            parts = DirichletPartitioner(phi, min_samples_per_client=1).partition(
+                labels, 6, np.random.default_rng(seed)
+            )
+            return np.mean(
+                [np.bincount(labels[p], minlength=10).max() / len(p) for p in parts]
+            )
+
+        skewed = np.mean([mean_max(0.1, s) for s in range(3)])
+        mild = np.mean([mean_max(5.0, s) for s in range(3)])
+        assert skewed > mild
+
+    def test_min_samples_enforced(self, labels, rng):
+        indices = DirichletPartitioner(0.2, min_samples_per_client=5).partition(labels, 10, rng)
+        assert min(len(i) for i in indices) >= 5
+
+    def test_invalid_phi(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(0.0)
+
+
+class TestSyntheticGroups:
+    def test_partition_valid(self, labels, rng):
+        part = SyntheticGroupPartitioner()
+        indices = part.partition(labels, 9, rng)
+        assert_valid_partition(indices, labels, 9)
+
+    def test_groups_recorded(self, labels, rng):
+        part = SyntheticGroupPartitioner()
+        part.partition(labels, 9, rng)
+        assert len(part.client_groups) == 9
+        assert set(part.client_groups) == {"A", "B", "C"}
+
+    def test_label_diversity_matches_group(self, labels, rng):
+        part = SyntheticGroupPartitioner()
+        indices = part.partition(labels, 12, rng)
+        expected = {"A": 1, "B": 2, "C": 5}
+        for cid, group in enumerate(part.client_groups):
+            observed = len(np.unique(labels[indices[cid]]))
+            # A client may receive extra labels when repairing uncovered
+            # classes, so compare against the assignment record.
+            assert len(part.client_labels[cid]) >= expected[group]
+            assert observed <= len(part.client_labels[cid])
+
+    def test_group_label_counts(self, labels, rng):
+        part = SyntheticGroupPartitioner()
+        part.partition(labels, 30, rng)
+        for cid, group in enumerate(part.client_groups):
+            base = {"A": 1, "B": 2, "C": 5}[group]
+            assert len(part.client_labels[cid]) >= base
+
+    def test_custom_groups(self, labels, rng):
+        part = SyntheticGroupPartitioner({"X": 0.3, "Y": 1.0})
+        indices = part.partition(labels, 6, rng)
+        assert_valid_partition(indices, labels, 6)
+        assert set(part.client_groups) == {"X", "Y"}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticGroupPartitioner({"A": 0.0})
+
+
+class TestShards:
+    def test_partition_valid(self, labels, rng):
+        indices = ShardPartitioner(2).partition(labels, 10, rng)
+        assert_valid_partition(indices, labels, 10)
+
+    def test_limited_labels_per_client(self, rng):
+        labels = np.repeat(np.arange(10), 60)
+        indices = ShardPartitioner(2).partition(labels, 10, rng)
+        for idx in indices:
+            assert len(np.unique(labels[idx])) <= 3  # 2 shards span <= 3 labels
+
+
+class TestNatural:
+    def test_partition_by_group(self, rng):
+        groups = np.repeat(np.arange(6), 20)
+        labels = np.zeros(120, dtype=int)
+        part = NaturalPartitioner(groups)
+        indices = part.partition(labels, 3, rng)
+        assert_valid_partition(indices, labels, 3)
+        # each client's samples span exactly 2 natural groups (6 / 3)
+        for idx in indices:
+            assert len(np.unique(groups[idx])) == 2
+
+    def test_group_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            NaturalPartitioner(np.zeros(5)).partition(np.zeros(6, dtype=int), 2, rng)
+
+    def test_more_clients_than_groups_raises(self, rng):
+        groups = np.repeat(np.arange(2), 10)
+        with pytest.raises(ValueError):
+            NaturalPartitioner(groups).partition(np.zeros(20, dtype=int), 5, rng)

@@ -1,0 +1,89 @@
+"""Tests for the dataset registry (the paper's Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.data import REGISTRY, dataset_names, get_spec, load_dataset
+from repro.data.partition import DirichletPartitioner, SyntheticGroupPartitioner
+from repro.nn.models import MLP, CharLSTM, PaperCNN, ResNet18
+
+
+class TestSpecs:
+    def test_all_eight_paper_datasets_present(self):
+        assert set(dataset_names()) == {
+            "mnist",
+            "fmnist",
+            "femnist",
+            "svhn",
+            "cifar10",
+            "cifar100",
+            "adult",
+            "shakespeare",
+        }
+
+    def test_class_counts_match_table_iv(self):
+        assert get_spec("mnist").num_classes == 10
+        assert get_spec("femnist").num_classes == 62
+        assert get_spec("cifar100").num_classes == 100
+        assert get_spec("adult").num_classes == 2
+
+    def test_paper_sizes_match_table_iv(self):
+        assert get_spec("mnist").paper_train_size == 60000
+        assert get_spec("svhn").paper_train_size == 73257
+        assert get_spec("adult").paper_test_size == 16281
+        assert get_spec("shakespeare").paper_train_size == 448340
+
+    def test_paper_hyperparameters(self):
+        # T from Section V-A
+        assert get_spec("adult").paper_rounds == 50
+        assert get_spec("fmnist").paper_rounds == 100
+        assert get_spec("cifar10").paper_rounds == 200
+        # K from Section V-A
+        assert get_spec("mnist").paper_local_steps == 100
+        assert get_spec("svhn").paper_local_steps == 1000
+        assert get_spec("cifar100").paper_local_steps == 200
+
+    def test_model_pairings_match_table_iv(self):
+        assert isinstance(get_spec("adult").make_model(), MLP)
+        assert isinstance(get_spec("fmnist").make_model(width_multiplier=0.25), PaperCNN)
+        assert isinstance(
+            get_spec("cifar100").make_model(width_multiplier=0.1), ResNet18
+        )
+        assert isinstance(get_spec("shakespeare").make_model(), CharLSTM)
+
+    def test_default_partitions_match_table_iv(self):
+        assert isinstance(get_spec("mnist").make_partitioner(), SyntheticGroupPartitioner)
+        femnist = get_spec("femnist").make_partitioner()
+        assert isinstance(femnist, DirichletPartitioner)
+        assert femnist.phi == pytest.approx(0.2)
+        cifar100 = get_spec("cifar100").make_partitioner()
+        assert cifar100.phi == pytest.approx(0.5)
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+
+class TestBundle:
+    def test_natural_partitioner_for_shakespeare(self):
+        bundle = load_dataset("shakespeare", 200, 40, seed=0)
+        part = bundle.make_partitioner()
+        indices = part.partition(bundle.train.labels, 2, np.random.default_rng(0))
+        assert sum(len(i) for i in indices) == 200
+
+    def test_natural_partition_unavailable_for_images(self):
+        bundle = load_dataset("mnist", 60, 20, seed=0)
+        with pytest.raises(ValueError):
+            bundle.make_partitioner(override="natural")
+
+    def test_partition_override(self):
+        bundle = load_dataset("mnist", 60, 20, seed=0)
+        part = bundle.make_partitioner(override="dirichlet", phi=0.3)
+        assert isinstance(part, DirichletPartitioner)
+        assert part.phi == pytest.approx(0.3)
+
+    def test_model_deterministic_from_seed(self):
+        spec = get_spec("adult")
+        a = spec.make_model(rng=np.random.default_rng(4))
+        b = spec.make_model(rng=np.random.default_rng(4))
+        np.testing.assert_allclose(a.parameters_vector(), b.parameters_vector())

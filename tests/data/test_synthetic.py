@@ -1,0 +1,135 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_dataset,
+    make_character_corpus,
+    make_image_classification,
+    make_tabular_classification,
+)
+
+
+class TestImageGenerator:
+    def test_shapes_and_labels(self, rng):
+        ds = make_image_classification(50, 10, 28, 1, noise=0.3, rng=rng)
+        assert ds.features.shape == (50, 1, 28, 28)
+        assert ds.labels.min() >= 0 and ds.labels.max() < 10
+
+    def test_balanced_classes(self, rng):
+        ds = make_image_classification(100, 10, 8, 1, noise=0.3, rng=rng)
+        hist = ds.label_histogram(10)
+        assert hist.min() == hist.max() == 10
+
+    def test_unbalanced_mode(self, rng):
+        ds = make_image_classification(300, 5, 8, 1, noise=0.3, rng=rng, balanced=False)
+        hist = ds.label_histogram(5)
+        assert hist.max() > hist.min()  # Dirichlet imbalance
+
+    def test_class_conditional_structure(self, rng):
+        """Same-class samples must be closer than cross-class samples."""
+        ds = make_image_classification(200, 4, 12, 1, noise=0.2, rng=rng)
+        flat = ds.features.reshape(len(ds), -1)
+        centroids = np.stack([flat[ds.labels == c].mean(axis=0) for c in range(4)])
+        within = np.mean(
+            [np.linalg.norm(flat[i] - centroids[ds.labels[i]]) for i in range(50)]
+        )
+        between = np.mean(
+            [
+                np.linalg.norm(centroids[a] - centroids[b])
+                for a in range(4)
+                for b in range(4)
+                if a != b
+            ]
+        )
+        assert between > within * 0.3  # clearly separated prototypes
+
+    def test_noise_controls_difficulty(self, rng):
+        quiet = make_image_classification(100, 3, 10, 1, noise=0.05, rng=np.random.default_rng(0))
+        loud = make_image_classification(100, 3, 10, 1, noise=2.0, rng=np.random.default_rng(0))
+        assert loud.features.std() > quiet.features.std()
+
+
+class TestTabularGenerator:
+    def test_shapes(self, rng):
+        ds = make_tabular_classification(80, 14, rng)
+        assert ds.features.shape == (80, 14)
+        assert set(np.unique(ds.labels)) <= {0, 1}
+
+    def test_minority_fraction(self, rng):
+        ds = make_tabular_classification(4000, 10, rng, minority_fraction=0.25)
+        assert 0.2 < ds.labels.mean() < 0.3
+
+    def test_classes_separable(self, rng):
+        ds = make_tabular_classification(500, 8, rng, class_separation=3.0)
+        mean_pos = ds.features[ds.labels == 1].mean(axis=0)
+        mean_neg = ds.features[ds.labels == 0].mean(axis=0)
+        assert np.linalg.norm(mean_pos - mean_neg) > 1.0
+
+
+class TestCharacterCorpus:
+    def test_shapes(self, rng):
+        corpus = make_character_corpus(60, 4, vocab_size=20, seq_len=10, rng=rng)
+        assert corpus.sequences.shape == (60, 10)
+        assert corpus.next_chars.shape == (60,)
+        assert corpus.speakers.shape == (60,)
+        assert corpus.sequences.max() < 20
+
+    def test_speaker_coverage(self, rng):
+        corpus = make_character_corpus(40, 5, 15, 8, rng)
+        assert set(np.unique(corpus.speakers)) == set(range(5))
+
+    def test_as_dataset(self, rng):
+        corpus = make_character_corpus(30, 3, 10, 5, rng)
+        ds = corpus.as_dataset()
+        assert len(ds) == 30
+        np.testing.assert_array_equal(ds.labels, corpus.next_chars)
+
+    def test_speaker_styles_differ(self, rng):
+        """Per-speaker bigram statistics should be distinguishable (non-IID)."""
+        corpus = make_character_corpus(4000, 2, 10, 5, rng, speaker_bias=8.0)
+        histograms = []
+        for speaker in (0, 1):
+            chars = corpus.next_chars[corpus.speakers == speaker]
+            histograms.append(np.bincount(chars, minlength=10) / len(chars))
+        assert np.abs(histograms[0] - histograms[1]).sum() > 0.15
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", ["mnist", "svhn", "adult", "shakespeare"])
+    def test_sizes(self, name):
+        bundle = load_dataset(name, train_size=120, test_size=40, seed=0)
+        assert len(bundle.train) == 120
+        assert len(bundle.test) == 40
+
+    def test_train_test_share_generative_process(self):
+        """A centroid classifier fit on train must beat chance on test."""
+        bundle = load_dataset("mnist", 400, 200, seed=2)
+        flat_train = bundle.train.features.reshape(len(bundle.train), -1)
+        flat_test = bundle.test.features.reshape(len(bundle.test), -1)
+        centroids = np.stack(
+            [flat_train[bundle.train.labels == c].mean(axis=0) for c in range(10)]
+        )
+        distances = np.linalg.norm(flat_test[:, None, :] - centroids[None], axis=2)
+        accuracy = (distances.argmin(axis=1) == bundle.test.labels).mean()
+        assert accuracy > 0.5
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("fmnist", 50, 20, seed=5)
+        b = load_dataset("fmnist", 50, 20, seed=5)
+        np.testing.assert_allclose(a.train.features, b.train.features)
+
+    def test_different_seed_different_data(self):
+        a = load_dataset("fmnist", 50, 20, seed=5)
+        b = load_dataset("fmnist", 50, 20, seed=6)
+        assert not np.allclose(a.train.features, b.train.features)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_shakespeare_sample_groups(self):
+        bundle = load_dataset("shakespeare", 200, 50, seed=0)
+        assert bundle.sample_groups is not None
+        assert len(bundle.sample_groups) == 200

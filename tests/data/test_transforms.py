@@ -1,0 +1,95 @@
+"""Tests for image transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    compose,
+    gaussian_noise,
+    normalize,
+    random_crop,
+    random_horizontal_flip,
+)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.normal(size=(8, 3, 8, 8))
+
+
+class TestNormalize:
+    def test_values(self, batch, rng):
+        out = normalize(0.5, 2.0)(batch, rng)
+        np.testing.assert_allclose(out, (batch - 0.5) / 2.0)
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            normalize(0.0, 0.0)
+
+
+class TestFlip:
+    def test_probability_one_flips_all(self, batch, rng):
+        out = random_horizontal_flip(1.0)(batch, rng)
+        np.testing.assert_allclose(out, batch[:, :, :, ::-1])
+
+    def test_probability_zero_identity(self, batch, rng):
+        out = random_horizontal_flip(0.0)(batch, rng)
+        np.testing.assert_allclose(out, batch)
+
+    def test_does_not_mutate_input(self, batch):
+        reference = batch.copy()
+        random_horizontal_flip(1.0)(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(batch, reference)
+
+    def test_roughly_half_flipped(self, rng):
+        batch = rng.normal(size=(400, 1, 4, 4))
+        out = random_horizontal_flip(0.5)(batch, np.random.default_rng(1))
+        flipped = sum(
+            not np.allclose(out[i], batch[i]) for i in range(len(batch))
+        )
+        assert 120 < flipped < 280
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(1.5)
+
+
+class TestCrop:
+    def test_shape_preserved(self, batch, rng):
+        out = random_crop(2)(batch, rng)
+        assert out.shape == batch.shape
+
+    def test_zero_padding_identity(self, batch, rng):
+        np.testing.assert_allclose(random_crop(0)(batch, rng), batch)
+
+    def test_center_content_often_survives(self, rng):
+        """Small offsets keep much of the centre intact on average."""
+        batch = rng.normal(size=(20, 1, 8, 8))
+        out = random_crop(1)(batch, np.random.default_rng(2))
+        centre_diff = np.abs(out[:, :, 3:5, 3:5] - batch[:, :, 3:5, 3:5]).mean()
+        assert centre_diff < np.abs(batch).mean() * 2
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            random_crop(-1)
+
+
+class TestNoiseAndCompose:
+    def test_noise_changes_values(self, batch, rng):
+        out = gaussian_noise(0.1)(batch, rng)
+        assert not np.allclose(out, batch)
+        assert (out - batch).std() == pytest.approx(0.1, rel=0.15)
+
+    def test_zero_noise_identity(self, batch, rng):
+        np.testing.assert_allclose(gaussian_noise(0.0)(batch, rng), batch)
+
+    def test_compose_order(self, batch):
+        pipeline = compose(normalize(0.0, 2.0), normalize(1.0, 1.0))
+        out = pipeline(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(out, batch / 2.0 - 1.0)
+
+    def test_compose_deterministic_given_rng(self, batch):
+        pipeline = compose(random_crop(1), random_horizontal_flip(0.5), gaussian_noise(0.05))
+        a = pipeline(batch, np.random.default_rng(7))
+        b = pipeline(batch, np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)

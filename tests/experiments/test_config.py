@@ -1,0 +1,84 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_TARGETS,
+    ExperimentConfig,
+    default_config_for,
+    paper_scale_config,
+    target_for,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.dataset == "fmnist"
+        assert config.num_clients > 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig(dataset="imagenet")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_clients=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(rounds=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_freeloaders=10, num_clients=10)
+
+    def test_effective_global_lr(self):
+        config = ExperimentConfig(local_steps=10, local_lr=0.05)
+        assert config.effective_global_lr == pytest.approx(0.5)
+        assert ExperimentConfig(global_lr=0.3).effective_global_lr == pytest.approx(0.3)
+
+    def test_expulsion_limit_t_over_5(self):
+        assert ExperimentConfig(rounds=50).expulsion_limit == 10
+        assert ExperimentConfig(rounds=5).expulsion_limit == 2  # floored
+
+    def test_with_overrides_immutable(self):
+        base = ExperimentConfig()
+        other = base.with_overrides(rounds=99)
+        assert other.rounds == 99
+        assert base.rounds != 99
+
+    def test_config_hashable_for_cache(self):
+        assert hash(ExperimentConfig()) == hash(ExperimentConfig())
+
+
+class TestTargets:
+    def test_all_datasets_have_targets(self):
+        from repro.data import dataset_names
+
+        assert set(DEFAULT_TARGETS) == set(dataset_names())
+
+    def test_target_for_explicit(self):
+        config = ExperimentConfig(target_accuracy=0.42)
+        assert target_for(config) == pytest.approx(0.42)
+
+    def test_target_for_default(self):
+        config = ExperimentConfig(dataset="adult")
+        assert target_for(config) == DEFAULT_TARGETS["adult"]
+
+
+class TestPresets:
+    def test_default_config_shakespeare_lr(self):
+        assert default_config_for("shakespeare").local_lr == pytest.approx(1.0)
+        assert default_config_for("fmnist").local_lr == pytest.approx(0.05)
+
+    def test_default_config_preserves_base(self):
+        base = ExperimentConfig(rounds=3)
+        assert default_config_for("adult", base).rounds == 3
+
+    def test_paper_scale_matches_section_va(self):
+        svhn = paper_scale_config("svhn")
+        assert svhn.rounds == 100
+        assert svhn.local_steps == 1000
+        assert svhn.batch_size == 64
+        assert svhn.local_lr == pytest.approx(0.01)
+        assert svhn.width_multiplier == 1.0
+        shakespeare = paper_scale_config("shakespeare")
+        assert shakespeare.local_lr == pytest.approx(1.0)
+        assert shakespeare.rounds == 50

@@ -1,0 +1,236 @@
+"""Smoke + semantics tests for every per-table/figure experiment module.
+
+Each module runs at a tiny scale here; the benchmarks run them at the
+calibrated scale and check the paper-shape assertions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import (
+    fig2_reevaluation,
+    fig4_time_to_accuracy,
+    fig5_per_round_time,
+    fig6_hybrid_gain,
+    fig7_gamma_sensitivity,
+    table1_compute_time,
+    table2_alpha_groups,
+    table3_comparison,
+    table5_round_to_accuracy,
+    table6_ablation,
+    table7_scalability,
+    table8_freeloader_sensitivity,
+    theory_overcorrection,
+)
+
+
+@pytest.fixture
+def micro_config():
+    return ExperimentConfig(
+        dataset="adult",
+        num_clients=4,
+        rounds=3,
+        local_steps=3,
+        batch_size=16,
+        train_size=160,
+        test_size=60,
+        width_multiplier=0.3,
+    )
+
+
+@pytest.fixture
+def micro_image_config():
+    return ExperimentConfig(
+        dataset="mnist",
+        num_clients=4,
+        rounds=3,
+        local_steps=2,
+        batch_size=8,
+        train_size=120,
+        test_size=60,
+        width_multiplier=0.25,
+    )
+
+
+class TestTable1:
+    def test_rows_and_overheads(self, micro_config):
+        result = table1_compute_time.run(micro_config, updates=4, algorithms=("fedavg", "stem", "taco"))
+        assert result.row("fedavg").simulated_overhead_pct == pytest.approx(0.0)
+        assert result.row("stem").simulated_overhead_pct > result.row("taco").simulated_overhead_pct
+        assert "Table I" in result.render()
+
+    def test_unknown_algorithm_raises(self, micro_config):
+        result = table1_compute_time.run(micro_config, updates=2, algorithms=("fedavg",))
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+
+class TestFig2:
+    def test_curves_and_targets(self, micro_config):
+        result = fig2_reevaluation.run(micro_config, algorithms=("fedavg", "taco"))
+        assert set(result.accuracy_curves) == {"fedavg", "taco"}
+        assert all(len(c) == micro_config.rounds for c in result.accuracy_curves.values())
+        assert set(result.rounds_to_target()) == {"fedavg", "taco"}
+        assert "accuracy vs round" in result.render()
+
+    def test_time_curves_monotone(self, micro_config):
+        result = fig2_reevaluation.run(micro_config, algorithms=("fedavg",))
+        times = result.time_curves["fedavg"]
+        assert np.all(np.diff(times) > 0)
+
+
+class TestTable2:
+    def test_requires_freeloaders(self, micro_image_config):
+        with pytest.raises(ValueError):
+            table2_alpha_groups.run(micro_image_config)
+
+    def test_groups_reported(self, micro_image_config):
+        config = micro_image_config.with_overrides(
+            num_clients=8, num_freeloaders=2, rounds=4, partition="synthetic"
+        )
+        result = table2_alpha_groups.run(config)
+        assert "freeloader" in result.group_means
+        assert set(result.client_groups.values()) <= {"A", "B", "C", "freeloader"}
+        assert "Table II" in result.render()
+
+
+class TestTable3:
+    def test_feature_matrix(self):
+        result = table3_comparison.run()
+        taco = result.row("taco")
+        assert taco.local_correction and taco.aggregation_correction and taco.freeloader_detection
+        fedavg = result.row("fedavg")
+        assert not fedavg.local_correction
+        assert fedavg.band == "Low"
+        assert result.row("stem").band == "High"
+        assert taco.band == "Low"
+
+    def test_only_taco_detects_freeloaders(self):
+        result = table3_comparison.run()
+        detectors = [r.algorithm for r in result.rows if r.freeloader_detection]
+        assert detectors == ["taco"]
+
+
+class TestTable5:
+    def test_grid_shape(self, micro_config):
+        result = table5_round_to_accuracy.run(
+            datasets=("adult",), algorithms=("fedavg", "taco"), base_config=micro_config
+        )
+        assert set(result.cells["adult"]) == {"fedavg", "taco"}
+        cell = result.cells["adult"]["fedavg"]
+        assert 0 <= cell.mean_accuracy <= 1
+        assert "Table V" in result.render()
+
+    def test_multi_seed_std(self, micro_config):
+        result = table5_round_to_accuracy.run(
+            datasets=("adult",), algorithms=("fedavg",), seeds=(0, 1), base_config=micro_config
+        )
+        assert result.cells["adult"]["fedavg"].std_accuracy >= 0.0
+
+    def test_rounds_label_conventions(self):
+        cell = table5_round_to_accuracy.AccuracyCell(0.5, 0.0, None, False)
+        assert cell.rounds_label(10) == "10+"
+        assert table5_round_to_accuracy.AccuracyCell(0.5, 0.0, None, True).rounds_label(10) == "x"
+        assert table5_round_to_accuracy.AccuracyCell(0.5, 0.0, 4, False).rounds_label(10) == "4"
+
+
+class TestFig4:
+    def test_rows(self, micro_config):
+        result = fig4_time_to_accuracy.run(
+            micro_config, algorithms=("fedavg", "taco"), target_accuracy=0.01
+        )
+        assert result.rows["fedavg"].time_to_target is not None
+        assert "Fig. 4" in result.render()
+
+    def test_savings_vs_fedavg(self, micro_config):
+        result = fig4_time_to_accuracy.run(
+            micro_config, algorithms=("fedavg", "taco"), target_accuracy=0.01
+        )
+        savings = result.time_savings_vs_fedavg()
+        assert savings["fedavg"] == pytest.approx(0.0)
+
+
+class TestFig5:
+    def test_medians_ordering(self, micro_config):
+        result = fig5_per_round_time.run(micro_config, algorithms=("fedavg", "stem", "taco"))
+        medians = result.medians()
+        assert medians["stem"] > medians["fedavg"]
+        assert medians["taco"] >= medians["fedavg"]
+        assert "Fig. 5" in result.render()
+
+
+class TestFig6:
+    def test_pairs_present(self, micro_config):
+        result = fig6_hybrid_gain.run(micro_config)
+        gains = result.gains()
+        assert set(gains) == {"fedprox", "scaffold"}
+        assert "Fig. 6" in result.render()
+
+
+class TestTable6:
+    def test_all_variants(self, micro_config):
+        result = table6_ablation.run(settings=(("adult", 0.5),), base_config=micro_config)
+        assert len(result.accuracies) == 4
+        assert ("adult", 0.5) in result.variant(True, True)
+        assert "Table VI" in result.render()
+
+    def test_off_off_equals_fedavg(self, micro_config):
+        """The paper's Table VI row 1 = FedAvg exactly."""
+        from repro.experiments import run_algorithm
+
+        result = table6_ablation.run(settings=(("adult", 0.5),), base_config=micro_config)
+        config = micro_config.with_overrides(dataset="adult", partition="dirichlet", phi=0.5)
+        fedavg = run_algorithm(config, "fedavg")
+        ablated = result.variant(False, False)[("adult", 0.5)]
+        assert ablated == pytest.approx(fedavg.final_accuracy, abs=1e-9)
+
+
+class TestTable7:
+    def test_grid(self, micro_config):
+        result = table7_scalability.run(
+            datasets=("adult",), algorithms=("fedavg", "taco"), num_clients=6,
+            base_config=micro_config,
+        )
+        assert result.num_clients == 6
+        assert set(result.accuracies["adult"]) == {"fedavg", "taco"}
+        assert "Table VII" in result.render()
+
+
+class TestTable8:
+    def test_grid_and_kappa_one_detects_nothing(self, micro_config):
+        config = micro_config.with_overrides(num_clients=6, num_freeloaders=2, rounds=6)
+        result = table8_freeloader_sensitivity.run(
+            config, kappas=(0.5, 1.0), lambda_fractions=(2,)
+        )
+        lam = max(1, config.rounds // 2)
+        assert result.report(1.0, lam).true_positive_rate == 0.0
+        assert "Table VIII" in result.render()
+
+    def test_requires_freeloaders(self, micro_config):
+        with pytest.raises(ValueError):
+            table8_freeloader_sensitivity.run(micro_config)
+
+
+class TestFig7:
+    def test_sweep(self, micro_config):
+        result = fig7_gamma_sensitivity.run(
+            gammas=(0.0, 0.1), datasets=(("adult", 3),), base_config=micro_config
+        )
+        assert set(result.outcomes["adult"]) == {0.0, 0.1}
+        assert result.best_gamma("adult") in (0.0, 0.1)
+        assert "Fig. 7" in result.render()
+
+
+class TestTheory:
+    def test_quantities(self, micro_config):
+        result = theory_overcorrection.run(micro_config.with_overrides(num_clients=5))
+        assert result.smoothness > 0
+        assert result.gradient_bound > 0
+        assert result.y_tailored >= 0
+        # Strong-uniform comparator always applies at least as much total
+        # correction, so its Y_t dominates (Theorem 1).
+        assert result.y_uniform_strong >= result.y_tailored
+        assert result.gap_optimal == pytest.approx(0.0, abs=1e-8)
+        assert result.rate_envelope_uniform >= result.rate_envelope_tailored
+        assert "Theory" in result.render()

@@ -1,0 +1,69 @@
+"""Unit tests for the Fig. 1/3 quadratic geometry construction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_geometry
+from repro.experiments.fig1_geometry import (
+    QuadraticClient,
+    global_optimum,
+    local_round,
+    make_fig1_clients,
+)
+
+
+class TestQuadratics:
+    def test_gradient_zero_at_optimum(self):
+        client = QuadraticClient(np.array([1.0, 2.0]), np.eye(2))
+        np.testing.assert_allclose(client.gradient(np.array([1.0, 2.0])), 0.0)
+
+    def test_global_optimum_closed_form(self):
+        clients = [
+            QuadraticClient(np.array([2.0, 0.0]), np.eye(2)),
+            QuadraticClient(np.array([0.0, 2.0]), np.eye(2)),
+        ]
+        np.testing.assert_allclose(global_optimum(clients), [1.0, 1.0])
+
+    def test_global_optimum_curvature_weighted(self):
+        clients = [
+            QuadraticClient(np.array([2.0]), np.array([[3.0]])),
+            QuadraticClient(np.array([0.0]), np.array([[1.0]])),
+        ]
+        np.testing.assert_allclose(global_optimum(clients), [1.5])
+
+    def test_local_round_converges_to_local_optimum(self):
+        client = QuadraticClient(np.array([1.0, -1.0]), np.eye(2))
+        end = local_round(client, np.zeros(2), np.zeros(2), 0.0, lr=0.5, steps=100)
+        np.testing.assert_allclose(end, client.optimum, atol=1e-6)
+
+    def test_correction_steers_toward_global(self):
+        clients = make_fig1_clients()
+        w_star = global_optimum(clients)
+        correction = sum(c.gradient(np.zeros(2)) for c in clients) / 2
+        # Client 2 (the misaligned one) must land closer to w* when corrected.
+        free = local_round(clients[1], np.zeros(2), correction, 0.0, 0.1, 10)
+        corrected = local_round(clients[1], np.zeros(2), correction, 1.0, 0.1, 10)
+        assert np.linalg.norm(corrected - w_star) < np.linalg.norm(free - w_star)
+
+    def test_drift_ratio_validated(self):
+        with pytest.raises(ValueError):
+            make_fig1_clients(drift_ratio=1.0)
+
+
+class TestRun:
+    def test_shares_sum_to_one(self):
+        result = fig1_geometry.run()
+        assert sum(result.tailored_shares.values()) == pytest.approx(1.0)
+
+    def test_schemes_present_per_budget(self):
+        result = fig1_geometry.run(budgets=(0.5, 1.0))
+        assert set(result.per_budget) == {0.5, 1.0}
+        assert set(result.per_budget[0.5]) == {"uniform", "tailored"}
+
+    def test_baseline_is_budget_zero(self):
+        result = fig1_geometry.run(budgets=(0.5,))
+        assert set(result.baseline) == {0, 1}
+        assert all(d > 0 for d in result.baseline.values())
+
+    def test_render(self):
+        assert "Fig. 1/3" in fig1_geometry.run(budgets=(0.5,)).render()

@@ -1,0 +1,36 @@
+"""Tests for the runner's result memoisation."""
+
+import numpy as np
+
+from repro.experiments import run_algorithm
+from repro.experiments.runner import _RESULT_CACHE
+
+
+class TestResultCache:
+    def test_default_runs_cached(self, tiny_config):
+        _RESULT_CACHE.clear()
+        first = run_algorithm(tiny_config, "fedavg")
+        second = run_algorithm(tiny_config, "fedavg")
+        assert first is second  # identical object: no re-training
+
+    def test_overrides_bypass_cache(self, tiny_config):
+        _RESULT_CACHE.clear()
+        cached = run_algorithm(tiny_config, "taco")
+        overridden = run_algorithm(tiny_config, "taco", gamma=0.0, detect_freeloaders=False)
+        assert cached is not overridden
+
+    def test_custom_strategy_bypasses_cache(self, tiny_config):
+        from repro.algorithms import FedAvg
+
+        _RESULT_CACHE.clear()
+        run_algorithm(tiny_config, "fedavg")
+        strategy = FedAvg(local_lr=tiny_config.local_lr, local_steps=tiny_config.local_steps)
+        custom = run_algorithm(tiny_config, "fedavg", strategy=strategy)
+        assert custom is not _RESULT_CACHE[(tiny_config, "fedavg")]
+
+    def test_different_config_is_distinct(self, tiny_config):
+        _RESULT_CACHE.clear()
+        a = run_algorithm(tiny_config, "fedavg")
+        b = run_algorithm(tiny_config.with_overrides(seed=3), "fedavg")
+        assert a is not b
+        assert not np.allclose(a.final_params, b.final_params)

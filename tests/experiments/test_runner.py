@@ -1,0 +1,92 @@
+"""Tests for the experiment runner / environment builder."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FreeloaderClient
+from repro.experiments import (
+    build_environment,
+    make_clients,
+    make_experiment_strategy,
+    run_algorithm,
+)
+
+
+class TestEnvironment:
+    def test_environment_cached(self, tiny_config):
+        assert build_environment(tiny_config) is build_environment(tiny_config)
+
+    def test_different_config_different_env(self, tiny_config):
+        other = tiny_config.with_overrides(seed=9)
+        assert build_environment(tiny_config) is not build_environment(other)
+
+    def test_shards_cover_training_set(self, tiny_config):
+        env = build_environment(tiny_config)
+        total = sum(len(ds) for ds in env.client_datasets)
+        assert total == tiny_config.train_size
+
+    def test_speed_factors_per_client(self, tiny_config):
+        env = build_environment(tiny_config)
+        assert len(env.speed_factors) == tiny_config.num_clients
+        assert (env.speed_factors >= 1.0).all()
+
+    def test_group_metadata_for_synthetic_partition(self, tiny_image_config):
+        env = build_environment(tiny_image_config)
+        assert set(env.partition_metadata.values()) <= {"A", "B", "C"}
+
+    def test_freeloader_selection_deterministic(self, tiny_config):
+        config = tiny_config.with_overrides(num_freeloaders=2)
+        a = build_environment(config)
+        assert a.freeloader_ids == build_environment(config).freeloader_ids
+
+
+class TestMakeClients:
+    def test_benign_by_default(self, tiny_config):
+        env = build_environment(tiny_config)
+        clients = make_clients(env)
+        assert all(not c.is_freeloader for c in clients)
+
+    def test_freeloaders_substituted(self, tiny_config):
+        config = tiny_config.with_overrides(num_freeloaders=2)
+        env = build_environment(config)
+        clients = make_clients(env)
+        freeloaders = [c.client_id for c in clients if isinstance(c, FreeloaderClient)]
+        assert freeloaders == env.freeloader_ids
+
+
+class TestMakeExperimentStrategy:
+    def test_inherits_config_hyperparameters(self, tiny_config):
+        strategy = make_experiment_strategy(tiny_config, "fedprox")
+        assert strategy.local_lr == tiny_config.local_lr
+        assert strategy.local_steps == tiny_config.local_steps
+
+    def test_taco_detection_off_without_freeloaders(self, tiny_config):
+        strategy = make_experiment_strategy(tiny_config, "taco")
+        assert not strategy.detect_freeloaders
+
+    def test_taco_detection_on_with_freeloaders(self, tiny_config):
+        config = tiny_config.with_overrides(num_freeloaders=1)
+        strategy = make_experiment_strategy(config, "taco")
+        assert strategy.detect_freeloaders
+
+    def test_explicit_detection_override_wins(self, tiny_config):
+        strategy = make_experiment_strategy(tiny_config, "taco", detect_freeloaders=True)
+        assert strategy.detect_freeloaders
+
+    def test_taco_lambda_follows_rounds(self, tiny_config):
+        config = tiny_config.with_overrides(rounds=20, num_freeloaders=1)
+        strategy = make_experiment_strategy(config, "taco")
+        assert strategy.expulsion_limit == max(2, 20 // 5)
+
+
+class TestRunAlgorithmOverrides:
+    def test_hyperparameter_override_propagates(self, tiny_config):
+        result = run_algorithm(tiny_config, "taco", gamma=0.0, detect_freeloaders=False)
+        assert len(result.history) == tiny_config.rounds
+
+    def test_custom_strategy_object(self, tiny_config):
+        from repro.algorithms import FedAvg
+
+        strategy = FedAvg(local_lr=tiny_config.local_lr, local_steps=tiny_config.local_steps)
+        result = run_algorithm(tiny_config, "ignored", strategy=strategy)
+        assert len(result.history) == tiny_config.rounds

@@ -1,0 +1,80 @@
+"""Tests for checkpoint persistence."""
+
+import numpy as np
+import pytest
+
+from repro.fl import RoundRecord, TrainingHistory
+from repro.fl.checkpoint import load_history, load_model, save_history, save_model
+from repro.nn.models import MLP, PaperCNN
+
+
+class TestModelCheckpoints:
+    def test_round_trip_mlp(self, tmp_path, rng):
+        model = MLP(6, 3, hidden=(4,), rng=rng)
+        save_model(model, tmp_path / "model.npz")
+        clone = MLP(6, 3, hidden=(4,), rng=np.random.default_rng(99))
+        load_model(clone, tmp_path / "model.npz")
+        np.testing.assert_allclose(clone.parameters_vector(), model.parameters_vector())
+
+    def test_round_trip_with_buffers(self, tmp_path, rng):
+        """BatchNorm running stats must survive the round trip."""
+        from repro.autograd import Tensor
+        from repro.nn.models import ResNet18
+
+        model = ResNet18(3, 4, width_multiplier=0.1, blocks_per_stage=(1, 1, 1, 1), rng=rng)
+        model(Tensor(rng.normal(size=(2, 3, 8, 8))))  # populate running stats
+        save_model(model, tmp_path / "resnet.npz")
+        clone = ResNet18(3, 4, width_multiplier=0.1, blocks_per_stage=(1, 1, 1, 1),
+                         rng=np.random.default_rng(7))
+        load_model(clone, tmp_path / "resnet.npz")
+        np.testing.assert_allclose(clone.stem_bn.running_mean, model.stem_bn.running_mean)
+
+    def test_creates_parent_directories(self, tmp_path, rng):
+        model = MLP(3, 2, hidden=(2,), rng=rng)
+        save_model(model, tmp_path / "deep" / "nested" / "model.npz")
+        assert (tmp_path / "deep" / "nested" / "model.npz").exists()
+
+    def test_mismatched_architecture_raises(self, tmp_path, rng):
+        model = MLP(6, 3, hidden=(4,), rng=rng)
+        save_model(model, tmp_path / "model.npz")
+        wrong = MLP(6, 3, hidden=(5,), rng=rng)
+        with pytest.raises(Exception):
+            load_model(wrong, tmp_path / "model.npz")
+
+
+class TestHistoryCheckpoints:
+    def make_history(self):
+        history = TrainingHistory()
+        history.append(
+            RoundRecord(
+                round=0,
+                test_accuracy=0.5,
+                test_loss=1.2,
+                round_sim_time=0.3,
+                cumulative_sim_time=0.3,
+                round_wall_time=0.1,
+                participating=[0, 1, 2],
+                alphas={0: 0.2, 1: 0.4},
+                expelled=[2],
+                update_norms={0: 1.5},
+            )
+        )
+        return history
+
+    def test_round_trip(self, tmp_path):
+        history = self.make_history()
+        save_history(history, tmp_path / "history.json")
+        restored = load_history(tmp_path / "history.json")
+        assert len(restored) == 1
+        record = restored.records[0]
+        assert record.test_accuracy == pytest.approx(0.5)
+        assert record.alphas == {0: 0.2, 1: 0.4}
+        assert record.expelled == [2]
+        assert record.update_norms == {0: 1.5}
+
+    def test_metrics_survive(self, tmp_path):
+        history = self.make_history()
+        save_history(history, tmp_path / "h.json")
+        restored = load_history(tmp_path / "h.json")
+        assert restored.rounds_to_accuracy(0.4) == 1
+        assert restored.time_to_accuracy(0.4) == pytest.approx(0.3)

@@ -1,0 +1,102 @@
+"""Tests for the Client / Server round mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg
+from repro.data import TensorDataset
+from repro.fl import Client, CostModel, Server
+from repro.fl.state import ClientUpdate
+from repro.nn.models import MLP
+
+
+@pytest.fixture
+def setup(rng):
+    dataset = TensorDataset(rng.normal(size=(40, 5)), rng.integers(0, 3, 40))
+    model = MLP(5, 3, hidden=(6,), rng=rng)
+    strategy = FedAvg(local_lr=0.05, local_steps=4)
+    client = Client(0, dataset, batch_size=8, rng=np.random.default_rng(1))
+    return model, strategy, client
+
+
+class TestClient:
+    def test_local_round_returns_delta(self, setup):
+        model, strategy, client = setup
+        start = model.parameters_vector()
+        update = client.local_round(model, strategy, start, {}, CostModel())
+        assert update.delta.shape == start.shape
+        assert update.delta_norm > 0
+        assert update.num_steps == 4
+        assert update.num_samples == 40
+        assert update.sim_time > 0
+        assert update.wall_time > 0
+
+    def test_does_not_mutate_global_params(self, setup):
+        model, strategy, client = setup
+        start = model.parameters_vector()
+        reference = start.copy()
+        client.local_round(model, strategy, start, {}, CostModel())
+        np.testing.assert_allclose(start, reference)
+
+    def test_delta_equals_k_steps_of_sgd(self, setup):
+        """Delta_i^t must equal w_{i,0} - w_{i,K} for plain FedAvg."""
+        model, strategy, client = setup
+        start = model.parameters_vector()
+        update = client.local_round(model, strategy, start, {}, CostModel())
+        # Replay with an identically-seeded client.
+        replay_client = Client(0, client.dataset, 8, np.random.default_rng(1))
+        replay = replay_client.local_round(model, strategy, start, {}, CostModel())
+        np.testing.assert_allclose(update.delta, replay.delta)
+
+    def test_start_shift_moves_initialisation(self, setup):
+        model, strategy, client = setup
+        start = model.parameters_vector()
+        shift = np.full_like(start, 0.01)
+        plain_client = Client(0, client.dataset, 8, np.random.default_rng(1))
+        shifted_client = Client(0, client.dataset, 8, np.random.default_rng(1))
+        plain = plain_client.local_round(model, strategy, start, {}, CostModel())
+        shifted = shifted_client.local_round(
+            model, strategy, start, {"start_shift": shift}, CostModel()
+        )
+        assert not np.allclose(plain.delta, shifted.delta)
+
+    def test_speed_factor_scales_sim_time(self, setup):
+        model, strategy, _ = setup
+        dataset = TensorDataset(np.random.default_rng(0).normal(size=(20, 5)), np.zeros(20, dtype=int))
+        slow = Client(0, dataset, 8, np.random.default_rng(1), speed_factor=2.0)
+        fast = Client(1, dataset, 8, np.random.default_rng(1), speed_factor=1.0)
+        start = model.parameters_vector()
+        slow_update = slow.local_round(model, strategy, start, {}, CostModel())
+        fast_update = fast.local_round(model, strategy, start, {}, CostModel())
+        assert slow_update.sim_time == pytest.approx(2 * fast_update.sim_time)
+
+
+class TestServer:
+    def test_aggregation_steps_model(self):
+        server = Server(np.zeros(4), global_lr=0.5, num_clients=2)
+        strategy = FedAvg(local_lr=0.1, local_steps=2)
+        updates = [
+            ClientUpdate(0, np.full(4, 0.2), 10, 2, 0.1),
+            ClientUpdate(1, np.full(4, 0.4), 10, 2, 0.1),
+        ]
+        new_params = server.run_aggregation(strategy, updates)
+        # Delta = mean(0.2, 0.4) / (K*eta_l) = 0.3 / 0.2 = 1.5; step 0.5 * 1.5
+        np.testing.assert_allclose(new_params, np.full(4, -0.75))
+        assert server.state.round == 1
+        np.testing.assert_allclose(server.state.prev_global_params, np.zeros(4))
+
+    def test_fedavg_with_eta_g_k_eta_l_averages_models(self, rng):
+        """With eta_g = K*eta_l the FedAvg step equals model averaging."""
+        strategy = FedAvg(local_lr=0.1, local_steps=5)
+        w0 = rng.normal(size=6)
+        local_ends = [w0 + rng.normal(size=6) for _ in range(3)]
+        updates = [
+            ClientUpdate(i, w0 - end, 10, 5, 0.1) for i, end in enumerate(local_ends)
+        ]
+        server = Server(w0, global_lr=0.5, num_clients=3)  # 5 * 0.1
+        new_params = server.run_aggregation(strategy, updates)
+        np.testing.assert_allclose(new_params, np.mean(local_ends, axis=0))
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Server(np.zeros(2), global_lr=0.0, num_clients=1)

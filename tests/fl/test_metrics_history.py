@@ -1,0 +1,118 @@
+"""Tests for evaluation metrics and training history."""
+
+import numpy as np
+import pytest
+
+from repro.data import TensorDataset
+from repro.fl import RoundRecord, TrainingHistory, evaluate, instability, rounds_to_target, time_to_target
+from repro.nn.models import MLP
+
+
+class TestEvaluate:
+    def test_perfect_model(self, rng):
+        # A dataset the model can memorise exactly via a lookup structure is
+        # hard to build; instead check evaluate() agrees with a manual pass.
+        model = MLP(4, 3, hidden=(6,), rng=rng)
+        ds = TensorDataset(rng.normal(size=(30, 4)), rng.integers(0, 3, 30))
+        accuracy, loss = evaluate(model, ds, batch_size=7)
+        from repro.autograd import Tensor
+
+        logits = model(Tensor(ds.features))
+        manual_acc = (logits.data.argmax(axis=1) == ds.labels).mean()
+        assert accuracy == pytest.approx(manual_acc)
+        assert loss > 0
+
+    def test_restores_training_mode(self, rng):
+        model = MLP(4, 2, hidden=(3,), rng=rng)
+        ds = TensorDataset(rng.normal(size=(10, 4)), rng.integers(0, 2, 10))
+        model.train()
+        evaluate(model, ds)
+        assert model.training
+
+    def test_empty_dataset_raises(self, rng):
+        model = MLP(2, 2, hidden=(2,), rng=rng)
+        with pytest.raises(ValueError):
+            evaluate(model, TensorDataset(np.zeros((0, 2)), np.zeros(0, dtype=int)))
+
+
+class TestTargetExtraction:
+    def test_rounds_to_target(self):
+        acc = np.array([0.1, 0.3, 0.5, 0.7])
+        assert rounds_to_target(acc, 0.5) == 3
+        assert rounds_to_target(acc, 0.05) == 1
+        assert rounds_to_target(acc, 0.9) is None
+
+    def test_time_to_target(self):
+        acc = np.array([0.2, 0.6, 0.8])
+        times = np.array([1.0, 2.5, 4.0])
+        assert time_to_target(acc, times, 0.6) == pytest.approx(2.5)
+        assert time_to_target(acc, times, 0.99) is None
+
+    def test_instability_flat_curve_zero(self):
+        assert instability(np.full(10, 0.5)) == pytest.approx(0.0)
+
+    def test_instability_orders_curves(self):
+        smooth = np.linspace(0.1, 0.9, 20)
+        shaky = smooth + 0.1 * np.sin(np.arange(20) * 2.0)
+        assert instability(shaky) > instability(smooth)
+
+    def test_instability_short_series(self):
+        assert instability(np.array([0.5])) == 0.0
+
+
+def make_history(accuracies, times=None, alphas=None):
+    history = TrainingHistory()
+    cumulative = 0.0
+    for i, acc in enumerate(accuracies):
+        step_time = times[i] if times else 1.0
+        cumulative += step_time
+        history.append(
+            RoundRecord(
+                round=i,
+                test_accuracy=acc,
+                test_loss=1.0 - acc,
+                round_sim_time=step_time,
+                cumulative_sim_time=cumulative,
+                round_wall_time=0.0,
+                alphas=alphas[i] if alphas else {},
+            )
+        )
+    return history
+
+
+class TestTrainingHistory:
+    def test_series(self):
+        history = make_history([0.1, 0.5, 0.7])
+        np.testing.assert_allclose(history.accuracies, [0.1, 0.5, 0.7])
+        assert history.final_accuracy == pytest.approx(0.7)
+        assert history.best_accuracy == pytest.approx(0.7)
+        assert len(history) == 3
+
+    def test_best_not_final(self):
+        history = make_history([0.1, 0.8, 0.6])
+        assert history.best_accuracy == pytest.approx(0.8)
+        assert history.final_accuracy == pytest.approx(0.6)
+
+    def test_round_and_time_to_accuracy(self):
+        history = make_history([0.2, 0.6, 0.9], times=[2.0, 3.0, 4.0])
+        assert history.rounds_to_accuracy(0.6) == 2
+        assert history.time_to_accuracy(0.6) == pytest.approx(5.0)
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().final_accuracy
+
+    def test_mean_alpha_by_client(self):
+        history = make_history(
+            [0.1, 0.2],
+            alphas=[{0: 0.2, 1: 0.4}, {0: 0.4, 1: 0.8}],
+        )
+        means = history.mean_alpha_by_client()
+        assert means[0] == pytest.approx(0.3)
+        assert means[1] == pytest.approx(0.6)
+
+    def test_expelled_clients_accumulate(self):
+        history = make_history([0.1, 0.2])
+        history.records[0].expelled.append(3)
+        history.records[1].expelled.append(5)
+        assert history.expelled_clients == [3, 5]

@@ -1,0 +1,123 @@
+"""Tests for participation schemes and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.fl.sampling import AvailabilitySampling, FullParticipation, UniformSampling
+from repro.nn.module import Parameter
+from repro.optim import SGD, CosineAnnealingLR, InverseSqrtLR, StepLR
+
+
+class TestFullParticipation:
+    def test_returns_all(self, rng):
+        assert FullParticipation().select([3, 1, 4], 0, rng) == [3, 1, 4]
+
+
+class TestUniformSampling:
+    def test_fraction_selected(self, rng):
+        chosen = UniformSampling(0.5).select(list(range(10)), 0, rng)
+        assert len(chosen) == 5
+        assert set(chosen) <= set(range(10))
+
+    def test_at_least_one(self, rng):
+        assert len(UniformSampling(0.01).select([0, 1], 0, rng)) == 1
+
+    def test_no_duplicates(self, rng):
+        chosen = UniformSampling(0.8).select(list(range(20)), 0, rng)
+        assert len(set(chosen)) == len(chosen)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            UniformSampling(0.0)
+        with pytest.raises(ValueError):
+            UniformSampling(1.5)
+
+
+class TestAvailabilitySampling:
+    def test_scalar_probability(self):
+        sampler = AvailabilitySampling(0.5)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(10)
+        for round_index in range(400):
+            for cid in sampler.select(list(range(10)), round_index, rng):
+                counts[cid] += 1
+        assert 0.35 < counts.mean() / 400 < 0.65
+
+    def test_per_client_probabilities(self):
+        sampler = AvailabilitySampling({0: 0.95, 1: 0.05})
+        rng = np.random.default_rng(1)
+        selections = [sampler.select([0, 1], r, rng) for r in range(300)]
+        count0 = sum(0 in s for s in selections)
+        count1 = sum(1 in s for s in selections)
+        assert count0 > 4 * count1
+
+    def test_never_empty(self):
+        sampler = AvailabilitySampling(0.01)
+        rng = np.random.default_rng(2)
+        for round_index in range(50):
+            assert sampler.select([0, 1, 2], round_index, rng)
+
+    def test_unlisted_client_always_available(self, rng):
+        sampler = AvailabilitySampling({0: 0.5})
+        assert sampler._prob(99) == 1.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            AvailabilitySampling(0.0)
+        with pytest.raises(ValueError):
+            AvailabilitySampling({0: 1.5})
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_period(self):
+        opt = make_opt()
+        scheduler = StepLR(opt, period=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), period=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), period=1, gamma=0.0)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        opt = make_opt()
+        scheduler = CosineAnnealingLR(opt, total_steps=10, min_lr=0.1)
+        first = scheduler.step()
+        for _ in range(9):
+            last = scheduler.step()
+        assert first < 1.0
+        assert last == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        opt = make_opt()
+        scheduler = CosineAnnealingLR(opt, total_steps=20)
+        lrs = [scheduler.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_total(self):
+        opt = make_opt()
+        scheduler = CosineAnnealingLR(opt, total_steps=3, min_lr=0.2)
+        for _ in range(10):
+            lr = scheduler.step()
+        assert lr == pytest.approx(0.2)
+
+
+class TestInverseSqrt:
+    def test_formula(self):
+        opt = make_opt()
+        scheduler = InverseSqrtLR(opt, period=1)
+        assert scheduler.step() == pytest.approx(1 / np.sqrt(2))
+        assert scheduler.step() == pytest.approx(1 / np.sqrt(3))
+
+    def test_mutates_optimizer(self):
+        opt = make_opt(lr=0.5)
+        InverseSqrtLR(opt, period=4).step()
+        assert opt.lr < 0.5

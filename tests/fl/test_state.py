@@ -1,0 +1,64 @@
+"""Tests for FL state containers and vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.fl import ClientUpdate, ServerState, cosine_similarity, weighted_average
+
+
+class TestServerState:
+    def test_advance(self):
+        state = ServerState(global_params=np.zeros(3))
+        new = np.ones(3)
+        delta = np.full(3, 0.5)
+        state.advance(new, delta)
+        assert state.round == 1
+        np.testing.assert_allclose(state.global_params, new)
+        np.testing.assert_allclose(state.prev_global_params, np.zeros(3))
+        np.testing.assert_allclose(state.global_delta, delta)
+
+    def test_dim(self):
+        assert ServerState(global_params=np.zeros(7)).dim == 7
+
+
+class TestClientUpdate:
+    def test_delta_norm(self):
+        update = ClientUpdate(0, np.array([3.0, 4.0]), 10, 5, 0.1)
+        assert update.delta_norm == pytest.approx(5.0)
+
+
+class TestCosineSimilarity:
+    def test_parallel(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([2.0, 0.0])) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity(np.array([1.0]), np.array([-1.0])) == pytest.approx(-1.0)
+
+    def test_zero_vector_returns_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_bounded(self, rng):
+        for _ in range(20):
+            a, b = rng.normal(size=(2, 8))
+            assert -1.0 - 1e-12 <= cosine_similarity(a, b) <= 1.0 + 1e-12
+
+
+class TestWeightedAverage:
+    def test_uniform_weights(self):
+        out = weighted_average([np.array([1.0]), np.array([3.0])], [1.0, 1.0])
+        np.testing.assert_allclose(out, [2.0])
+
+    def test_weights_normalised(self):
+        out = weighted_average([np.array([1.0]), np.array([3.0])], [10.0, 30.0])
+        np.testing.assert_allclose(out, [2.5])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average([], [])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_average([np.ones(2)], [0.0])

@@ -1,0 +1,71 @@
+"""Tests for the simulated computation-time model."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_strategy
+from repro.fl import ComputeProfile, CostModel, sample_speed_factors
+
+
+class TestComputeProfile:
+    def test_default_is_plain_sgd(self):
+        profile = ComputeProfile()
+        assert profile.grad == 1
+        assert profile.extra_grad == profile.prox == profile.correction == 0
+
+    def test_units_dict(self):
+        units = ComputeProfile(grad=1, prox=2).units()
+        assert units["grad"] == 1
+        assert units["prox"] == 2
+
+
+class TestCostModel:
+    def test_baseline_step(self):
+        model = CostModel(base_step_seconds=0.01)
+        assert model.step_seconds(ComputeProfile()) == pytest.approx(0.01)
+
+    def test_round_scales_with_steps(self):
+        model = CostModel(base_step_seconds=0.01)
+        assert model.round_seconds(ComputeProfile(), 100) == pytest.approx(1.0)
+
+    def test_speed_factor(self):
+        model = CostModel(base_step_seconds=0.01)
+        assert model.step_seconds(ComputeProfile(), speed_factor=1.5) == pytest.approx(0.015)
+
+    def test_relative_overheads_match_table1(self):
+        """The calibrated defaults should reproduce the paper's Table I
+        overhead ordering and approximate magnitudes (FMNIST CNN row)."""
+        model = CostModel()
+        overhead = {
+            name: model.relative_overhead(make_strategy(name).compute_profile())
+            for name in ("fedavg", "fedprox", "foolsgold", "scaffold", "stem", "fedacg", "taco")
+        }
+        assert overhead["fedavg"] == pytest.approx(0.0)
+        assert overhead["foolsgold"] == pytest.approx(0.0)  # server-side only
+        assert overhead["fedprox"] == pytest.approx(0.235, abs=0.05)
+        assert overhead["scaffold"] == pytest.approx(0.077, abs=0.02)
+        assert overhead["stem"] == pytest.approx(0.41, abs=0.05)
+        assert overhead["fedacg"] == pytest.approx(0.2415, abs=0.05)
+        # TACO: Low overhead, between FedAvg and Scaffold-level
+        assert 0.0 < overhead["taco"] < overhead["scaffold"]
+        # Ordering: STEM worst, then FedACG/FedProx, then Scaffold, then TACO
+        assert overhead["stem"] > overhead["fedacg"] >= overhead["fedprox"] > overhead["scaffold"] > overhead["taco"]
+
+    def test_scaled_for_model(self):
+        small = CostModel.scaled_for_model(30_000)
+        big = CostModel.scaled_for_model(300_000)
+        assert big.base_step_seconds == pytest.approx(10 * small.base_step_seconds)
+
+
+class TestSpeedFactors:
+    def test_range(self, rng):
+        factors = sample_speed_factors(100, rng, spread=0.3)
+        assert factors.min() >= 1.0
+        assert factors.max() <= 1.3
+
+    def test_zero_spread_homogeneous(self, rng):
+        np.testing.assert_allclose(sample_speed_factors(5, rng, spread=0.0), np.ones(5))
+
+    def test_negative_spread_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_speed_factors(5, rng, spread=-0.1)

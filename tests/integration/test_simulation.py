@@ -1,0 +1,135 @@
+"""Integration tests: full federated training runs on every algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALL_ALGORITHMS, make_strategy
+from repro.experiments import ExperimentConfig, build_environment, run_algorithm, run_suite
+from repro.fl import FederatedSimulation, Client, CostModel
+from repro.data import load_dataset, IIDPartitioner
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS + ("taco-prox", "taco-scaffold"))
+    def test_every_algorithm_completes(self, tiny_config, name):
+        result = run_algorithm(tiny_config, name)
+        assert len(result.history) >= 1
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.final_params.shape == result.output_params.shape
+
+    def test_deterministic_given_seed(self, tiny_config):
+        a = run_algorithm(tiny_config, "fedavg")
+        b = run_algorithm(tiny_config, "fedavg")
+        np.testing.assert_allclose(a.final_params, b.final_params)
+        np.testing.assert_allclose(a.history.accuracies, b.history.accuracies)
+
+    def test_different_seeds_differ(self, tiny_config):
+        a = run_algorithm(tiny_config, "fedavg")
+        b = run_algorithm(tiny_config.with_overrides(seed=5), "fedavg")
+        assert not np.allclose(a.final_params, b.final_params)
+
+    def test_all_algorithms_share_initialisation(self, tiny_config):
+        """Fair comparison: every algorithm must start from the same w_0."""
+        results = run_suite(tiny_config, ["fedavg", "taco"])
+        fa = results["fedavg"].history.records[0]
+        tc = results["taco"].history.records[0]
+        assert fa.participating == tc.participating
+
+    def test_image_pipeline(self, tiny_image_config):
+        result = run_algorithm(tiny_image_config, "taco")
+        assert len(result.history) == tiny_image_config.rounds
+
+    def test_training_improves_over_initial(self, tiny_config):
+        config = tiny_config.with_overrides(rounds=6, local_steps=8)
+        result = run_algorithm(config, "fedavg")
+        accuracies = result.history.accuracies
+        assert accuracies[-1] >= accuracies[0] - 0.05
+
+    def test_history_time_accounting(self, tiny_config):
+        result = run_algorithm(tiny_config, "stem")
+        times = result.history.cumulative_times
+        assert np.all(np.diff(times) > 0)
+        np.testing.assert_allclose(
+            times, np.cumsum(result.history.round_times), atol=1e-12
+        )
+
+    def test_stem_costs_more_sim_time_than_fedavg(self, tiny_config):
+        results = run_suite(tiny_config, ["fedavg", "stem"])
+        assert (
+            results["stem"].history.cumulative_times[-1]
+            > results["fedavg"].history.cumulative_times[-1]
+        )
+
+
+class TestSimulationMechanics:
+    def test_eval_every_skips_evaluations(self, tiny_config):
+        config = tiny_config.with_overrides(rounds=4, eval_every=2)
+        result = run_algorithm(config, "fedavg")
+        accs = result.history.accuracies
+        assert accs[0] == accs[0]  # rounds 1 and 3 reuse previous values
+        assert len(accs) == 4
+
+    def test_unique_client_ids_enforced(self, rng):
+        bundle = load_dataset("adult", 100, 40, seed=0)
+        part = IIDPartitioner().partition(bundle.train.labels, 2, rng)
+        clients = [
+            Client(0, bundle.train.subset(part[0]), 8, np.random.default_rng(0)),
+            Client(0, bundle.train.subset(part[1]), 8, np.random.default_rng(1)),
+        ]
+        model = bundle.spec.make_model()
+        with pytest.raises(ValueError):
+            FederatedSimulation(model, clients, make_strategy("fedavg"), bundle.test)
+
+    def test_zero_rounds_rejected(self, rng):
+        bundle = load_dataset("adult", 100, 40, seed=0)
+        part = IIDPartitioner().partition(bundle.train.labels, 2, rng)
+        clients = [
+            Client(i, bundle.train.subset(p), 8, np.random.default_rng(i))
+            for i, p in enumerate(part)
+        ]
+        sim = FederatedSimulation(
+            bundle.spec.make_model(), clients, make_strategy("fedavg"), bundle.test
+        )
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_global_lr_default_is_k_eta_l(self, rng):
+        bundle = load_dataset("adult", 100, 40, seed=0)
+        part = IIDPartitioner().partition(bundle.train.labels, 2, rng)
+        clients = [
+            Client(i, bundle.train.subset(p), 8, np.random.default_rng(i))
+            for i, p in enumerate(part)
+        ]
+        strategy = make_strategy("fedavg", local_lr=0.02, local_steps=7)
+        sim = FederatedSimulation(bundle.spec.make_model(), clients, strategy, bundle.test)
+        assert sim.global_lr == pytest.approx(0.14)
+
+
+class TestFreeloaderIntegration:
+    def test_freeloaders_in_simulation(self, tiny_config):
+        config = tiny_config.with_overrides(num_freeloaders=1, rounds=4)
+        result = run_algorithm(config, "taco")
+        assert len(result.history) >= 1
+
+    def test_environment_marks_freeloaders(self, tiny_config):
+        config = tiny_config.with_overrides(num_freeloaders=2)
+        env = build_environment(config)
+        assert len(env.freeloader_ids) == 2
+        assert len(env.benign_ids) == config.num_clients - 2
+
+    def test_freeloader_detection_expels(self):
+        config = ExperimentConfig(
+            dataset="adult",
+            num_clients=6,
+            num_freeloaders=2,
+            rounds=8,
+            local_steps=6,
+            train_size=300,
+            test_size=100,
+            seed=4,
+        )
+        env = build_environment(config)
+        result = run_algorithm(config, "taco", kappa=0.6, expulsion_limit=2)
+        expelled = set(result.history.expelled_clients)
+        # At least one true freeloader must be caught in this regime.
+        assert expelled & set(env.freeloader_ids)

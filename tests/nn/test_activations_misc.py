@@ -1,0 +1,60 @@
+"""Tests for activation layers and init schemes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.init import kaiming_uniform, uniform_bias, xavier_uniform, zeros, ones
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = ReLU()(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_tanh_range(self, rng):
+        out = Tanh()(Tensor(rng.normal(scale=5, size=100)))
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid()(Tensor(rng.normal(scale=5, size=100)))
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.normal(size=(4, 2, 3, 5))))
+        assert out.shape == (4, 30)
+
+
+class TestInit:
+    def test_kaiming_bound(self):
+        rng = np.random.default_rng(0)
+        weights = kaiming_uniform((100, 50), fan_in=50, rng=rng)
+        bound = math.sqrt(6.0 / 50)
+        assert np.abs(weights).max() <= bound
+
+    def test_xavier_bound(self):
+        rng = np.random.default_rng(0)
+        weights = xavier_uniform((40, 60), fan_in=60, fan_out=40, rng=rng)
+        bound = math.sqrt(6.0 / 100)
+        assert np.abs(weights).max() <= bound
+
+    def test_uniform_bias_bound(self):
+        rng = np.random.default_rng(0)
+        bias = uniform_bias((200,), fan_in=16, rng=rng)
+        assert np.abs(bias).max() <= 0.25
+
+    def test_zero_fan_in_gives_zeros(self):
+        rng = np.random.default_rng(0)
+        np.testing.assert_allclose(kaiming_uniform((3, 0), fan_in=0, rng=rng), 0.0)
+
+    def test_zeros_ones(self):
+        np.testing.assert_allclose(zeros((2, 2)), 0.0)
+        np.testing.assert_allclose(ones((2, 2)), 1.0)
+
+    def test_deterministic_given_generator(self):
+        a = kaiming_uniform((5, 5), 5, np.random.default_rng(3))
+        b = kaiming_uniform((5, 5), 5, np.random.default_rng(3))
+        np.testing.assert_allclose(a, b)

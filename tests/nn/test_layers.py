@@ -1,0 +1,219 @@
+"""Layer-level tests: shapes, semantics, and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    LSTM,
+    LSTMCell,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+)
+from repro.nn.loss import CrossEntropyLoss, L2Regularizer, MSELoss
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        assert layer(Tensor(np.ones((7, 5)))).shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 15
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, rng=np.random.default_rng(7))
+        b = Linear(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.parameters_vector(), b.parameters_vector())
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert check_gradients(lambda x: (layer(x) ** 2).sum(), [x])
+
+
+class TestConvLayer:
+    def test_shapes(self, rng):
+        layer = Conv2d(3, 8, 5, padding=2, rng=rng)
+        assert layer(Tensor(np.ones((2, 3, 16, 16)))).shape == (2, 8, 16, 16)
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        assert check_gradients(lambda x: layer(x).sum(), [x], atol=1e-3)
+
+
+class TestPoolingLayers:
+    def test_max_pool_layer(self, rng):
+        assert MaxPool2d(2)(Tensor(np.ones((1, 2, 8, 8)))).shape == (1, 2, 4, 4)
+
+    def test_avg_pool_layer(self, rng):
+        assert AvgPool2d(4)(Tensor(np.ones((1, 2, 8, 8)))).shape == (1, 2, 2, 2)
+
+    def test_global_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(3, 5, 4, 4)))
+        out = GlobalAvgPool2d()(x)
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)))
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(loc=5.0, scale=2.0, size=(8, 3, 4, 4)))
+        out = bn(x)
+        means = out.data.mean(axis=(0, 2, 3))
+        stds = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, np.zeros(3), atol=1e-6)
+        np.testing.assert_allclose(stds, np.ones(3), atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(loc=3.0, size=(16, 2, 2, 2)))
+        bn(x)
+        assert np.all(bn.running_mean != 0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(8, 2, 2, 2)))
+        for _ in range(30):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        bn.train()
+        out_train = bn(x)
+        np.testing.assert_allclose(out_eval.data, out_train.data, atol=0.3)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(2)(Tensor(np.ones((3, 2))))
+
+    def test_gradcheck(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        assert check_gradients(lambda x: (bn(x) ** 2).sum(), [x], atol=1e-3)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self, rng):
+        ln = LayerNorm(6)
+        x = Tensor(rng.normal(loc=4.0, size=(5, 6)))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-8)
+
+    def test_gradcheck(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert check_gradients(lambda x: (ln(x) ** 2).sum(), [x], atol=1e-3)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_training_zeroes_fraction(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x)
+        zero_fraction = (out.data == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_inverted_scaling_preserves_mean(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((200, 200)))
+        assert drop(x).data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([[1, 2], [3, 4]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_gradient_accumulates_repeated_ids(self, rng):
+        emb = Embedding(4, 3, rng=rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[1], np.full(3, 2.0))
+        np.testing.assert_allclose(grad[2], np.ones(3))
+        np.testing.assert_allclose(grad[0], np.zeros(3))
+
+
+class TestLSTM:
+    def test_cell_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng=rng)
+        h, c = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_sequence_shapes(self, rng):
+        lstm = LSTM(4, 6, rng=rng)
+        seq, (h, c) = lstm(Tensor(np.ones((2, 5, 4))))
+        assert seq.shape == (2, 5, 6)
+        assert h.shape == (2, 6)
+        np.testing.assert_allclose(seq.data[:, -1, :], h.data)
+
+    def test_gradcheck_cell(self, rng):
+        cell = LSTMCell(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(np.zeros((2, 2)))
+        c = Tensor(np.zeros((2, 2)))
+        assert check_gradients(lambda x: cell(x, h, c)[0].sum(), [x])
+
+    def test_gradient_flows_through_time(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+        seq, _ = lstm(x)
+        seq[:, -1, :].sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad[0, 0]).sum() > 0  # earliest step receives gradient
+
+
+class TestLosses:
+    def test_mse(self):
+        loss = MSELoss()(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_cross_entropy_module(self, rng):
+        loss_fn = CrossEntropyLoss()
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        loss = loss_fn(logits, rng.integers(0, 3, size=4))
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_l2_regularizer_gradient(self, rng):
+        model = Linear(3, 2, rng=rng)
+        anchor = model.parameters_vector() + 1.0
+        reg = L2Regularizer(0.4)
+        model.zero_grad()
+        reg(model, anchor).backward()
+        expected = 0.4 * (model.parameters_vector() - anchor)
+        np.testing.assert_allclose(model.gradient_vector(), expected, atol=1e-12)
+
+    def test_l2_regularizer_zero_at_anchor(self, rng):
+        model = Linear(3, 2, rng=rng)
+        reg = L2Regularizer(1.0)
+        assert reg(model, model.parameters_vector()).item() == pytest.approx(0.0)

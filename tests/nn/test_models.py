@@ -1,0 +1,119 @@
+"""Tests for the paper's four model architectures."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, cross_entropy
+from repro.nn.models import MLP, CharLSTM, PaperCNN, ResNet18
+from repro.optim import SGD
+
+
+class TestMLP:
+    def test_paper_architecture(self):
+        model = MLP(14, 2)  # the paper's adult MLP: hidden (32, 16, 8)
+        widths = [p.shape for _, p in model.named_parameters() if p.ndim == 2]
+        assert widths == [(32, 14), (16, 32), (8, 16), (2, 8)]
+
+    def test_forward_shape(self, rng):
+        model = MLP(10, 3, hidden=(8,), rng=rng)
+        assert model(Tensor(np.ones((5, 10)))).shape == (5, 3)
+
+    def test_flattens_higher_rank_input(self, rng):
+        model = MLP(12, 2, hidden=(4,), rng=rng)
+        assert model(Tensor(np.ones((5, 3, 4)))).shape == (5, 2)
+
+    def test_trains_on_separable_data(self, rng):
+        features = np.vstack([rng.normal(-2, 1, (40, 4)), rng.normal(2, 1, (40, 4))])
+        labels = np.array([0] * 40 + [1] * 40)
+        model = MLP(4, 2, hidden=(8,), rng=rng)
+        opt = SGD(model.parameters(), lr=0.1)
+        for _ in range(60):
+            opt.zero_grad()
+            loss = cross_entropy(model(Tensor(features)), labels)
+            loss.backward()
+            opt.step()
+        predictions = model(Tensor(features)).data.argmax(axis=1)
+        assert (predictions == labels).mean() > 0.95
+
+
+class TestPaperCNN:
+    def test_forward_shapes(self, rng):
+        for size, channels in [(28, 1), (32, 3)]:
+            model = PaperCNN(channels, size, 10, width_multiplier=0.25, rng=rng)
+            out = model(Tensor(np.ones((2, channels, size, size))))
+            assert out.shape == (2, 10)
+
+    def test_has_two_conv_three_fc(self):
+        model = PaperCNN(1, 28, 10)
+        conv_params = [n for n, p in model.named_parameters() if "conv" in n and p.ndim == 4]
+        fc_params = [n for n, p in model.named_parameters() if "fc" in n and p.ndim == 2]
+        assert len(conv_params) == 2
+        assert len(fc_params) == 3
+
+    def test_kernel_size_is_five(self):
+        model = PaperCNN(1, 28, 10)
+        assert model.conv1.kernel_size == 5
+        assert model.conv2.kernel_size == 5
+
+    def test_width_multiplier_shrinks(self):
+        full = PaperCNN(1, 28, 10, width_multiplier=1.0)
+        slim = PaperCNN(1, 28, 10, width_multiplier=0.25)
+        assert slim.num_parameters() < full.num_parameters()
+
+    def test_backward_flows_to_first_conv(self, rng):
+        model = PaperCNN(1, 28, 10, width_multiplier=0.25, rng=rng)
+        loss = cross_entropy(model(Tensor(rng.normal(size=(2, 1, 28, 28)))), np.array([0, 1]))
+        loss.backward()
+        assert np.abs(model.conv1.weight.grad).sum() > 0
+
+
+class TestResNet18:
+    def test_default_is_resnet18(self):
+        model = ResNet18(3, 10, width_multiplier=0.05)
+        # 8 basic blocks = the [2, 2, 2, 2] ResNet-18 structure
+        assert len(model._blocks) == 8
+
+    def test_forward_shape(self, rng):
+        model = ResNet18(3, 7, width_multiplier=0.1, blocks_per_stage=(1, 1, 1, 1), rng=rng)
+        assert model(Tensor(np.ones((2, 3, 16, 16)))).shape == (2, 7)
+
+    def test_projection_shortcut_on_stride(self, rng):
+        model = ResNet18(3, 4, width_multiplier=0.1, blocks_per_stage=(1, 1, 1, 1), rng=rng)
+        assert model._blocks[0].shortcut_conv is None  # same width, stride 1
+        assert model._blocks[1].shortcut_conv is not None  # downsample
+
+    def test_backward_flows_to_stem(self, rng):
+        model = ResNet18(3, 4, width_multiplier=0.1, blocks_per_stage=(1, 1, 1, 1), rng=rng)
+        loss = cross_entropy(model(Tensor(rng.normal(size=(2, 3, 8, 8)))), np.array([0, 1]))
+        loss.backward()
+        assert np.abs(model.stem_conv.weight.grad).sum() > 0
+
+    def test_paper_scale_parameter_count(self):
+        model = ResNet18(3, 100, width_multiplier=1.0)
+        # torchvision's CIFAR ResNet-18 with 100 classes is ~11.2M params.
+        assert 10_000_000 < model.num_parameters() < 12_500_000
+
+
+class TestCharLSTM:
+    def test_forward_shape(self, rng):
+        model = CharLSTM(30, embedding_dim=4, hidden_size=8, rng=rng)
+        ids = rng.integers(0, 30, size=(5, 12))
+        assert model(ids).shape == (5, 30)
+
+    def test_accepts_tensor_input(self, rng):
+        model = CharLSTM(10, 4, 8, rng=rng)
+        ids = Tensor(rng.integers(0, 10, size=(2, 6)).astype(float))
+        assert model(ids).shape == (2, 10)
+
+    def test_learns_constant_next_char(self, rng):
+        # Sequences always followed by char 3 — trivially learnable.
+        model = CharLSTM(5, 4, 8, rng=rng)
+        opt = SGD(model.parameters(), lr=0.5)
+        ids = rng.integers(0, 5, size=(16, 6))
+        targets = np.full(16, 3)
+        for _ in range(40):
+            opt.zero_grad()
+            loss = cross_entropy(model(ids), targets)
+            loss.backward()
+            opt.step()
+        assert (model(ids).data.argmax(axis=1) == 3).all()

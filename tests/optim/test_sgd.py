@@ -1,0 +1,85 @@
+"""Tests for the SGD optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = quadratic_param(3.0)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.8])
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param(1.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        p.grad = np.array([1.0])
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay(self):
+        p = quadratic_param(10.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 1.0])
+
+    def test_minimises_quadratic(self):
+        p = Parameter(np.array([4.0, -3.0]))
+        opt = SGD([p], lr=0.2, momentum=0.3)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad = 2 * p.data  # grad of ||p||^2
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_invalid_hyperparameters(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_state_dict_contains_settings(self):
+        opt = SGD([quadratic_param()], lr=0.3, momentum=0.2, weight_decay=0.01)
+        state = opt.state_dict()
+        assert state["lr"] == 0.3
+        assert state["momentum"] == 0.2
+        assert state["weight_decay"] == 0.01
+
+    def test_trains_linear_layer(self, rng):
+        layer = Linear(3, 1, rng=rng)
+        x = Tensor(rng.normal(size=(20, 3)))
+        target = x.data @ np.array([1.0, -2.0, 0.5])
+        opt = SGD(layer.parameters(), lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            pred = layer(x)
+            loss = ((pred.reshape(-1) - Tensor(target)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3

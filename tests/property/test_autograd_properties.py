@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, cross_entropy, log_softmax, softmax
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_add_neutral_element(data):
+    t = Tensor(data, requires_grad=True)
+    out = t + np.zeros_like(data)
+    np.testing.assert_allclose(out.data, data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_mul_commutes_with_numpy(data):
+    t = Tensor(data)
+    np.testing.assert_allclose((t * 3.0).data, data * 3.0)
+    np.testing.assert_allclose((3.0 * t).data, 3.0 * data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_sum_gradient_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_mean_gradient_is_uniform(data):
+    t = Tensor(data, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(data, 1.0 / data.size))
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_linearity_of_gradients(data):
+    """grad of (a * f) is a * grad of f."""
+    t1 = Tensor(data.copy(), requires_grad=True)
+    (t1.tanh().sum()).backward()
+    t2 = Tensor(data.copy(), requires_grad=True)
+    (t2.tanh().sum() * 3.0).backward()
+    np.testing.assert_allclose(t2.grad, 3.0 * t1.grad, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 6)),
+        elements=st.floats(-30, 30, allow_nan=False),
+    )
+)
+def test_softmax_is_distribution(logits):
+    probs = softmax(Tensor(logits), axis=1).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(len(logits)), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 6)),
+        elements=st.floats(-30, 30, allow_nan=False),
+    )
+)
+def test_log_softmax_shift_invariance(logits):
+    """log_softmax(x + c) == log_softmax(x)."""
+    base = log_softmax(Tensor(logits), axis=1).data
+    shifted = log_softmax(Tensor(logits + 7.5), axis=1).data
+    np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 5)),
+        elements=st.floats(-5, 5, allow_nan=False),
+    ),
+    st.integers(0, 10_000),
+)
+def test_cross_entropy_nonnegative(logits, seed):
+    targets = np.random.default_rng(seed).integers(0, logits.shape[1], size=len(logits))
+    loss = cross_entropy(Tensor(logits), targets)
+    assert loss.item() >= -1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_reshape_roundtrip_preserves_gradient(data):
+    t = Tensor(data, requires_grad=True)
+    t.reshape(-1).reshape(data.shape).sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))

@@ -1,0 +1,105 @@
+"""Property-based tests for FL invariants: partitions, alphas, aggregation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import TACO, FedAvg, FoolsGold
+from repro.data.partition import DirichletPartitioner, IIDPartitioner
+from repro.fl.state import ClientUpdate, ServerState
+
+
+@st.composite
+def label_arrays(draw):
+    n = draw(st.integers(40, 200))
+    classes = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 10_000))
+    return np.random.default_rng(seed).integers(0, classes, size=n)
+
+
+@st.composite
+def update_sets(draw):
+    n_clients = draw(st.integers(2, 8))
+    dim = draw(st.integers(2, 12))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return [
+        ClientUpdate(i, rng.normal(size=dim), 10, 4, 0.1) for i in range(n_clients)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(label_arrays(), st.integers(2, 10), st.integers(0, 1000))
+def test_partitions_are_exact_covers(labels, num_clients, seed):
+    """Every partitioner must assign each sample to exactly one client."""
+    if len(labels) < num_clients * 2:
+        return
+    rng = np.random.default_rng(seed)
+    for part in (IIDPartitioner(), DirichletPartitioner(0.5, min_samples_per_client=0)):
+        indices = part.partition(labels, num_clients, rng)
+        joined = np.concatenate(indices)
+        assert len(joined) == len(labels)
+        assert len(np.unique(joined)) == len(labels)
+
+
+@settings(max_examples=60, deadline=None)
+@given(update_sets())
+def test_taco_alphas_bounded(updates):
+    """Eq. (7) coefficients always land in [0, 1]."""
+    for alpha in TACO.compute_alphas(updates).values():
+        assert 0.0 <= alpha <= 1.0 + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(update_sets())
+def test_taco_aggregate_in_update_span(updates):
+    """Eq. (9)'s aggregate is a conic combination of the Delta_i scaled by
+    1/(K eta_l): its norm is bounded by the max update norm / (K eta_l)."""
+    taco = TACO(local_lr=0.1, local_steps=4)
+    state = ServerState(global_params=np.zeros(updates[0].delta.size), num_clients=len(updates))
+    delta = taco.aggregate(state, updates)
+    bound = max(np.linalg.norm(u.delta) for u in updates) / (4 * 0.1)
+    assert np.linalg.norm(delta) <= bound + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(update_sets())
+def test_fedavg_aggregate_is_scaled_mean(updates):
+    fedavg = FedAvg(local_lr=0.1, local_steps=4)
+    delta = fedavg.aggregate(ServerState(global_params=np.zeros(updates[0].delta.size)), updates)
+    mean = np.mean([u.delta for u in updates], axis=0)
+    np.testing.assert_allclose(delta, mean / 0.4, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(update_sets())
+def test_foolsgold_weights_positive_and_finite(updates):
+    fg = FoolsGold(local_lr=0.1, local_steps=4)
+    delta = fg.aggregate(ServerState(global_params=np.zeros(updates[0].delta.size)), updates)
+    assert np.isfinite(delta).all()
+    assert all(w >= FoolsGold.MIN_WEIGHT for w in fg.last_weights.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(update_sets(), st.floats(0.01, 1.0))
+def test_taco_identical_updates_uniform_weighting(updates, scale):
+    """If every client uploads the same delta, Eq. (9) equals Eq. (6): the
+    tailored aggregation must not distort a homogeneous federation."""
+    base = updates[0].delta * scale
+    same = [ClientUpdate(u.client_id, base.copy(), 10, 4, 0.1) for u in updates]
+    taco = TACO(local_lr=0.1, local_steps=4)
+    fedavg = FedAvg(local_lr=0.1, local_steps=4)
+    dim = base.size
+    taco_delta = taco.aggregate(ServerState(global_params=np.zeros(dim), num_clients=len(same)), same)
+    fed_delta = fedavg.aggregate(ServerState(global_params=np.zeros(dim)), same)
+    np.testing.assert_allclose(taco_delta, fed_delta, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(update_sets())
+def test_mean_alpha_matches_definition2(updates):
+    taco = TACO(local_lr=0.1, local_steps=4)
+    state = ServerState(global_params=np.zeros(updates[0].delta.size), num_clients=len(updates))
+    taco.aggregate(state, updates)
+    expected = np.mean(list(taco.last_alphas.values()))
+    assert taco.mean_alpha() == np.float64(expected)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "taco"
+        assert args.dataset == "fmnist"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "adamw"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_compare_multiple_algorithms(self):
+        args = build_parser().parse_args(
+            ["compare", "--algorithms", "fedavg", "taco", "scaffold"]
+        )
+        assert args.algorithms == ["fedavg", "taco", "scaffold"]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    COMMON = [
+        "--dataset", "adult", "--clients", "3", "--rounds", "2",
+        "--local-steps", "2", "--train-size", "120", "--test-size", "50",
+    ]
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "taco" in out
+        assert "fmnist" in out
+        assert "table5" in out
+
+    def test_run_table_output(self, capsys):
+        assert main(["run", "--algorithm", "fedavg", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out
+        assert "adult" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "--algorithm", "taco", "--json", *self.COMMON]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "taco"
+        assert payload["dataset"] == "adult"
+        assert len(payload["accuracies"]) == 2
+        assert isinstance(payload["diverged"], bool)
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--algorithms", "fedavg", "taco", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out and "taco" in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+
+    def test_seed_flag_changes_run(self, capsys):
+        main(["run", "--algorithm", "fedavg", "--json", *self.COMMON, "--seed", "1"])
+        first = json.loads(capsys.readouterr().out)
+        main(["run", "--algorithm", "fedavg", "--json", *self.COMMON, "--seed", "2"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["accuracies"] != second["accuracies"]

@@ -1,0 +1,210 @@
+"""Tests for the Section IV-B theory module."""
+
+import numpy as np
+import pytest
+
+from repro.fl.state import ClientUpdate
+from repro.theory import (
+    ClientHeterogeneity,
+    client_drift_epsilon,
+    convergence_rate_envelope,
+    corollary2_gap,
+    error_bound_terms,
+    estimate_client_heterogeneity,
+    estimate_gradient_bound,
+    estimate_smoothness,
+    full_gradient,
+    lemma1_residual,
+    lemma2_residual,
+    model_output_z,
+    optimal_correction_factors,
+    overcorrection_term,
+    uniform_vs_tailored_y,
+)
+
+
+def update(cid, delta):
+    return ClientUpdate(cid, np.asarray(delta, dtype=float), 10, 2, 0.1)
+
+
+def het(cid, mu, cos):
+    return ClientHeterogeneity(cid, mu=mu, cosine=cos)
+
+
+class TestAssumptionEstimators:
+    def test_full_gradient_matches_manual(self, rng, adult_bundle):
+        model = adult_bundle.spec.make_model(rng=np.random.default_rng(0))
+        params = model.parameters_vector()
+        grad = full_gradient(model, adult_bundle.train, params)
+        assert grad.shape == params.shape
+        # Batched evaluation must equal a single-batch evaluation.
+        grad_single = full_gradient(model, adult_bundle.train, params, batch_size=10_000)
+        np.testing.assert_allclose(grad, grad_single, atol=1e-10)
+
+    def test_smoothness_positive(self, rng, adult_bundle):
+        model = adult_bundle.spec.make_model(rng=np.random.default_rng(0))
+        L = estimate_smoothness(
+            model, adult_bundle.train, model.parameters_vector(), rng, probes=2
+        )
+        assert L > 0
+
+    def test_heterogeneity_mu_and_cosine(self):
+        true_grad = np.array([1.0, 0.0])
+        updates = [update(0, [2.0, 0.0]), update(1, [0.0, 1.0])]
+        het_map = estimate_client_heterogeneity(updates, true_grad)
+        assert het_map[0].mu == pytest.approx(2.0)
+        assert het_map[0].cosine == pytest.approx(1.0)
+        assert het_map[1].mu == pytest.approx(0.0)
+        assert het_map[1].cosine == pytest.approx(0.0)
+
+    def test_heterogeneity_ratio(self):
+        assert het(0, 2.0, 0.5).ratio == pytest.approx(4.0)
+        assert het(0, 1.0, 0.0).ratio == float("inf")
+
+    def test_zero_gradient_raises(self):
+        with pytest.raises(ValueError):
+            estimate_client_heterogeneity([update(0, [1.0])], np.zeros(1))
+
+    def test_gradient_bound(self):
+        G = estimate_gradient_bound([np.array([3.0, 4.0]), np.array([1.0, 0.0])])
+        assert G == pytest.approx(5.0)
+
+    def test_gradient_bound_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_gradient_bound([])
+
+
+class TestOvercorrectionTerm:
+    def setup_method(self):
+        self.het = {0: het(0, 1.0, 0.5), 1: het(1, 2.0, 0.8)}
+
+    def test_formula(self):
+        alphas = {0: 0.4, 1: 0.6}
+        y = overcorrection_term(alphas, self.het, smoothness=2.0, gradient_bound=3.0,
+                                local_steps=5, local_lr=0.1)
+        correction_sum = 0.6 + 0.4
+        ratio_sum = 1.0 / 0.5 + 2.0 / 0.8
+        expected = (4 * 9) / (25 * 16 * 0.01) * (correction_sum * ratio_sum) ** 2
+        assert y == pytest.approx(expected)
+
+    def test_zero_when_no_correction(self):
+        """alpha_i = 1 for all i => sum (1 - alpha_i) = 0 => Y_t = 0."""
+        y = overcorrection_term({0: 1.0, 1: 1.0}, self.het, 1.0, 1.0, 5, 0.1)
+        assert y == pytest.approx(0.0)
+
+    def test_grows_with_total_correction(self):
+        small = overcorrection_term({0: 0.9, 1: 0.9}, self.het, 1.0, 1.0, 5, 0.1)
+        large = overcorrection_term({0: 0.1, 1: 0.1}, self.het, 1.0, 1.0, 5, 0.1)
+        assert large > small
+
+    def test_mismatched_clients_raise(self):
+        with pytest.raises(ValueError):
+            overcorrection_term({0: 0.5}, self.het, 1.0, 1.0, 5, 0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            overcorrection_term({}, {}, 1.0, 1.0, 5, 0.1)
+
+    def test_uniform_vs_tailored_shares_budget(self):
+        tailored = {0: 0.2, 1: 0.8}
+        ys = uniform_vs_tailored_y(tailored, self.het, 1.0, 1.0, 5, 0.1)
+        # Same total correction budget => same closed-form Y_t.
+        assert ys["tailored"] == pytest.approx(ys["uniform"])
+
+
+class TestErrorBound:
+    def test_terms_assemble(self):
+        terms = error_bound_terms(
+            grad_norm_sq=4.0,
+            avg_minibatch_grad_norm_sq=2.0,
+            drift_eps=0.5,
+            y_t=3.0,
+            smoothness=1.0,
+            global_lr=0.1,
+        )
+        assert terms.descent == pytest.approx(-0.2)
+        assert terms.quadratic == pytest.approx(0.01)
+        assert terms.drift == pytest.approx(0.05)
+        assert terms.overcorrection == pytest.approx(0.003)
+        assert terms.total == pytest.approx(-0.137)
+
+    def test_drift_epsilon(self):
+        w = np.zeros(3)
+        iterates = [np.ones(3), 2 * np.ones(3)]
+        assert client_drift_epsilon(w, iterates) == pytest.approx((3 + 12) / 2)
+
+    def test_drift_epsilon_empty_raises(self):
+        with pytest.raises(ValueError):
+            client_drift_epsilon(np.zeros(2), [])
+
+    def test_convergence_envelope_shrinks_with_rounds(self):
+        early = convergence_rate_envelope(10, 1.0, 1.0)
+        late = convergence_rate_envelope(1000, 1.0, 1.0)
+        assert late < early
+
+    def test_convergence_envelope_grows_with_y(self):
+        small = convergence_rate_envelope(100, 1.0, 0.1)
+        large = convergence_rate_envelope(100, 1.0, 10.0)
+        assert large > small
+
+
+class TestCorollary2:
+    def setup_method(self):
+        self.het = {0: het(0, 1.0, 0.5), 1: het(1, 3.0, 0.6), 2: het(2, 0.5, 0.9)}
+
+    def test_optimal_factors_proportional_to_ratio(self):
+        factors = optimal_correction_factors(self.het, total_correction=1.0)
+        ratios = {cid: h.ratio for cid, h in self.het.items()}
+        scale = factors[0] / ratios[0]
+        for cid in self.het:
+            assert factors[cid] == pytest.approx(scale * ratios[cid])
+        assert sum(factors.values()) == pytest.approx(1.0)
+
+    def test_optimal_assignment_has_zero_gap(self):
+        factors = optimal_correction_factors(self.het, total_correction=1.5)
+        alphas = {cid: 1.0 - f for cid, f in factors.items()}
+        assert corollary2_gap(alphas, self.het) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_assignment_has_positive_gap(self):
+        alphas = {cid: 0.5 for cid in self.het}
+        assert corollary2_gap(alphas, self.het) > 0.01
+
+    def test_gap_orders_assignments(self):
+        """Nudging the uniform assignment toward the optimum lowers the gap."""
+        optimal = optimal_correction_factors(self.het, total_correction=1.5)
+        uniform = {cid: 0.5 for cid in self.het}
+        blended = {
+            cid: 1.0 - (0.5 * (1 - uniform[cid]) + 0.5 * optimal[cid]) for cid in self.het
+        }
+        uniform_alphas = {cid: 1.0 - 0.5 for cid in self.het}
+        assert corollary2_gap(blended, self.het) < corollary2_gap(uniform_alphas, self.het)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            optimal_correction_factors(self.het, total_correction=0.0)
+
+
+class TestLemmas:
+    def test_lemma1_identity(self, rng):
+        """Delta_{t+1} = tilde Delta_t + (1 - alpha_t) Delta_t holds exactly
+        for the averaged TACO update (Lemma 1)."""
+        minibatch_avg = rng.normal(size=5)
+        delta_prev = rng.normal(size=5)
+        mean_alpha = 0.4
+        delta_next = minibatch_avg + (1 - mean_alpha) * delta_prev
+        assert lemma1_residual(delta_next, minibatch_avg, mean_alpha, delta_prev) < 1e-12
+
+    def test_lemma2_identity(self, rng):
+        z = rng.normal(size=4)
+        avg = rng.normal(size=4)
+        z_next = z - 0.2 * avg
+        assert lemma2_residual(z_next, z, 0.2, avg) < 1e-12
+
+    def test_model_output_z(self):
+        w = np.full(3, 2.0)
+        w_prev = np.ones(3)
+        z = model_output_z(w, w_prev, mean_alpha=0.25)
+        np.testing.assert_allclose(z, 2.0 + 0.75)
+
+    def test_model_output_z_no_history(self):
+        np.testing.assert_allclose(model_output_z(np.ones(2), None, 0.5), np.ones(2))

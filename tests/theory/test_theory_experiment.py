@@ -1,0 +1,43 @@
+"""Integration tests for the live theory-measurement experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, theory_overcorrection
+
+
+@pytest.fixture(scope="module")
+def theory_result():
+    config = ExperimentConfig(
+        dataset="adult", num_clients=6, local_steps=6, train_size=300, test_size=100
+    )
+    return theory_overcorrection.run(config)
+
+
+class TestLiveTheory:
+    def test_assumption_estimates_positive(self, theory_result):
+        assert theory_result.smoothness > 0
+        assert theory_result.gradient_bound > 0
+
+    def test_heterogeneity_covers_all_clients(self, theory_result):
+        assert set(theory_result.heterogeneity) == set(range(6))
+        assert set(theory_result.tailored_alphas) == set(range(6))
+
+    def test_tailored_y_bounded_by_strong_uniform(self, theory_result):
+        assert 0 <= theory_result.y_tailored <= theory_result.y_uniform_strong
+
+    def test_rate_envelope_ordering(self, theory_result):
+        assert theory_result.rate_envelope_tailored <= theory_result.rate_envelope_uniform
+
+    def test_corollary2_optimum_has_zero_gap(self, theory_result):
+        assert theory_result.gap_optimal == pytest.approx(0.0, abs=1e-8)
+
+    def test_alphas_valid(self, theory_result):
+        for alpha in theory_result.tailored_alphas.values():
+            assert 0.0 <= alpha <= 1.0
+
+    def test_mu_mostly_positive(self, theory_result):
+        """Benign local gradients should mostly correlate with the true
+        gradient (Assumption 2's mu_i > 0 in practice)."""
+        mus = [h.mu for h in theory_result.heterogeneity.values()]
+        assert sum(mu > 0 for mu in mus) >= len(mus) // 2
