@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the full test suite plus a fault-injection smoke run.
+#
+# Usage: scripts/ci.sh   (from the repo root; needs numpy + pytest only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "==> tier-1 test suite"
+python -m pytest -x -q
+
+echo "==> fault-injection smoke run (30% drops + 10% NaN corruption)"
+python -m repro.cli run \
+    --dataset adult --algorithm taco --clients 6 --rounds 4 \
+    --train-size 200 --test-size 80 \
+    --drop-rate 0.3 --corrupt-rate 0.1 --json \
+    | python -c '
+import json, sys
+out = json.load(sys.stdin)
+assert not out["diverged"], "fault smoke run diverged"
+faults = out["faults"]
+assert faults["dropped"] or faults["quarantined"], f"no faults injected: {faults}"
+print("smoke ok:", faults)
+'
+
+echo "==> fault-tolerance experiment smoke"
+python -m pytest -q benchmarks/test_fault_tolerance.py --benchmark-disable
+
+echo "CI green."

@@ -23,13 +23,15 @@ Subpackages:
 - :mod:`repro.algorithms` — FedAvg, FedProx, FoolsGold, Scaffold, STEM,
   FedACG, TACO, and the Fig. 6 hybrids.
 - :mod:`repro.attacks` — freeloader clients and detection metrics.
+- :mod:`repro.faults` — deterministic fault injection (drops, stragglers,
+  corrupted payloads, transient upload errors) for robustness testing.
 - :mod:`repro.theory` — Theorem 1 / Corollary 1-2 quantities.
 - :mod:`repro.experiments` — one module per paper table/figure.
 """
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, attacks, autograd, comm, data, fl, nn, optim, theory
+from . import algorithms, analysis, attacks, autograd, comm, data, faults, fl, nn, optim, theory
 
 __all__ = [
     "algorithms",
@@ -38,6 +40,7 @@ __all__ = [
     "autograd",
     "comm",
     "data",
+    "faults",
     "fl",
     "nn",
     "optim",

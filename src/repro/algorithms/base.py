@@ -125,5 +125,23 @@ class Strategy:
     def reset(self) -> None:
         """Clear any per-run state so the strategy can be reused."""
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable cross-round state (for checkpoint/resume).
+
+        Values may be ``np.ndarray``, JSON scalars, sets of ints, or dicts
+        (keyed by int or str) of those; stateless strategies return ``{}``.
+        STEM deliberately has nothing here: its client momenta are reset at
+        local step 0 of every round, so no momentum state crosses a round
+        boundary (which is also why an injected drop cannot desynchronise
+        it).
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(lr={self.local_lr}, K={self.local_steps})"

@@ -47,6 +47,15 @@ class FedACG(Strategy):
     def reset(self) -> None:
         self._momentum = None
 
+    def state_dict(self) -> Dict[str, Any]:
+        # The momentum is a pure server-side aggregate over whichever
+        # clients delivered: a dropped upload just contributes nothing to
+        # avg_delta this round, so drops cannot desynchronise it.
+        return {} if self._momentum is None else {"momentum": self._momentum}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._momentum = state.get("momentum")
+
     def broadcast(self, state: ServerState) -> Dict[str, Any]:
         if self._momentum is None:
             self._momentum = np.zeros(state.dim)

@@ -39,6 +39,21 @@ class Scaffold(Strategy):
         self._server_control = None
         self._client_controls = {}
 
+    def state_dict(self) -> Dict[str, Any]:
+        # A client that misses a round (sampling or injected crash) simply
+        # keeps its old control variate — post_round only touches uploaders
+        # — so partial rounds never desynchronise the control state.
+        state: Dict[str, Any] = {"client_controls": dict(self._client_controls)}
+        if self._server_control is not None:
+            state["server_control"] = self._server_control
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._server_control = state.get("server_control")
+        self._client_controls = {
+            int(cid): control for cid, control in state.get("client_controls", {}).items()
+        }
+
     # ------------------------------------------------------------------
     def _ensure_controls(self, dim: int, client_id: int) -> None:
         if self._server_control is None:

@@ -73,21 +73,53 @@ class TACO(Strategy):
         self.detect_freeloaders = detect_freeloaders
 
         self._alphas: Dict[int, float] = {}
+        #: Last computed alpha per client, surviving rounds the client
+        #: misses; ``_alphas`` holds only the latest round's participants
+        #: (the set Eq. 9/15 operate on).
+        self._alpha_memory: Dict[int, float] = {}
         self._strikes: Dict[int, int] = {}
         self._expelled: set[int] = set()
         self.last_alphas: Dict[int, float] = {}
 
     def reset(self) -> None:
         self._alphas = {}
+        self._alpha_memory = {}
         self._strikes = {}
         self._expelled = set()
         self.last_alphas = {}
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "alphas": dict(self._alphas),
+            "alpha_memory": dict(self._alpha_memory),
+            "strikes": dict(self._strikes),
+            "expelled": set(self._expelled),
+            "last_alphas": dict(self.last_alphas),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._alphas = {int(k): float(v) for k, v in state.get("alphas", {}).items()}
+        self._alpha_memory = {
+            int(k): float(v) for k, v in state.get("alpha_memory", {}).items()
+        }
+        self._strikes = {int(k): int(v) for k, v in state.get("strikes", {}).items()}
+        self._expelled = {int(cid) for cid in state.get("expelled", set())}
+        self.last_alphas = {
+            int(k): float(v) for k, v in state.get("last_alphas", {}).items()
+        }
 
     # ------------------------------------------------------------------
     # Client side — Eq. (8)
     # ------------------------------------------------------------------
     def alpha_for(self, client_id: int) -> float:
-        return self._alphas.get(client_id, INITIAL_ALPHA)
+        # Fall back to the remembered coefficient for clients that missed
+        # the previous round (partial participation or an injected drop):
+        # reverting a returning client to the cold-start alpha would spike
+        # its correction term for no reason.  Under full participation the
+        # memory and the latest round's alphas coincide exactly.
+        if client_id in self._alphas:
+            return self._alphas[client_id]
+        return self._alpha_memory.get(client_id, INITIAL_ALPHA)
 
     def client_payload(self, client_id: int, state: ServerState, broadcast: Dict[str, Any]) -> Dict[str, Any]:
         global_delta = state.global_delta
@@ -137,6 +169,7 @@ class TACO(Strategy):
         if not updates:
             raise ValueError("cannot aggregate zero updates")
         self._alphas = dict(self.compute_alphas(updates))
+        self._alpha_memory.update(self._alphas)
         self.last_alphas = dict(self._alphas)
 
         if self.use_tailored_aggregation:

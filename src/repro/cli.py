@@ -3,6 +3,9 @@
 Examples::
 
     python -m repro.cli run --dataset fmnist --algorithm taco --rounds 12
+    python -m repro.cli run --algorithm taco --drop-rate 0.3 --corrupt-rate 0.1
+    python -m repro.cli run --algorithm taco --checkpoint-every 5 --checkpoint-dir ckpt
+    python -m repro.cli run --algorithm taco --checkpoint-dir ckpt --resume
     python -m repro.cli compare --dataset adult --algorithms fedavg taco
     python -m repro.cli experiment table5 --datasets adult fmnist
     python -m repro.cli list
@@ -25,6 +28,8 @@ from .experiments import (
     run_suite,
     target_for,
 )
+from .faults import CORRUPTION_MODES, FaultPlan
+from .fl.degradation import DegradationPolicy
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -40,6 +45,55 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--phi", type=float, default=None, help="Dirichlet concentration")
     parser.add_argument("--freeloaders", type=int, default=None, help="freeloader count")
     parser.add_argument("--seed", type=int, default=None)
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection / graceful degradation")
+    group.add_argument("--drop-rate", type=float, default=0.0, help="client crash probability")
+    group.add_argument("--corrupt-rate", type=float, default=0.0, help="payload corruption probability")
+    group.add_argument(
+        "--corrupt-mode", nargs="+", default=["nan"], choices=list(CORRUPTION_MODES),
+        help="corruption modes drawn from when an upload is corrupted",
+    )
+    group.add_argument("--straggler-rate", type=float, default=0.0, help="straggler probability")
+    group.add_argument("--transient-rate", type=float, default=0.0, help="transient upload-error probability")
+    group.add_argument("--fault-seed", type=int, default=None, help="fault plan seed (default: config seed)")
+    group.add_argument("--round-deadline", type=float, default=None, help="straggler deadline in sim-seconds")
+    group.add_argument("--over-selection", type=float, default=0.0, help="extra selection fraction")
+    group.add_argument("--min-quorum", type=int, default=1, help="min surviving updates per round")
+
+
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("checkpointing")
+    group.add_argument("--checkpoint-dir", default=None, help="directory for run checkpoints")
+    group.add_argument("--checkpoint-every", type=int, default=0, help="checkpoint every N rounds")
+    group.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-dir and continue to --rounds total rounds",
+    )
+
+
+def _fault_plan_from_args(args: argparse.Namespace, config: ExperimentConfig) -> Optional[FaultPlan]:
+    if not (args.drop_rate or args.corrupt_rate or args.straggler_rate or args.transient_rate):
+        return None
+    return FaultPlan(
+        seed=args.fault_seed if args.fault_seed is not None else config.seed,
+        drop_rate=args.drop_rate,
+        corrupt_rate=args.corrupt_rate,
+        corruption_modes=tuple(args.corrupt_mode),
+        straggler_rate=args.straggler_rate,
+        transient_rate=args.transient_rate,
+    )
+
+
+def _degradation_from_args(args: argparse.Namespace) -> Optional[DegradationPolicy]:
+    if args.round_deadline is None and args.over_selection == 0.0 and args.min_quorum == 1:
+        return None  # a fault plan alone still gets the default policy
+    return DegradationPolicy(
+        round_deadline=args.round_deadline,
+        over_selection=args.over_selection,
+        min_quorum=args.min_quorum,
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -79,8 +133,36 @@ def _result_row(name: str, result, target: float, total_rounds: int) -> List[str
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run`` — train one algorithm and print/emit its metrics."""
     config = _config_from_args(args)
-    result = run_algorithm(config, args.algorithm)
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        fault_plan = _fault_plan_from_args(args, config)
+        degradation = _degradation_from_args(args)
+    except ValueError as error:
+        print(f"invalid fault/degradation arguments: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = run_algorithm(
+            config,
+            args.algorithm,
+            fault_plan=fault_plan,
+            degradation=degradation,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=args.checkpoint_dir if args.resume else None,
+        )
+    except FileNotFoundError as error:
+        print(f"cannot resume: no checkpoint at {args.checkpoint_dir} ({error})", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     target = target_for(config)
+    fault_summary = result.history.fault_summary()
     if args.json:
         print(
             json.dumps(
@@ -94,6 +176,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                     "accuracies": result.history.accuracies.tolist(),
                     "cumulative_sim_time": result.history.cumulative_times.tolist(),
                     "expelled_clients": result.history.expelled_clients,
+                    "faults": fault_summary,
+                    "quarantine_reasons": result.history.quarantine_reasons(),
                 }
             )
         )
@@ -105,6 +189,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                 title=f"{config.dataset} — {config.num_clients} clients, T={config.rounds}, K={config.local_steps}",
             )
         )
+        if any(fault_summary.values()):
+            print(
+                "faults: "
+                + ", ".join(f"{key}={value}" for key, value in fault_summary.items())
+            )
     return 0
 
 
@@ -130,6 +219,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment`` — regenerate one paper table/figure."""
     from .experiments import (
+        fault_tolerance,
         fig1_geometry,
         fig2_reevaluation,
         fig4_time_to_accuracy,
@@ -161,6 +251,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "table8": table8_freeloader_sensitivity,
         "fig7": fig7_gamma_sensitivity,
         "theory": theory_overcorrection,
+        "faults": fault_tolerance,
     }
     module = modules.get(args.name)
     if module is None:
@@ -172,6 +263,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         result = module.run(datasets=tuple(args.datasets) if args.datasets else ("adult", "fmnist"))
     elif args.name in ("table6", "table7", "fig7"):
         result = module.run()
+    elif args.name == "faults":
+        config = default_config_for(args.datasets[0] if args.datasets else "fmnist")
+        result = module.run(config)
     elif args.name in ("table2", "table8"):
         config = default_config_for(args.datasets[0] if args.datasets else "fmnist").with_overrides(
             num_freeloaders=4
@@ -190,7 +284,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("algorithms:", " ".join(sorted(algorithm_names())))
     print(
         "experiments:",
-        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 fig7 theory",
+        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 fig7 theory faults",
     )
     return 0
 
@@ -204,6 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--algorithm", default="taco", choices=sorted(algorithm_names()))
     run_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     _add_config_arguments(run_p)
+    _add_fault_arguments(run_p)
+    _add_checkpoint_arguments(run_p)
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run several algorithms under identical conditions")

@@ -24,6 +24,9 @@ class TrafficLog:
     def record(self, round_bytes: int) -> None:
         self.bytes_per_round.append(round_bytes)
 
+    def reset(self) -> None:
+        self.bytes_per_round = []
+
 
 class Transport:
     """Applies a compressor to every client upload and tracks traffic.
@@ -44,8 +47,21 @@ class Transport:
         if bandwidth_bytes_per_second is not None and bandwidth_bytes_per_second <= 0:
             raise ValueError("bandwidth must be positive")
         self.bandwidth = bandwidth_bytes_per_second
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.log = TrafficLog()
+
+    def reset(self) -> None:
+        """Clear per-run state so one Transport can serve multiple runs.
+
+        Without this, ``TrafficLog`` accumulates across runs and
+        :meth:`uplink_seconds` — which indexes per-round bytes by the
+        *run-local* round number — would read the first run's rounds
+        during the second.  :class:`~repro.fl.simulation.FederatedSimulation`
+        calls this at the start of every (non-resumed) run.
+        """
+        self.rng = np.random.default_rng(self.seed)
+        self.log.reset()
 
     def process_round(self, updates: List[ClientUpdate]) -> List[ClientUpdate]:
         """Compress every update in place; returns the same list."""

@@ -145,10 +145,31 @@ def run_algorithm(
     name: str,
     strategy: Optional[Strategy] = None,
     cost_model: Optional[CostModel] = None,
+    fault_plan=None,
+    degradation=None,
+    transport=None,
+    checkpoint_every: int = 0,
+    checkpoint_dir=None,
+    resume_from=None,
     **overrides,
 ) -> SimulationResult:
-    """Run one algorithm under a config; model init is config-deterministic."""
-    cacheable = strategy is None and cost_model is None and not overrides
+    """Run one algorithm under a config; model init is config-deterministic.
+
+    ``fault_plan``/``degradation`` inject failures and enable the server's
+    graceful-degradation path; ``checkpoint_every``/``checkpoint_dir``/
+    ``resume_from`` persist and restore run state (see docs/ROBUSTNESS.md).
+    Runs with any of these set bypass the result cache.
+    """
+    cacheable = (
+        strategy is None
+        and cost_model is None
+        and fault_plan is None
+        and degradation is None
+        and transport is None
+        and not checkpoint_every
+        and resume_from is None
+        and not overrides
+    )
     cache_key = (config, name)
     if cacheable and cache_key in _RESULT_CACHE:
         return _RESULT_CACHE[cache_key]
@@ -166,8 +187,16 @@ def run_algorithm(
         cost_model=cost_model or CostModel(),
         eval_every=config.eval_every,
         seed=config.seed,
+        transport=transport,
+        fault_plan=fault_plan,
+        degradation=degradation,
     )
-    result = simulation.run(config.rounds)
+    result = simulation.run(
+        config.rounds,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+    )
     if cacheable:
         _RESULT_CACHE[cache_key] = result
     return result

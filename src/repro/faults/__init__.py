@@ -1,0 +1,20 @@
+"""Fault injection for federated training runs.
+
+Seeded, deterministic client/transport failures — upload drops, straggler
+delays, corrupted payloads, transient upload errors — injected into the
+:class:`~repro.fl.simulation.FederatedSimulation` round pipeline, paired
+with the server-side graceful degradation in :mod:`repro.fl.degradation`.
+"""
+
+from .injector import FaultInjector, RoundFaultLog, apply_faults, corrupt_delta
+from .plan import CORRUPTION_MODES, FaultDecision, FaultPlan
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultInjector",
+    "RoundFaultLog",
+    "apply_faults",
+    "corrupt_delta",
+]

@@ -1,0 +1,153 @@
+"""Deterministic fault planning.
+
+A :class:`FaultPlan` decides, for every ``(round, client)`` pair, which
+failures strike that client's participation: a crash before its upload, a
+straggler slowdown, a corrupted payload, or transient server-visible upload
+errors.  Decisions are **stateless** — each one is drawn from a generator
+seeded by ``(seed, round, client)`` — so replaying any round yields the
+identical fault pattern regardless of execution order or checkpoint/resume
+boundaries.
+
+Rate-based sampling can be overridden per round with explicit schedules
+(``drop_schedule`` / ``corrupt_schedule``), which is what the
+partial-participation equivalence tests use to force a specific client to
+miss a specific round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Supported payload corruption modes.
+CORRUPTION_MODES = ("nan", "inf", "shape", "scale")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one client in one round."""
+
+    drop: bool = False  # client crashes before completing local work
+    straggler_factor: float = 1.0  # multiplier on simulated compute time
+    corruption: Optional[str] = None  # one of CORRUPTION_MODES, or None
+    transient_failures: int = 0  # failed upload attempts before success
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.drop
+            and self.straggler_factor == 1.0
+            and self.corruption is None
+            and self.transient_failures == 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic fault configuration for a training run.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the per-``(round, client)`` decision streams.
+    drop_rate:
+        Probability a selected client crashes before uploading (its local
+        work never happens, exactly as if it had not been selected).
+    straggler_rate / straggler_factor:
+        Probability a client is a straggler this round, and the multiplier
+        applied to its simulated compute time when it is.
+    corrupt_rate / corruption_modes:
+        Probability an upload is corrupted, and the modes drawn from
+        (uniformly) when it is.
+    transient_rate / max_transient_failures:
+        Probability an upload hits at least one transient server-visible
+        error; the failure count is uniform in [1, max_transient_failures].
+    retry_limit / retry_backoff:
+        Server retry policy: an upload failing more than ``retry_limit``
+        times is lost; each retry charges ``retry_backoff * 2^attempt``
+        simulated seconds to the client's round time.
+    drop_schedule / corrupt_schedule:
+        Explicit per-round overrides: ``{round: [client, ...]}`` and
+        ``{round: {client: mode}}``.  Scheduled faults fire regardless of
+        the rates.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+    corrupt_rate: float = 0.0
+    corruption_modes: Tuple[str, ...] = ("nan",)
+    transient_rate: float = 0.0
+    max_transient_failures: int = 3
+    retry_limit: int = 2
+    retry_backoff: float = 0.1
+    drop_schedule: Mapping[int, Sequence[int]] = field(default_factory=dict)
+    corrupt_schedule: Mapping[int, Mapping[int, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "straggler_rate", "corrupt_rate", "transient_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {self.straggler_factor}")
+        if self.max_transient_failures < 1:
+            raise ValueError("max_transient_failures must be >= 1")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        for mode in self.corruption_modes:
+            if mode not in CORRUPTION_MODES:
+                raise ValueError(f"unknown corruption mode {mode!r}; known: {CORRUPTION_MODES}")
+
+    # ------------------------------------------------------------------
+    def decide(self, round_index: int, client_id: int) -> FaultDecision:
+        """The (deterministic) fate of ``client_id`` in ``round_index``."""
+        if client_id in self.drop_schedule.get(round_index, ()):
+            return FaultDecision(drop=True)
+        scheduled_mode = self.corrupt_schedule.get(round_index, {}).get(client_id)
+
+        rng = np.random.default_rng([self.seed, round_index, client_id])
+        # One uniform per fault class, always drawn in the same order, so a
+        # decision never depends on which other faults are configured.
+        u_drop, u_straggle, u_corrupt, u_transient = rng.uniform(size=4)
+
+        if self.drop_rate > 0.0 and u_drop < self.drop_rate:
+            return FaultDecision(drop=True)
+
+        factor = 1.0
+        if self.straggler_rate > 0.0 and u_straggle < self.straggler_rate:
+            factor = self.straggler_factor
+
+        corruption = scheduled_mode
+        if corruption is None and self.corrupt_rate > 0.0 and u_corrupt < self.corrupt_rate:
+            corruption = self.corruption_modes[
+                int(rng.integers(len(self.corruption_modes)))
+            ]
+
+        failures = 0
+        if self.transient_rate > 0.0 and u_transient < self.transient_rate:
+            failures = int(rng.integers(1, self.max_transient_failures + 1))
+
+        return FaultDecision(
+            straggler_factor=factor, corruption=corruption, transient_failures=failures
+        )
+
+    def decisions(self, round_index: int, client_ids: Sequence[int]) -> Dict[int, FaultDecision]:
+        """Decisions for a whole round's selection."""
+        return {cid: self.decide(round_index, cid) for cid in client_ids}
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.drop_rate
+            or self.straggler_rate
+            or self.corrupt_rate
+            or self.transient_rate
+            or self.drop_schedule
+            or self.corrupt_schedule
+        )

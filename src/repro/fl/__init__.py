@@ -1,7 +1,15 @@
 """Federated-learning core: clients, server, simulation, timing, metrics."""
 
-from .checkpoint import load_history, load_model, save_history, save_model
+from .checkpoint import (
+    load_history,
+    load_model,
+    load_simulation,
+    save_history,
+    save_model,
+    save_simulation,
+)
 from .client import Client
+from .degradation import DegradationPolicy, split_stragglers, validate_updates
 from .history import RoundRecord, TrainingHistory
 from .metrics import evaluate, instability, rounds_to_target, time_to_target
 from .sampling import AvailabilitySampling, FullParticipation, UniformSampling
@@ -16,6 +24,11 @@ __all__ = [
     "load_model",
     "save_history",
     "load_history",
+    "save_simulation",
+    "load_simulation",
+    "DegradationPolicy",
+    "validate_updates",
+    "split_stragglers",
     "Server",
     "FederatedSimulation",
     "SimulationResult",

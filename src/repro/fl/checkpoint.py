@@ -4,13 +4,20 @@ Long federated runs (the paper's T = 200, K = 1000 settings) need restart
 capability.  Checkpoints are plain ``.npz`` archives (model parameters +
 buffers) and ``.json`` metadata (round, history), so they stay portable and
 diff-able.
+
+:func:`save_simulation` / :func:`load_simulation` extend this to the whole
+run: server state, strategy state (control variates, momenta, TACO alphas
+and strikes), every RNG stream (participation, per-client mini-batch
+samplers, transport), the transport traffic log and the training history —
+everything required for a killed run to resume **bit-exact** at the next
+round boundary.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -52,6 +59,12 @@ def save_history(history: TrainingHistory, path: str | Path) -> None:
                 "alphas": {str(k): v for k, v in record.alphas.items()},
                 "expelled": list(record.expelled),
                 "update_norms": {str(k): v for k, v in record.update_norms.items()},
+                "dropped": list(record.dropped),
+                "quarantined": {str(k): v for k, v in record.quarantined.items()},
+                "stragglers": list(record.stragglers),
+                "retries": {str(k): v for k, v in record.retries.items()},
+                "aggregated": record.aggregated,
+                "skipped": record.skipped,
             }
         )
     path.write_text(json.dumps({"records": records}, indent=2))
@@ -74,6 +87,186 @@ def load_history(path: str | Path) -> TrainingHistory:
                 alphas={int(k): v for k, v in item["alphas"].items()},
                 expelled=list(item["expelled"]),
                 update_norms={int(k): v for k, v in item["update_norms"].items()},
+                dropped=list(item.get("dropped", [])),
+                quarantined={int(k): v for k, v in item.get("quarantined", {}).items()},
+                stragglers=list(item.get("stragglers", [])),
+                retries={int(k): int(v) for k, v in item.get("retries", {}).items()},
+                aggregated=int(item.get("aggregated", 0)),
+                skipped=bool(item.get("skipped", False)),
             )
         )
     return history
+
+
+# ----------------------------------------------------------------------
+# Full-simulation checkpoints
+# ----------------------------------------------------------------------
+#: Separator for flattened nested state paths; npz/zip member names accept it
+#: and it cannot collide with module-style "/" or "." key characters.
+_SEP = "|"
+
+ARRAYS_FILE = "arrays.npz"
+META_FILE = "meta.json"
+HISTORY_FILE = "history.json"
+
+
+def _flatten_state(
+    value: Any, prefix: str, arrays: Dict[str, np.ndarray], scalars: Dict[str, Any]
+) -> None:
+    """Split nested strategy state into npz-able arrays and JSON scalars."""
+    if isinstance(value, np.ndarray):
+        arrays[prefix] = value
+    elif isinstance(value, (set, frozenset)):
+        scalars[prefix] = {"__set__": sorted(value)}
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten_state(sub, f"{prefix}{_SEP}{key}", arrays, scalars)
+    else:
+        scalars[prefix] = value
+
+
+def _unflatten_state(flat: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild the nested dict produced by ``Strategy.state_dict``."""
+    nested: Dict[str, Any] = {}
+    for path, value in flat.items():
+        parts = path.split(_SEP)
+        node = nested
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        if isinstance(value, dict) and set(value) == {"__set__"}:
+            value = set(value["__set__"])
+        node[parts[-1]] = value
+    return nested
+
+
+def _rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    return rng.bit_generator.state
+
+
+def _restore_rng(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    rng.bit_generator.state = state
+
+
+def save_simulation(simulation, directory: str | Path) -> Path:
+    """Checkpoint a :class:`~repro.fl.simulation.FederatedSimulation`.
+
+    Writes ``arrays.npz`` (server vectors, model buffers, strategy arrays,
+    transport byte log), ``meta.json`` (round counters, RNG streams,
+    strategy scalars) and ``history.json`` into ``directory``.  Safe to
+    call at any round boundary; later checkpoints overwrite earlier ones.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state = simulation.server.state
+
+    arrays: Dict[str, np.ndarray] = {f"server{_SEP}global_params": state.global_params}
+    if state.prev_global_params is not None:
+        arrays[f"server{_SEP}prev_global_params"] = state.prev_global_params
+    if state.global_delta is not None:
+        arrays[f"server{_SEP}global_delta"] = state.global_delta
+    for key, value in simulation.model.state_dict().items():
+        arrays[f"model{_SEP}{key}"] = value
+
+    strategy_arrays: Dict[str, np.ndarray] = {}
+    strategy_scalars: Dict[str, Any] = {}
+    for key, value in simulation.strategy.state_dict().items():
+        _flatten_state(value, key, strategy_arrays, strategy_scalars)
+    for key, value in strategy_arrays.items():
+        arrays[f"strategy{_SEP}{key}"] = value
+
+    rng_states: Dict[str, Any] = {
+        "simulation": _rng_state(simulation.rng),
+        "clients": {
+            str(cid): _rng_state(client.sampler.rng)
+            for cid, client in simulation.clients.items()
+        },
+    }
+    if simulation.transport is not None:
+        rng_states["transport"] = _rng_state(simulation.transport.rng)
+        arrays[f"transport{_SEP}bytes_per_round"] = np.asarray(
+            simulation.transport.log.bytes_per_round, dtype=np.int64
+        )
+
+    meta = {
+        "round": state.round,
+        "num_clients": state.num_clients,
+        "cumulative_sim_time": simulation._cumulative_sim_time,
+        "last_evaluated_round": simulation._last_evaluated_round,
+        "strategy_scalars": strategy_scalars,
+        "rng_states": rng_states,
+    }
+
+    np.savez(directory / ARRAYS_FILE, **arrays)
+    (directory / META_FILE).write_text(json.dumps(meta, indent=2))
+    save_history(simulation.history, directory / HISTORY_FILE)
+    return directory
+
+
+def load_simulation(simulation, directory: str | Path) -> int:
+    """Restore a checkpoint into ``simulation``; returns completed rounds.
+
+    The simulation must be constructed identically to the checkpointed one
+    (same clients, strategy type, seeds); everything mutable — server
+    vectors, model buffers, strategy state, RNG streams, transport log,
+    history — is overwritten so the next round replays exactly as it would
+    have in the uninterrupted run.
+    """
+    directory = Path(directory)
+    archive = np.load(directory / ARRAYS_FILE)
+    meta = json.loads((directory / META_FILE).read_text())
+    if meta["num_clients"] != len(simulation.clients):
+        raise ValueError(
+            f"checkpoint has {meta['num_clients']} clients, "
+            f"simulation has {len(simulation.clients)}"
+        )
+
+    prefixed: Dict[str, Dict[str, np.ndarray]] = {"server": {}, "model": {}, "strategy": {}, "transport": {}}
+    for key in archive.files:
+        group, rest = key.split(_SEP, 1)
+        prefixed[group][rest] = archive[key]
+
+    state = simulation.server.state
+    state.global_params = prefixed["server"]["global_params"].copy()
+    state.prev_global_params = (
+        prefixed["server"]["prev_global_params"].copy()
+        if "prev_global_params" in prefixed["server"]
+        else None
+    )
+    state.global_delta = (
+        prefixed["server"]["global_delta"].copy()
+        if "global_delta" in prefixed["server"]
+        else None
+    )
+    state.round = int(meta["round"])
+
+    if prefixed["model"]:
+        simulation.model.load_state_dict(prefixed["model"])
+
+    simulation.strategy.reset()
+    flat: Dict[str, Any] = dict(prefixed["strategy"])
+    flat.update(meta["strategy_scalars"])
+    simulation.strategy.load_state_dict(_unflatten_state(flat))
+
+    _restore_rng(simulation.rng, meta["rng_states"]["simulation"])
+    for cid_str, rng_state in meta["rng_states"]["clients"].items():
+        cid = int(cid_str)
+        if cid not in simulation.clients:
+            raise ValueError(f"checkpoint references unknown client {cid}")
+        _restore_rng(simulation.clients[cid].sampler.rng, rng_state)
+
+    if simulation.transport is not None and "transport" in meta["rng_states"]:
+        _restore_rng(simulation.transport.rng, meta["rng_states"]["transport"])
+        simulation.transport.log.bytes_per_round = [
+            int(b) for b in prefixed["transport"].get("bytes_per_round", [])
+        ]
+
+    simulation.history = load_history(directory / HISTORY_FILE)
+    simulation._cumulative_sim_time = float(meta["cumulative_sim_time"])
+    simulation._last_evaluated_round = int(meta["last_evaluated_round"])
+    return state.round
+
+
+def checkpoint_files(directory: str | Path) -> Tuple[Path, Path, Path]:
+    """The (arrays, meta, history) paths of a simulation checkpoint."""
+    directory = Path(directory)
+    return directory / ARRAYS_FILE, directory / META_FILE, directory / HISTORY_FILE

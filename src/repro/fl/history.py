@@ -24,6 +24,18 @@ class RoundRecord:
     alphas: Dict[int, float] = field(default_factory=dict)  # TACO alpha_i^t
     expelled: List[int] = field(default_factory=list)
     update_norms: Dict[int, float] = field(default_factory=dict)
+    # Fault accounting (repro.faults + repro.fl.degradation):
+    dropped: List[int] = field(default_factory=list)  # crashes + retry-exhausted
+    quarantined: Dict[int, str] = field(default_factory=dict)  # client -> reason
+    stragglers: List[int] = field(default_factory=list)  # missed the deadline
+    retries: Dict[int, int] = field(default_factory=dict)  # client -> attempts
+    aggregated: int = 0  # updates that actually reached the strategy
+    skipped: bool = False  # True when quorum failed and the step was skipped
+
+    @property
+    def fault_count(self) -> int:
+        """Uploads selected this round that never reached aggregation."""
+        return len(self.dropped) + len(self.quarantined) + len(self.stragglers)
 
 
 class TrainingHistory:
@@ -75,6 +87,43 @@ class TrainingHistory:
         for record in self.records:
             expelled.extend(record.expelled)
         return expelled
+
+    # ------------------------------------------------------------------
+    # Fault accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_dropped(self) -> int:
+        return sum(len(r.dropped) for r in self.records)
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(len(r.quarantined) for r in self.records)
+
+    @property
+    def total_stragglers(self) -> int:
+        return sum(len(r.stragglers) for r in self.records)
+
+    @property
+    def skipped_rounds(self) -> int:
+        return sum(1 for r in self.records if r.skipped)
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Run-level fault totals (dropped/quarantined/stragglers/...)."""
+        return {
+            "dropped": self.total_dropped,
+            "quarantined": self.total_quarantined,
+            "stragglers": self.total_stragglers,
+            "retried_uploads": sum(len(r.retries) for r in self.records),
+            "skipped_rounds": self.skipped_rounds,
+        }
+
+    def quarantine_reasons(self) -> Dict[str, int]:
+        """Counts per quarantine reason across the run."""
+        reasons: Dict[str, int] = {}
+        for record in self.records:
+            for reason in record.quarantined.values():
+                reasons[reason] = reasons.get(reason, 0) + 1
+        return reasons
 
     # ------------------------------------------------------------------
     # Paper metrics

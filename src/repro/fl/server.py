@@ -27,9 +27,24 @@ class Server:
         )
 
     def run_aggregation(self, strategy, updates: Sequence[ClientUpdate]) -> np.ndarray:
-        """Aggregate updates, step the global model, advance the round."""
+        """Aggregate updates, step the global model, advance the round.
+
+        With zero surviving updates (every upload dropped or quarantined)
+        the round degrades to a no-op global step: the strategy is not
+        consulted — so no auxiliary state desynchronises — and
+        w_{t+1} = w_t with a zero global gradient.
+        """
+        if not updates:
+            return self.skip_round()
         delta = strategy.aggregate(self.state, updates)
         new_params = self.state.global_params - self.global_lr * delta
         strategy.post_round(self.state, updates)
         self.state.advance(new_params, delta)
         return new_params
+
+    def skip_round(self) -> np.ndarray:
+        """Advance the round without a global step (quorum failure)."""
+        self.state.advance(
+            self.state.global_params.copy(), np.zeros_like(self.state.global_params)
+        )
+        return self.state.global_params

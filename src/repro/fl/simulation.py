@@ -11,12 +11,22 @@ metrics into the training loop of Algorithm 1/2:
 
 Freeloader clients (``repro.attacks``) plug in through the same Client
 interface; TACO's expulsion shows up via ``Strategy.active_clients``.
+
+Fault tolerance (see docs/ROBUSTNESS.md): an optional
+:class:`~repro.faults.FaultPlan` injects crashes, stragglers, corrupted
+payloads and transient upload errors into the round, and an optional
+:class:`~repro.fl.degradation.DegradationPolicy` governs how the server
+degrades — over-selection, a straggler deadline, an update-validation
+quarantine, and a minimum quorum below which the global step is skipped.
+Long runs checkpoint via ``run(checkpoint_every=..., checkpoint_dir=...)``
+and restart bit-exact with ``resume_from=...``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -24,6 +34,7 @@ import numpy as np
 from ..data.dataset import TensorDataset
 from ..nn.module import Module
 from .client import Client
+from .degradation import DegradationPolicy, split_stragglers, validate_updates
 from .history import RoundRecord, TrainingHistory
 from .metrics import evaluate
 from .sampling import FullParticipation
@@ -66,6 +77,14 @@ class FederatedSimulation:
     transport:
         Optional :class:`repro.comm.Transport` applied to client uploads
         (compression + traffic accounting) before aggregation.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` injecting client/transport
+        failures into every round.
+    degradation:
+        Optional :class:`~repro.fl.degradation.DegradationPolicy`; when a
+        ``fault_plan`` is given without one, a default policy is used so
+        injected corruption is always quarantined.  Without either, the
+        legacy trusting pipeline runs unchanged.
     """
 
     def __init__(
@@ -80,6 +99,8 @@ class FederatedSimulation:
         eval_every: int = 1,
         seed: int = 0,
         transport=None,
+        fault_plan=None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         if not clients:
             raise ValueError("at least one client is required")
@@ -96,26 +117,73 @@ class FederatedSimulation:
         self.eval_every = max(1, eval_every)
         self.rng = np.random.default_rng(seed)
 
+        if fault_plan is not None:
+            from ..faults import FaultInjector  # local import: fl must not require faults
+
+            self.fault_injector = FaultInjector(fault_plan)
+            degradation = degradation or DegradationPolicy()
+        else:
+            self.fault_injector = None
+        self.degradation = degradation
+
         self.server = Server(model.parameters_vector(), self.global_lr, len(clients))
         self.history = TrainingHistory()
         self._cumulative_sim_time = 0.0
+        self._last_evaluated_round = -1
 
     # ------------------------------------------------------------------
-    def run(self, rounds: int) -> SimulationResult:
-        """Train for ``rounds`` communication rounds."""
+    def run(
+        self,
+        rounds: int,
+        checkpoint_every: int = 0,
+        checkpoint_dir: str | Path | None = None,
+        resume_from: str | Path | None = None,
+    ) -> SimulationResult:
+        """Train for ``rounds`` communication rounds.
+
+        ``checkpoint_every``/``checkpoint_dir`` persist the complete run
+        state (model, server, strategy, RNG streams, history) every N
+        rounds; ``resume_from`` restores such a checkpoint and continues —
+        bit-exact with the uninterrupted run — until ``rounds`` total
+        rounds are done.
+        """
+        from . import checkpoint  # deferred: checkpoint imports history/model only
+
         if rounds <= 0:
             raise ValueError(f"rounds must be positive, got {rounds}")
-        self.strategy.reset()
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+
+        if resume_from is not None:
+            completed = checkpoint.load_simulation(self, resume_from)
+            if completed > rounds:
+                raise ValueError(
+                    f"checkpoint already has {completed} rounds, cannot run to {rounds}"
+                )
+        else:
+            self.strategy.reset()
+            if self.transport is not None:
+                self.transport.reset()
+
         diverged = False
-        for _ in range(rounds):
+        while self.server.state.round < rounds:
             record = self.run_round()
             if not np.isfinite(record.test_loss) or not np.isfinite(
                 self.server.state.global_params
             ).all():
                 diverged = True
                 break
+            if (
+                checkpoint_every
+                and checkpoint_dir is not None
+                and (record.round + 1) % checkpoint_every == 0
+            ):
+                checkpoint.save_simulation(self, checkpoint_dir)
 
         final_params = self.server.state.global_params.copy()
+        self._refresh_final_metrics(final_params, diverged)
         output_params = self.strategy.final_output(self.server.state).copy()
         self.model.load_vector(final_params)
         final_accuracy = self.history.final_accuracy if len(self.history) else 0.0
@@ -134,22 +202,55 @@ class FederatedSimulation:
             diverged=diverged,
         )
 
+    def _refresh_final_metrics(self, final_params: np.ndarray, diverged: bool) -> None:
+        """Force a final evaluation when ``eval_every`` skipped the last round.
+
+        Without this, a run whose last round fell between evaluation points
+        would report the *previous* evaluation's accuracy as its final one.
+        The stale record is fixed up in place so history and
+        ``SimulationResult.final_accuracy`` agree.
+        """
+        if diverged or not len(self.history):
+            return
+        last = self.history.records[-1]
+        if last.round == self._last_evaluated_round:
+            return
+        if not np.isfinite(final_params).all():
+            return
+        self.model.load_vector(final_params)
+        accuracy, loss = evaluate(self.model, self.test_set)
+        last.test_accuracy = accuracy
+        last.test_loss = loss
+        self._last_evaluated_round = last.round
+
     # ------------------------------------------------------------------
     def run_round(self) -> RoundRecord:
         """Execute one communication round and record it."""
         state = self.server.state
         round_started = time.perf_counter()
+        round_index = state.round
 
         previously_active = self.strategy.active_clients(state, sorted(self.clients))
-        participating = self.participation.select(previously_active, state.round, self.rng)
+        participating = self.participation.select(previously_active, round_index, self.rng)
         if not participating:
             raise RuntimeError("no clients available to participate")
+        participating = self._over_select(previously_active, participating)
+
+        from ..faults import RoundFaultLog  # lightweight; only dataclasses
+
+        fault_log = RoundFaultLog()
+        runners = list(participating)
+        if self.fault_injector is not None:
+            # Crashed clients do no local work at all, so their private RNG
+            # streams stay untouched — a drop is indistinguishable from not
+            # having been selected.
+            runners = self.fault_injector.filter_crashes(round_index, runners, fault_log)
 
         broadcast = self.strategy.broadcast(state)
         global_params = state.global_params
 
         updates: List[ClientUpdate] = []
-        for client_id in participating:
+        for client_id in runners:
             client = self.clients[client_id]
             payload = self.strategy.client_payload(client_id, state, broadcast)
             update = client.local_round(
@@ -157,26 +258,41 @@ class FederatedSimulation:
             )
             updates.append(update)
 
+        if self.fault_injector is not None:
+            updates = self.fault_injector.process_updates(round_index, updates, fault_log)
+
         if self.transport is not None:
             updates = self.transport.process_round(updates)
 
-        round_index = state.round
-        self.server.run_aggregation(self.strategy, updates)
+        stragglers: List[int] = []
+        quarantined = {}
+        skipped = False
+        if self.degradation is not None:
+            updates, stragglers = split_stragglers(updates, self.degradation.round_deadline)
+            updates, quarantined = validate_updates(updates, state.dim, self.degradation)
+            if len(updates) < self.degradation.min_quorum:
+                skipped = True
+
+        if skipped:
+            self.server.skip_round()
+        else:
+            self.server.run_aggregation(self.strategy, updates)
 
         still_active = set(self.strategy.active_clients(self.server.state, sorted(self.clients)))
         expelled = [cid for cid in participating if cid not in still_active]
 
-        round_sim = max(update.sim_time for update in updates)
+        round_sim = self._round_sim_time(updates, fault_log, stragglers)
         self._cumulative_sim_time += round_sim
 
         if (round_index + 1) % self.eval_every == 0 or not len(self.history):
             self.model.load_vector(self.server.state.global_params)
             accuracy, loss = evaluate(self.model, self.test_set)
+            self._last_evaluated_round = round_index
         else:
             accuracy = self.history.records[-1].test_accuracy
             loss = self.history.records[-1].test_loss
 
-        alphas = dict(getattr(self.strategy, "last_alphas", {}) or {})
+        alphas = {} if skipped else dict(getattr(self.strategy, "last_alphas", {}) or {})
         record = RoundRecord(
             round=round_index,
             test_accuracy=accuracy,
@@ -188,6 +304,45 @@ class FederatedSimulation:
             alphas=alphas,
             expelled=expelled,
             update_norms={u.client_id: u.delta_norm for u in updates},
+            dropped=fault_log.dropped,
+            quarantined=quarantined,
+            stragglers=stragglers,
+            retries=dict(fault_log.retries),
+            aggregated=0 if skipped else len(updates),
+            skipped=skipped,
         )
         self.history.append(record)
         return record
+
+    # ------------------------------------------------------------------
+    def _over_select(
+        self, previously_active: Sequence[int], participating: List[int]
+    ) -> List[int]:
+        """Add spare clients so the round survives drops with a quorum."""
+        if self.degradation is None:
+            return participating
+        extra = self.degradation.extra_selections(len(participating))
+        if not extra:
+            return participating
+        chosen = set(participating)
+        pool = [cid for cid in previously_active if cid not in chosen]
+        if not pool:
+            return participating
+        take = min(extra, len(pool))
+        picks = self.rng.choice(len(pool), size=take, replace=False)
+        return sorted(chosen | {pool[int(i)] for i in picks})
+
+    def _round_sim_time(
+        self, updates: Sequence[ClientUpdate], fault_log, stragglers: Sequence[int]
+    ) -> float:
+        """Wall the server waited: slowest delivered client, or the deadline.
+
+        When a deadline is configured and anything went missing (straggler
+        cut off, crash, lost upload), the server necessarily waited the full
+        deadline before closing the round.
+        """
+        delivered_max = max((u.sim_time for u in updates), default=0.0)
+        deadline = self.degradation.round_deadline if self.degradation else None
+        if deadline is not None and (stragglers or fault_log.dropped):
+            return float(deadline)
+        return float(delivered_max)

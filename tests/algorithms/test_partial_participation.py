@@ -1,0 +1,105 @@
+"""Injected crashes must be indistinguishable from non-selection.
+
+A client that crashes before doing any local work leaves the trajectory
+exactly as if the sampler had never picked it: its private mini-batch RNG
+stream is untouched and the server aggregates the same surviving updates.
+These tests pin that equivalence for every stateful strategy, which is what
+keeps Scaffold control variates, TACO alphas and FedACG momentum from
+desynchronising under faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_strategy
+from repro.data import IIDPartitioner, load_dataset
+from repro.faults import FaultPlan
+from repro.fl import Client, FederatedSimulation
+from repro.fl.sampling import UniformSampling
+
+ROUNDS = 4
+NUM_CLIENTS = 6
+
+
+def build_simulation(algorithm, participation=None, fault_plan=None):
+    bundle = load_dataset("adult", 160, 60, seed=0)
+    parts = IIDPartitioner().partition(
+        bundle.train.labels, NUM_CLIENTS, np.random.default_rng(3)
+    )
+    clients = [
+        Client(i, bundle.train.subset(p), 8, np.random.default_rng(50 + i))
+        for i, p in enumerate(parts)
+    ]
+    model = bundle.spec.make_model(rng=np.random.default_rng(1))
+    strategy = make_strategy(algorithm, local_lr=0.05, local_steps=2)
+    return FederatedSimulation(
+        model,
+        clients,
+        strategy,
+        bundle.test,
+        seed=0,
+        participation=participation,
+        fault_plan=fault_plan,
+    )
+
+
+def complement_schedule(history):
+    """Per-round drop schedule crashing everyone the sampler did NOT pick."""
+    return {
+        record.round: [
+            cid for cid in range(NUM_CLIENTS) if cid not in record.participating
+        ]
+        for record in history.records
+    }
+
+
+@pytest.mark.parametrize("algorithm", ["fedavg", "scaffold", "taco", "fedacg"])
+def test_injected_drop_matches_non_selection(algorithm):
+    sampled = build_simulation(algorithm, participation=UniformSampling(0.5))
+    sampled_result = sampled.run(ROUNDS)
+    assert not sampled_result.diverged
+
+    schedule = complement_schedule(sampled_result.history)
+    crashed = build_simulation(
+        algorithm, fault_plan=FaultPlan(seed=0, drop_schedule=schedule)
+    )
+    crashed_result = crashed.run(ROUNDS)
+
+    np.testing.assert_array_equal(
+        crashed_result.final_params, sampled_result.final_params
+    )
+    np.testing.assert_array_equal(
+        crashed_result.output_params, sampled_result.output_params
+    )
+    np.testing.assert_array_equal(
+        crashed_result.history.accuracies, sampled_result.history.accuracies
+    )
+    for selected, dropped in zip(
+        sampled_result.history.records, crashed_result.history.records
+    ):
+        # The crashed run selects everyone and loses the complement, so the
+        # survivors must be exactly the sampled run's participants.
+        survivors = [c for c in dropped.participating if c not in dropped.dropped]
+        assert survivors == sorted(selected.participating)
+        assert dropped.alphas == selected.alphas
+        assert dropped.update_norms == selected.update_norms
+        assert dropped.round_sim_time == selected.round_sim_time
+
+
+def test_taco_remembers_alphas_across_missed_rounds():
+    """A returning client is weighted by its remembered alpha, not reset."""
+    sim = build_simulation("taco")
+    sim.run(1)
+    alpha_before = sim.strategy.alpha_for(2)
+    assert 2 in sim.strategy.state_dict()["alpha_memory"]
+
+    # Client 2 crashes for a round; its coefficient must survive.
+    crash_sim = build_simulation(
+        "taco", fault_plan=FaultPlan(seed=0, drop_schedule={1: [2]})
+    )
+    crash_sim.run(2)
+    assert 2 in crash_sim.strategy.state_dict()["alpha_memory"]
+    assert crash_sim.strategy.alpha_for(2) == pytest.approx(
+        crash_sim.strategy.state_dict()["alpha_memory"][2]
+    )
+    assert alpha_before == pytest.approx(sim.strategy.state_dict()["alpha_memory"][2])

@@ -1,0 +1,105 @@
+"""Tests for fault application to client updates."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, RoundFaultLog, apply_faults, corrupt_delta
+from repro.fl.state import ClientUpdate
+
+
+def make_update(cid: int, dim: int = 10, sim_time: float = 1.0) -> ClientUpdate:
+    return ClientUpdate(
+        client_id=cid,
+        delta=np.full(dim, 0.1),
+        num_samples=20,
+        num_steps=5,
+        sim_time=sim_time,
+    )
+
+
+class TestCorruptDelta:
+    def test_nan_mode_poisons_entries(self, rng):
+        out = corrupt_delta(np.ones(200), "nan", rng)
+        assert np.isnan(out).sum() >= 1
+        assert out.shape == (200,)
+
+    def test_inf_mode(self, rng):
+        out = corrupt_delta(np.ones(50), "inf", rng)
+        assert np.isinf(out).sum() == 1
+
+    def test_shape_mode_truncates(self, rng):
+        out = corrupt_delta(np.ones(50), "shape", rng)
+        assert out.shape == (49,)
+
+    def test_scale_mode_is_finite_but_huge(self, rng):
+        out = corrupt_delta(np.ones(50), "scale", rng)
+        assert np.isfinite(out).all()
+        assert np.linalg.norm(out) > 100 * np.linalg.norm(np.ones(50))
+
+    def test_unknown_mode_raises(self, rng):
+        with pytest.raises(ValueError):
+            corrupt_delta(np.ones(5), "bogus", rng)
+
+    def test_original_not_mutated(self, rng):
+        delta = np.ones(50)
+        corrupt_delta(delta, "nan", rng)
+        assert np.isfinite(delta).all()
+
+
+class TestCrashFilter:
+    def test_scheduled_crashes_removed(self):
+        injector = FaultInjector(FaultPlan(drop_schedule={0: [1, 2]}))
+        log = RoundFaultLog()
+        survivors = injector.filter_crashes(0, [0, 1, 2, 3], log)
+        assert survivors == [0, 3]
+        assert log.crashed == [1, 2]
+
+    def test_no_faults_no_changes(self):
+        injector = FaultInjector(FaultPlan())
+        log = RoundFaultLog()
+        assert injector.filter_crashes(5, [0, 1], log) == [0, 1]
+        assert not log.crashed
+
+
+class TestProcessUpdates:
+    def test_corruption_applied_and_logged(self):
+        plan = FaultPlan(corrupt_schedule={1: {0: "nan"}})
+        updates, log = apply_faults(plan, 1, [make_update(0), make_update(1)])
+        assert log.corrupted == {0: "nan"}
+        by_id = {u.client_id: u for u in updates}
+        assert np.isnan(by_id[0].delta).any()
+        assert np.isfinite(by_id[1].delta).all()
+
+    def test_straggler_inflates_sim_time(self):
+        plan = FaultPlan(seed=0, straggler_rate=1.0, straggler_factor=3.0)
+        updates, log = apply_faults(plan, 0, [make_update(0, sim_time=2.0)])
+        assert updates[0].sim_time == pytest.approx(6.0)
+        assert log.straggled == {0: 3.0}
+
+    def test_transient_failures_charge_backoff(self):
+        plan = FaultPlan(
+            seed=0, transient_rate=1.0, max_transient_failures=1,
+            retry_limit=2, retry_backoff=0.5,
+        )
+        updates, log = apply_faults(plan, 0, [make_update(0, sim_time=1.0)])
+        # One failed attempt retried: +0.5 * 2^0 seconds.
+        assert len(updates) == 1
+        assert updates[0].sim_time == pytest.approx(1.5)
+        assert log.retries == {0: 1}
+        assert not log.lost_after_retries
+
+    def test_retry_exhaustion_loses_upload(self):
+        plan = FaultPlan(
+            seed=0, transient_rate=1.0, max_transient_failures=5,
+            retry_limit=0, retry_backoff=0.0,
+        )
+        updates, log = apply_faults(plan, 0, [make_update(0)])
+        assert updates == []
+        assert log.lost_after_retries == [0]
+        assert log.dropped == [0]
+
+    def test_corruption_deterministic_across_replays(self):
+        plan = FaultPlan(seed=9, corrupt_rate=1.0, corruption_modes=("nan",))
+        first, _ = apply_faults(plan, 3, [make_update(0)])
+        second, _ = apply_faults(plan, 3, [make_update(0)])
+        np.testing.assert_array_equal(first[0].delta, second[0].delta)

@@ -1,0 +1,75 @@
+"""Tests for the deterministic fault plan."""
+
+import numpy as np
+import pytest
+
+from repro.faults import CORRUPTION_MODES, FaultDecision, FaultPlan
+
+
+class TestFaultPlanDeterminism:
+    def test_same_args_same_decision(self):
+        plan = FaultPlan(seed=3, drop_rate=0.4, corrupt_rate=0.3, straggler_rate=0.2)
+        for round_index in range(5):
+            for cid in range(8):
+                assert plan.decide(round_index, cid) == plan.decide(round_index, cid)
+
+    def test_decisions_independent_of_query_order(self):
+        plan = FaultPlan(seed=1, drop_rate=0.5)
+        forward = [plan.decide(0, cid) for cid in range(10)]
+        backward = [plan.decide(0, cid) for cid in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=0, drop_rate=0.5)
+        b = FaultPlan(seed=1, drop_rate=0.5)
+        drops_a = [a.decide(r, c).drop for r in range(10) for c in range(10)]
+        drops_b = [b.decide(r, c).drop for r in range(10) for c in range(10)]
+        assert drops_a != drops_b
+
+    def test_rates_are_roughly_respected(self):
+        plan = FaultPlan(seed=0, drop_rate=0.3)
+        drops = [plan.decide(r, c).drop for r in range(50) for c in range(20)]
+        assert 0.2 < np.mean(drops) < 0.4
+
+    def test_clean_plan_touches_nothing(self):
+        plan = FaultPlan(seed=0)
+        assert not plan.any_faults
+        decision = plan.decide(0, 0)
+        assert decision.clean
+
+
+class TestSchedules:
+    def test_drop_schedule_overrides_rates(self):
+        plan = FaultPlan(seed=0, drop_schedule={2: [1, 3]})
+        assert plan.decide(2, 1).drop and plan.decide(2, 3).drop
+        assert not plan.decide(2, 0).drop
+        assert not plan.decide(1, 1).drop
+
+    def test_corrupt_schedule_forces_mode(self):
+        plan = FaultPlan(seed=0, corrupt_schedule={0: {4: "inf"}})
+        assert plan.decide(0, 4).corruption == "inf"
+        assert plan.decide(0, 5).corruption is None
+
+    def test_decisions_helper_covers_selection(self):
+        plan = FaultPlan(seed=0, drop_rate=0.5)
+        decisions = plan.decisions(3, [0, 1, 2])
+        assert set(decisions) == {0, 1, 2}
+        assert all(isinstance(d, FaultDecision) for d in decisions.values())
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["drop_rate", "corrupt_rate", "straggler_rate", "transient_rate"])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+
+    def test_unknown_corruption_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corruption_modes=("garbage",))
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_known_modes_accepted(self):
+        FaultPlan(corruption_modes=CORRUPTION_MODES)

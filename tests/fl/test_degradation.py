@@ -1,0 +1,113 @@
+"""Tests for the server's graceful-degradation policy."""
+
+import numpy as np
+import pytest
+
+from repro.fl.degradation import (
+    REASON_BAD_SHAPE,
+    REASON_NON_FINITE,
+    REASON_NORM_OUTLIER,
+    DegradationPolicy,
+    split_stragglers,
+    validate_updates,
+)
+from repro.fl.state import ClientUpdate
+
+
+def make_update(cid, delta, sim_time=1.0):
+    return ClientUpdate(
+        client_id=cid, delta=np.asarray(delta, dtype=float),
+        num_samples=10, num_steps=5, sim_time=sim_time,
+    )
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        DegradationPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"over_selection": -0.1},
+            {"round_deadline": 0.0},
+            {"min_quorum": 0},
+            {"norm_outlier_factor": 1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DegradationPolicy(**kwargs)
+
+    def test_extra_selections_rounds_up(self):
+        policy = DegradationPolicy(over_selection=0.25)
+        assert policy.extra_selections(10) == 3
+        assert policy.extra_selections(1) == 1
+        assert DegradationPolicy().extra_selections(10) == 0
+
+
+class TestValidationGate:
+    def test_clean_updates_pass(self):
+        policy = DegradationPolicy()
+        updates = [make_update(0, np.ones(4)), make_update(1, np.ones(4))]
+        accepted, quarantined = validate_updates(updates, 4, policy)
+        assert len(accepted) == 2 and not quarantined
+
+    def test_nan_quarantined(self):
+        policy = DegradationPolicy()
+        updates = [make_update(0, [1.0, np.nan]), make_update(1, [1.0, 1.0])]
+        accepted, quarantined = validate_updates(updates, 2, policy)
+        assert [u.client_id for u in accepted] == [1]
+        assert quarantined == {0: REASON_NON_FINITE}
+
+    def test_inf_quarantined(self):
+        policy = DegradationPolicy()
+        accepted, quarantined = validate_updates([make_update(0, [np.inf, 0.0])], 2, policy)
+        assert not accepted
+        assert quarantined == {0: REASON_NON_FINITE}
+
+    def test_wrong_shape_quarantined(self):
+        policy = DegradationPolicy()
+        accepted, quarantined = validate_updates([make_update(0, np.ones(3))], 4, policy)
+        assert not accepted
+        assert quarantined == {0: REASON_BAD_SHAPE}
+
+    def test_norm_outlier_quarantined(self):
+        policy = DegradationPolicy(norm_outlier_factor=10.0)
+        updates = [
+            make_update(0, np.ones(4)),
+            make_update(1, np.ones(4) * 1.1),
+            make_update(2, np.ones(4) * 0.9),
+            make_update(3, np.ones(4) * 1e4),
+        ]
+        accepted, quarantined = validate_updates(updates, 4, policy)
+        assert quarantined == {3: REASON_NORM_OUTLIER}
+        assert [u.client_id for u in accepted] == [0, 1, 2]
+
+    def test_norm_gate_needs_three_updates(self):
+        """With < 3 valid updates the median is meaningless: no outlier gate."""
+        policy = DegradationPolicy(norm_outlier_factor=2.0)
+        updates = [make_update(0, np.ones(4)), make_update(1, np.ones(4) * 1e6)]
+        accepted, quarantined = validate_updates(updates, 4, policy)
+        assert len(accepted) == 2 and not quarantined
+
+    def test_gate_can_be_disabled(self):
+        policy = DegradationPolicy(quarantine_nonfinite=False, norm_outlier_factor=None)
+        updates = [make_update(0, [np.nan, 1.0])]
+        accepted, quarantined = validate_updates(updates, 2, policy)
+        assert len(accepted) == 1 and not quarantined
+
+
+class TestStragglerDeadline:
+    def test_no_deadline_keeps_everyone(self):
+        updates = [make_update(0, np.ones(2), sim_time=99.0)]
+        kept, late = split_stragglers(updates, None)
+        assert len(kept) == 1 and not late
+
+    def test_deadline_splits(self):
+        updates = [
+            make_update(0, np.ones(2), sim_time=1.0),
+            make_update(1, np.ones(2), sim_time=5.0),
+        ]
+        kept, late = split_stragglers(updates, 2.0)
+        assert [u.client_id for u in kept] == [0]
+        assert late == [1]

@@ -1,0 +1,194 @@
+"""End-to-end fault-tolerance acceptance tests.
+
+The ISSUE's reference scenario: a fixed-seed run under a 30% upload-drop /
+10% NaN-corruption fault plan must (a) complete without divergence, (b)
+quarantine every corrupted update that reaches the server — cross-checked
+against the fault plan's own deterministic decisions — and (c) reproduce
+the uninterrupted run's history bit-exact when killed at a checkpoint and
+resumed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, build_environment, run_algorithm
+from repro.experiments.fault_tolerance import plan_for
+from repro.faults import FaultPlan
+from repro.fl.degradation import REASON_NON_FINITE, DegradationPolicy
+from repro.fl.metrics import evaluate
+
+
+@pytest.fixture
+def fault_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="adult",
+        num_clients=8,
+        rounds=8,
+        local_steps=3,
+        batch_size=16,
+        train_size=240,
+        test_size=80,
+        width_multiplier=0.3,
+    )
+
+
+class TestAcceptanceScenario:
+    """30% drops + 10% NaN corruption, the L = 0.3 sweep cell."""
+
+    @pytest.fixture
+    def plan(self, fault_config) -> FaultPlan:
+        plan = plan_for(fault_config, 0.3)
+        assert plan.drop_rate == pytest.approx(0.3)
+        assert plan.corrupt_rate == pytest.approx(0.1)
+        return plan
+
+    @pytest.mark.parametrize("algorithm", ["fedavg", "taco"])
+    def test_run_completes_without_divergence(self, fault_config, plan, algorithm):
+        result = run_algorithm(fault_config, algorithm, fault_plan=plan)
+        assert not result.diverged
+        assert len(result.history) == fault_config.rounds
+        assert np.isfinite(result.final_params).all()
+        assert np.isfinite(result.history.accuracies).all()
+        # The plan actually bit: faults were injected and recorded.
+        summary = result.history.fault_summary()
+        assert summary["dropped"] > 0
+        assert summary["quarantined"] > 0
+
+    def test_every_corrupted_update_is_quarantined(self, fault_config, plan):
+        """RoundRecord fault counts match the plan's own decisions exactly."""
+        result = run_algorithm(fault_config, "taco", fault_plan=plan)
+        for record in result.history.records:
+            delivered = [c for c in record.participating if c not in record.dropped]
+            corrupted = {
+                cid
+                for cid in delivered
+                if plan.decide(record.round, cid).corruption is not None
+            }
+            non_finite = {
+                cid
+                for cid, reason in record.quarantined.items()
+                if reason == REASON_NON_FINITE
+            }
+            assert non_finite == corrupted
+            # Nothing quarantined ever reaches aggregation.
+            assert not (set(record.quarantined) & set(record.update_norms))
+            assert record.aggregated == len(delivered) - len(record.quarantined)
+
+    def test_crashes_match_plan_decisions(self, fault_config, plan):
+        result = run_algorithm(fault_config, "taco", fault_plan=plan)
+        for record in result.history.records:
+            expected = [
+                cid
+                for cid in record.participating
+                if plan.decide(record.round, cid).drop
+            ]
+            assert record.dropped == sorted(expected)
+
+    def test_kill_and_resume_reproduces_history_bit_exact(
+        self, fault_config, plan, tmp_path
+    ):
+        reference = run_algorithm(fault_config, "taco", fault_plan=plan)
+
+        # "Kill" at round 6: checkpoint_every=3 leaves the round-6 snapshot
+        # as the latest on disk; a fresh process resumes from it.
+        run_algorithm(
+            fault_config,
+            "taco",
+            fault_plan=plan,
+            checkpoint_every=3,
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        resumed = run_algorithm(
+            fault_config, "taco", fault_plan=plan, resume_from=tmp_path / "ckpt"
+        )
+
+        np.testing.assert_array_equal(resumed.final_params, reference.final_params)
+        np.testing.assert_array_equal(resumed.output_params, reference.output_params)
+        assert len(resumed.history) == len(reference.history)
+        for a, b in zip(resumed.history.records, reference.history.records):
+            assert a.round == b.round
+            assert a.test_accuracy == b.test_accuracy
+            assert a.test_loss == b.test_loss
+            assert a.round_sim_time == b.round_sim_time
+            assert a.cumulative_sim_time == b.cumulative_sim_time
+            assert a.participating == b.participating
+            assert a.alphas == b.alphas
+            assert a.expelled == b.expelled
+            assert a.update_norms == b.update_norms
+            assert a.dropped == b.dropped
+            assert a.quarantined == b.quarantined
+            assert a.stragglers == b.stragglers
+            assert a.retries == b.retries
+            assert a.aggregated == b.aggregated
+            assert a.skipped == b.skipped
+
+
+class TestGracefulDegradation:
+    def test_round_with_no_survivors_is_skipped_not_fatal(self, fault_config):
+        """A fully-crashed round freezes the model instead of crashing."""
+        everyone = list(range(fault_config.num_clients))
+        plan = FaultPlan(seed=1, drop_schedule={1: everyone})
+        result = run_algorithm(fault_config.with_overrides(rounds=3), "taco", fault_plan=plan)
+        records = result.history.records
+        assert not result.diverged
+        assert records[1].skipped and records[1].aggregated == 0
+        assert records[1].dropped == everyone
+        assert not records[0].skipped and not records[2].skipped
+        assert result.history.skipped_rounds == 1
+
+    def test_over_selection_enlarges_cohort(self, fault_config):
+        plan = plan_for(fault_config, 0.3)
+        policy = DegradationPolicy(over_selection=0.25)
+        result = run_algorithm(
+            fault_config.with_overrides(rounds=2),
+            "fedavg",
+            fault_plan=plan,
+            degradation=policy,
+        )
+        # Full participation already selects everyone; over-selection cannot
+        # add more, so the cohort stays the full client set.
+        for record in result.history.records:
+            assert len(record.participating) == fault_config.num_clients
+
+    def test_straggler_deadline_caps_round_time(self, fault_config):
+        # Baseline rounds take ~0.0125 sim-seconds; a 10x straggler (~0.125)
+        # blows through a 0.05 deadline while on-time clients stay under it.
+        plan = FaultPlan(seed=2, straggler_rate=0.5, straggler_factor=10.0)
+        policy = DegradationPolicy(round_deadline=0.05)
+        result = run_algorithm(
+            fault_config.with_overrides(rounds=3),
+            "fedavg",
+            fault_plan=plan,
+            degradation=policy,
+        )
+        assert result.history.total_stragglers > 0
+        for record in result.history.records:
+            assert record.round_sim_time <= 0.05
+            for cid in record.stragglers:
+                assert cid not in record.update_norms
+
+
+class TestFinalMetricsFreshness:
+    def test_final_accuracy_evaluated_when_eval_every_skips_last_round(self):
+        """eval_every=2 with odd rounds used to report a stale final metric."""
+        config = ExperimentConfig(
+            dataset="adult",
+            num_clients=4,
+            rounds=5,
+            local_steps=3,
+            batch_size=16,
+            train_size=200,
+            test_size=80,
+            width_multiplier=0.3,
+            eval_every=2,
+        )
+        result = run_algorithm(config, "fedavg")
+        env = build_environment(config)
+        model = env.bundle.spec.make_model(
+            rng=np.random.default_rng(0), width_multiplier=config.width_multiplier
+        )
+        model.load_vector(result.final_params)
+        accuracy, loss = evaluate(model, env.bundle.test)
+        assert result.final_accuracy == pytest.approx(accuracy)
+        assert result.history.records[-1].test_accuracy == pytest.approx(accuracy)
+        assert result.history.records[-1].test_loss == pytest.approx(loss)
