@@ -1,0 +1,117 @@
+"""Benchmark per-round wall time per algorithm, with and without telemetry.
+
+Runs a small seeded config through fedavg / scaffold / stem / taco three
+ways — telemetry off (the no-op default), telemetry on with an in-memory
+exporter, and telemetry off again — and writes ``BENCH_telemetry.json`` at
+the repo root with per-round wall-time statistics plus the measured
+overhead of the enabled instrumentation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_telemetry.py [output_path]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import ExperimentConfig, run_algorithm
+from repro.experiments.runner import make_experiment_strategy
+from repro.telemetry import InMemoryExporter, telemetry_session
+
+ALGORITHMS = ("fedavg", "scaffold", "stem", "taco")
+
+CONFIG = ExperimentConfig(
+    dataset="adult",
+    num_clients=6,
+    rounds=6,
+    local_steps=5,
+    batch_size=16,
+    train_size=400,
+    test_size=150,
+    width_multiplier=0.5,
+)
+
+
+def _fresh_run(name: str):
+    """One uncached training run (explicit strategy bypasses the cache)."""
+    return run_algorithm(CONFIG, name, strategy=make_experiment_strategy(CONFIG, name))
+
+
+def _round_stats(history) -> dict:
+    wall = history.wall_times
+    sim = history.round_times
+    return {
+        "rounds": len(wall),
+        "wall_seconds_total": float(wall.sum()),
+        "wall_seconds_per_round_mean": float(wall.mean()),
+        "wall_seconds_per_round_median": float(np.median(wall)),
+        "wall_seconds_per_round_p95": float(np.quantile(wall, 0.95)),
+        "sim_seconds_per_round_median": float(np.median(sim)),
+    }
+
+
+def bench_algorithm(name: str) -> dict:
+    """Time ``name`` with telemetry off and on; report per-round stats."""
+    off = _fresh_run(name)
+
+    exporter = InMemoryExporter()
+    with telemetry_session([exporter]):
+        on = _fresh_run(name)
+    span_events = sum(1 for e in exporter.events if e.get("type") == "span")
+
+    off_total = float(off.history.wall_times.sum())
+    on_total = float(on.history.wall_times.sum())
+    return {
+        "telemetry_off": _round_stats(off.history),
+        "telemetry_on": {**_round_stats(on.history), "span_events": span_events},
+        "overhead_pct": 100.0 * (on_total / off_total - 1.0) if off_total > 0 else 0.0,
+        "final_accuracy": off.final_accuracy,
+        "bit_identical": bool(np.array_equal(off.final_params, on.final_params)),
+    }
+
+
+def main(argv: list[str]) -> int:
+    """Run the benchmark and write the JSON report."""
+    output = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1] / "BENCH_telemetry.json"
+    report = {
+        "config": {
+            "dataset": CONFIG.dataset,
+            "num_clients": CONFIG.num_clients,
+            "rounds": CONFIG.rounds,
+            "local_steps": CONFIG.local_steps,
+            "seed": CONFIG.seed,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "algorithms": {},
+    }
+    for name in ALGORITHMS:
+        print(f"==> {name}")
+        report["algorithms"][name] = bench_algorithm(name)
+        row = report["algorithms"][name]
+        print(
+            f"    median wall/round {row['telemetry_off']['wall_seconds_per_round_median']:.4f}s"
+            f"  telemetry overhead {row['overhead_pct']:+.1f}%"
+            f"  bit-identical={row['bit_identical']}"
+        )
+        if not row["bit_identical"]:
+            print("    ERROR: telemetry changed training numerics", file=sys.stderr)
+            return 1
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -24,6 +24,35 @@ assert faults["dropped"] or faults["quarantined"], f"no faults injected: {faults
 print("smoke ok:", faults)
 '
 
+echo "==> telemetry smoke run (2-round TACO, JSONL trace to out/trace.jsonl)"
+python -m repro.cli run \
+    --dataset adult --algorithm taco --clients 6 --rounds 2 \
+    --train-size 200 --test-size 80 \
+    --track-traffic --drop-rate 0.3 --corrupt-rate 0.1 \
+    --telemetry jsonl:out/trace.jsonl --json > /dev/null
+python - <<'PY'
+import json
+
+events = [json.loads(line) for line in open("out/trace.jsonl")]
+spans = {e["name"] for e in events if e["type"] == "span"}
+missing_spans = {"round", "client", "aggregate"} - spans
+assert not missing_spans, f"trace missing spans: {missing_spans}"
+
+metrics = [e for e in events if e["type"] == "metrics"]
+assert metrics, "trace has no terminal metrics snapshot"
+names = set(metrics[-1]["metrics"])
+required = {
+    "round.wall_seconds",
+    "client.local_steps",
+    "transport.uplink_bytes",
+    "transport.downlink_bytes",
+    "agg.quarantined",
+}
+missing = required - names
+assert not missing, f"trace missing metrics: {missing}"
+print(f"telemetry smoke ok: {len(events)} events, {len(names)} metric names")
+PY
+
 echo "==> fault-tolerance experiment smoke"
 python -m pytest -q benchmarks/test_fault_tolerance.py --benchmark-disable
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState
 from ..fl.timing import ComputeProfile
+from ..telemetry import get_telemetry
 from .base import GradFn, Strategy
 
 
@@ -100,6 +101,11 @@ class Scaffold(Strategy):
             control_shift += new_control - self._client_controls[cid]
             self._client_controls[cid] = new_control
         self._server_control = self._server_control + control_shift / state.num_clients
+        telemetry = get_telemetry()
+        if telemetry.enabled:  # norm computed only when someone listens
+            telemetry.gauge("scaffold.server_control_norm").set(
+                float(np.linalg.norm(self._server_control))
+            )
 
     def compute_profile(self) -> ComputeProfile:
         return ComputeProfile(grad=1, control_variate=1)

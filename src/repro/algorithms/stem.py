@@ -27,6 +27,7 @@ import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState
 from ..fl.timing import ComputeProfile
+from ..telemetry import get_telemetry
 from .base import GradFn, Strategy
 
 
@@ -63,6 +64,7 @@ class STEM(Strategy):
             direction = grad
         else:
             prev_grad = grad_fn(self._prev_params[client_id])  # second gradient eval
+            get_telemetry().counter("stem.extra_grad_evals").add(1)
             direction = grad + (1.0 - self.alpha_t) * (
                 self._momentum[client_id] - prev_grad
             )

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState, cosine_similarity
 from ..fl.timing import ComputeProfile
+from ..telemetry import get_telemetry
 from .base import GradFn, Strategy
 
 INITIAL_ALPHA = 0.1  # Algorithm 2's initialisation alpha_i^0
@@ -171,6 +172,11 @@ class TACO(Strategy):
         self._alphas = dict(self.compute_alphas(updates))
         self._alpha_memory.update(self._alphas)
         self.last_alphas = dict(self._alphas)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            for client_id, alpha in self._alphas.items():
+                telemetry.gauge("taco.alpha", client=client_id).set(alpha)
+            telemetry.gauge("taco.mean_alpha").set(self.mean_alpha())
 
         if self.use_tailored_aggregation:
             weights = [self._alphas[u.client_id] for u in updates]
@@ -198,12 +204,15 @@ class TACO(Strategy):
             # benign clients.  (The paper's T >= 50 makes round 0 negligible
             # against lambda = T/5; at reduced scale it must be excluded.)
             return
+        telemetry = get_telemetry()
         for update in updates:
             if self._alphas.get(update.client_id, 0.0) >= self.kappa:
                 strikes = self._strikes.get(update.client_id, 0) + 1
                 self._strikes[update.client_id] = strikes
+                telemetry.counter("taco.strikes").add(1)
                 if strikes >= self.expulsion_limit:
                     self._expelled.add(update.client_id)
+                    telemetry.counter("taco.expelled").add(1)
 
     def active_clients(self, state: ServerState, all_clients: Sequence[int]) -> List[int]:
         return [cid for cid in all_clients if cid not in self._expelled]

@@ -19,6 +19,7 @@ from ..data.dataset import TensorDataset
 from ..fl.client import Client
 from ..fl.state import ClientUpdate
 from ..fl.timing import CostModel
+from ..telemetry import get_telemetry
 
 
 class FreeloaderClient(Client):
@@ -59,15 +60,17 @@ class FreeloaderClient(Client):
         cost_model: CostModel,
     ) -> ClientUpdate:
         started = time.perf_counter()
-        global_delta = payload.get("global_delta")
-        if global_delta is None:
-            # Algorithms that do not broadcast Delta_t: replay nothing useful
-            # on round 0, then mimic whatever direction the anchor moved.
-            global_delta = np.zeros_like(global_params)
-        replay = strategy.local_steps * strategy.local_lr * global_delta
-        if self.camouflage_noise > 0 and np.linalg.norm(replay) > 0:
-            scale = self.camouflage_noise * np.linalg.norm(replay) / np.sqrt(replay.size)
-            replay = replay + self._rng.normal(scale=scale, size=replay.shape)
+        with get_telemetry().span("client", client=self.client_id, freeloader=True):
+            global_delta = payload.get("global_delta")
+            if global_delta is None:
+                # Algorithms that do not broadcast Delta_t: replay nothing
+                # useful on round 0, then mimic whatever direction the anchor
+                # moved.
+                global_delta = np.zeros_like(global_params)
+            replay = strategy.local_steps * strategy.local_lr * global_delta
+            if self.camouflage_noise > 0 and np.linalg.norm(replay) > 0:
+                scale = self.camouflage_noise * np.linalg.norm(replay) / np.sqrt(replay.size)
+                replay = replay + self._rng.normal(scale=scale, size=replay.shape)
         return ClientUpdate(
             client_id=self.client_id,
             delta=replay,

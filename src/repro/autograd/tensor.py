@@ -15,6 +15,7 @@ reverse topological order accumulating gradients into ``.grad``.
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter as _perf_counter
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,6 +23,13 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
+
+#: Profiling taps (see :mod:`repro.telemetry.profiler`).  ``None`` keeps the
+#: hot path to a single global load + branch; when installed, the creation
+#: hook tags tensors with the layer that made them and the backward hook
+#: receives per-node backward timings.
+_TENSOR_CREATED_HOOK: Optional[Callable[["Tensor"], None]] = None
+_BACKWARD_OP_HOOK: Optional[Callable[["Tensor", float], None]] = None
 
 
 @contextlib.contextmanager
@@ -93,6 +101,8 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad else ()
         self.name = name
+        if _TENSOR_CREATED_HOOK is not None:
+            _TENSOR_CREATED_HOOK(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -198,6 +208,7 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        op_hook = _BACKWARD_OP_HOOK  # read once; cannot change mid-backward
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
@@ -205,7 +216,12 @@ class Tensor:
             if node.requires_grad and not node._parents:
                 node._accumulate(node_grad)
             if node._backward is not None:
-                node._backward_dispatch(node, node_grad, grads)
+                if op_hook is None:
+                    node._backward_dispatch(node, node_grad, grads)
+                else:
+                    started = _perf_counter()
+                    node._backward_dispatch(node, node_grad, grads)
+                    op_hook(node, _perf_counter() - started)
 
     @staticmethod
     def _backward_dispatch(node: "Tensor", node_grad: np.ndarray, grads: dict) -> None:

@@ -14,6 +14,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional
@@ -30,6 +31,7 @@ from .experiments import (
 )
 from .faults import CORRUPTION_MODES, FaultPlan
 from .fl.degradation import DegradationPolicy
+from .telemetry import OpProfiler, make_exporter, telemetry_session
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +63,22 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--round-deadline", type=float, default=None, help="straggler deadline in sim-seconds")
     group.add_argument("--over-selection", type=float, default=0.0, help="extra selection fraction")
     group.add_argument("--min-quorum", type=int, default=1, help="min surviving updates per round")
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry / profiling")
+    group.add_argument(
+        "--telemetry", action="append", default=None, metavar="SPEC",
+        help="exporter spec (repeatable): jsonl:PATH, prom:PATH or console",
+    )
+    group.add_argument(
+        "--profile-ops", action="store_true",
+        help="attribute forward/backward wall time to layer types",
+    )
+    group.add_argument(
+        "--track-traffic", action="store_true",
+        help="route uploads through an identity Transport to count bytes",
+    )
 
 
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -142,25 +160,40 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         fault_plan = _fault_plan_from_args(args, config)
         degradation = _degradation_from_args(args)
+        exporters = [make_exporter(spec) for spec in (args.telemetry or [])]
     except ValueError as error:
-        print(f"invalid fault/degradation arguments: {error}", file=sys.stderr)
+        print(f"invalid fault/degradation/telemetry arguments: {error}", file=sys.stderr)
         return 2
+    transport = None
+    if args.track_traffic:
+        from .comm import NoCompression, Transport
+
+        transport = Transport(NoCompression(), seed=config.seed)
+    profiler = OpProfiler() if args.profile_ops else None
     try:
-        result = run_algorithm(
-            config,
-            args.algorithm,
-            fault_plan=fault_plan,
-            degradation=degradation,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=args.checkpoint_dir,
-            resume_from=args.checkpoint_dir if args.resume else None,
-        )
+        with contextlib.ExitStack() as stack:
+            if exporters:
+                stack.enter_context(telemetry_session(exporters))
+            if profiler is not None:
+                stack.enter_context(profiler)
+            result = run_algorithm(
+                config,
+                args.algorithm,
+                fault_plan=fault_plan,
+                degradation=degradation,
+                transport=transport,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                resume_from=args.checkpoint_dir if args.resume else None,
+            )
     except FileNotFoundError as error:
         print(f"cannot resume: no checkpoint at {args.checkpoint_dir} ({error})", file=sys.stderr)
         return 2
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if profiler is not None:
+        print(profiler.render(), file=sys.stderr)
     target = target_for(config)
     fault_summary = result.history.fault_summary()
     if args.json:
@@ -178,6 +211,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                     "expelled_clients": result.history.expelled_clients,
                     "faults": fault_summary,
                     "quarantine_reasons": result.history.quarantine_reasons(),
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "uplink_bytes": result.history.total_uplink_bytes,
+                    "downlink_bytes": result.history.total_downlink_bytes,
                 }
             )
         )
@@ -299,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     _add_config_arguments(run_p)
     _add_fault_arguments(run_p)
+    _add_telemetry_arguments(run_p)
     _add_checkpoint_arguments(run_p)
     run_p.set_defaults(func=cmd_run)
 

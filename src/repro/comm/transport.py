@@ -1,4 +1,14 @@
-"""Uplink transport simulation: compression + traffic/time accounting."""
+"""Transport simulation: compression + directional traffic/time accounting.
+
+Traffic is tracked **per direction**: *uplink* (client -> server uploads,
+the compressed deltas) and *downlink* (server -> client broadcast of the
+global parameters).  The two flows have very different characters — uplink
+is compressed and per-client, downlink is a dense fan-out of w_t — so a
+single undirected total (the original ``TrafficLog``) hid exactly the
+asymmetry compression experiments care about.  Both directions surface in
+telemetry (``transport.uplink_bytes`` / ``transport.downlink_bytes``) and
+in :class:`~repro.fl.history.RoundRecord`.
+"""
 
 from __future__ import annotations
 
@@ -8,24 +18,57 @@ from typing import List
 import numpy as np
 
 from ..fl.state import ClientUpdate
+from ..telemetry import get_telemetry
 from .compression import Compressor, NoCompression
 
 
 @dataclass
 class TrafficLog:
-    """Per-round uplink accounting."""
+    """Per-round traffic accounting, uplink and downlink tracked separately."""
 
-    bytes_per_round: List[int] = field(default_factory=list)
+    uplink_bytes_per_round: List[int] = field(default_factory=list)
+    downlink_bytes_per_round: List[int] = field(default_factory=list)
+
+    @property
+    def bytes_per_round(self) -> List[int]:
+        """Back-compat alias for the uplink series (the original meaning)."""
+        return self.uplink_bytes_per_round
+
+    @bytes_per_round.setter
+    def bytes_per_round(self, value: List[int]) -> None:
+        self.uplink_bytes_per_round = list(value)
+
+    @property
+    def total_uplink_bytes(self) -> int:
+        """All bytes uploaded by clients across the run."""
+        return sum(self.uplink_bytes_per_round)
+
+    @property
+    def total_downlink_bytes(self) -> int:
+        """All bytes broadcast to clients across the run."""
+        return sum(self.downlink_bytes_per_round)
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.bytes_per_round)
+        """Uplink + downlink bytes across the run."""
+        return self.total_uplink_bytes + self.total_downlink_bytes
+
+    def record_uplink(self, round_bytes: int) -> None:
+        """Append one round's uplink total."""
+        self.uplink_bytes_per_round.append(round_bytes)
+
+    def record_downlink(self, round_bytes: int) -> None:
+        """Append one round's downlink total."""
+        self.downlink_bytes_per_round.append(round_bytes)
 
     def record(self, round_bytes: int) -> None:
-        self.bytes_per_round.append(round_bytes)
+        """Back-compat alias for :meth:`record_uplink`."""
+        self.record_uplink(round_bytes)
 
     def reset(self) -> None:
-        self.bytes_per_round = []
+        """Clear both directions."""
+        self.uplink_bytes_per_round = []
+        self.downlink_bytes_per_round = []
 
 
 class Transport:
@@ -63,6 +106,16 @@ class Transport:
         self.rng = np.random.default_rng(self.seed)
         self.log.reset()
 
+    def process_broadcast(self, params: np.ndarray, num_clients: int) -> None:
+        """Account the downlink fan-out of the global parameters.
+
+        The broadcast is modelled uncompressed (servers push full-precision
+        w_t); every selected client receives one dense copy.
+        """
+        round_bytes = int(params.size * params.dtype.itemsize * num_clients)
+        self.log.record_downlink(round_bytes)
+        get_telemetry().counter("transport.downlink_bytes").add(round_bytes)
+
     def process_round(self, updates: List[ClientUpdate]) -> List[ClientUpdate]:
         """Compress every update in place; returns the same list."""
         round_bytes = 0
@@ -70,12 +123,21 @@ class Transport:
             compressed = self.compressor.compress(update.delta, self.rng)
             update.delta = compressed.vector
             round_bytes += compressed.payload_bytes
-        self.log.record(round_bytes)
+        self.log.record_uplink(round_bytes)
+        get_telemetry().counter("transport.uplink_bytes").add(round_bytes)
         return updates
 
     def uplink_seconds(self, round_index: int) -> float:
-        """Simulated transmission time for one round (slowest-client model
-        not needed: uploads are sequentialised at the server uplink)."""
+        """Simulated transmission time for one round's uploads (slowest-client
+        model not needed: uploads are sequentialised at the server uplink)."""
         if self.bandwidth is None:
             return 0.0
-        return self.log.bytes_per_round[round_index] / self.bandwidth
+        return self.log.uplink_bytes_per_round[round_index] / self.bandwidth
+
+    def downlink_seconds(self, round_index: int) -> float:
+        """Simulated transmission time for one round's broadcast."""
+        if self.bandwidth is None:
+            return 0.0
+        if round_index >= len(self.log.downlink_bytes_per_round):
+            return 0.0
+        return self.log.downlink_bytes_per_round[round_index] / self.bandwidth

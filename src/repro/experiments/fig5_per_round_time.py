@@ -4,11 +4,18 @@ Records the slowest participating client's simulated compute time for every
 round of a run (the paper plots these as box/median bars).  The headline
 shape: STEM highest, FedProx/FedACG/Scaffold elevated, FedAvg/FoolsGold
 lowest, TACO marginally above FedAvg.
+
+Alongside the simulated :class:`~repro.fl.timing.CostModel` seconds the
+result now carries the **measured** wall-clock seconds per round
+(:attr:`~repro.fl.history.TrainingHistory.wall_times`), so the simulated
+cost model can be sanity-checked against real single-core execution — the
+two columns should rank the algorithms identically even though absolute
+scales differ.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
 import numpy as np
@@ -23,19 +30,34 @@ ALGORITHMS = BASELINES + ("taco",)
 
 @dataclass
 class PerRoundTimeResult:
+    """Per-algorithm distributions of simulated and measured round times."""
+
     dataset: str
     round_times: Dict[str, np.ndarray]
+    wall_times: Dict[str, np.ndarray] = field(default_factory=dict)
 
     def medians(self) -> Dict[str, float]:
+        """Median simulated compute seconds per round, per algorithm."""
         return {name: float(np.median(times)) for name, times in self.round_times.items()}
 
+    def wall_medians(self) -> Dict[str, float]:
+        """Median measured wall seconds per round, per algorithm."""
+        return {name: float(np.median(times)) for name, times in self.wall_times.items()}
+
     def render(self) -> str:
+        """Format simulated and measured per-round medians as a table."""
         medians = self.medians()
+        wall = self.wall_medians()
         base = medians["fedavg"]
         return render_table(
-            ["algorithm", "median s/round", "vs fedavg"],
+            ["algorithm", "median sim s/round", "vs fedavg", "median wall s/round"],
             [
-                [name, f"{median:.4f}", f"{100 * (median / base - 1):+.1f}%"]
+                [
+                    name,
+                    f"{median:.4f}",
+                    f"{100 * (median / base - 1):+.1f}%",
+                    f"{wall[name]:.4f}" if name in wall else "-",
+                ]
                 for name, median in medians.items()
             ],
             title=f"Fig. 5 analogue — per-round local compute time, {self.dataset}",
@@ -46,10 +68,11 @@ def run(
     config: ExperimentConfig | None = None,
     algorithms: Sequence[str] = ALGORITHMS,
 ) -> PerRoundTimeResult:
-    """Run Fig. 5: per-round local compute-time distributions."""
+    """Run Fig. 5: per-round compute-time distributions (sim + wall)."""
     config = config or ExperimentConfig(dataset="fmnist")
     results = run_suite(config, algorithms)
     return PerRoundTimeResult(
         dataset=config.dataset,
         round_times={name: res.history.round_times for name, res in results.items()},
+        wall_times={name: res.history.wall_times for name, res in results.items()},
     )

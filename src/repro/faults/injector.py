@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..fl.state import ClientUpdate
+from ..telemetry import get_telemetry
 from .plan import FaultPlan
 
 
@@ -78,12 +79,15 @@ class FaultInjector:
                 log.crashed.append(cid)
             else:
                 survivors.append(cid)
+        if log.crashed:
+            get_telemetry().counter("faults.crashed").add(len(log.crashed))
         return survivors
 
     def process_updates(
         self, round_index: int, updates: Sequence[ClientUpdate], log: RoundFaultLog
     ) -> List[ClientUpdate]:
         """Corrupt/delay/lose uploads; returns the updates that survive."""
+        telemetry = get_telemetry()
         delivered: List[ClientUpdate] = []
         for update in updates:
             decision = self.plan.decide(round_index, update.client_id)
@@ -91,6 +95,7 @@ class FaultInjector:
             if decision.straggler_factor > 1.0:
                 update.sim_time *= decision.straggler_factor
                 log.straggled[update.client_id] = decision.straggler_factor
+                telemetry.counter("faults.straggled").add(1)
 
             if decision.corruption is not None:
                 rng = np.random.default_rng(
@@ -98,16 +103,19 @@ class FaultInjector:
                 )
                 update.delta = corrupt_delta(update.delta, decision.corruption, rng)
                 log.corrupted[update.client_id] = decision.corruption
+                telemetry.counter("faults.corrupted", mode=decision.corruption).add(1)
 
             if decision.transient_failures > 0:
                 attempts = min(decision.transient_failures, self.plan.retry_limit + 1)
                 log.retries[update.client_id] = attempts
+                telemetry.counter("faults.retry_attempts").add(attempts)
                 # Exponential backoff charged to the client's round time.
                 update.sim_time += sum(
                     self.plan.retry_backoff * (2**attempt) for attempt in range(attempts)
                 )
                 if decision.transient_failures > self.plan.retry_limit:
                     log.lost_after_retries.append(update.client_id)
+                    telemetry.counter("faults.lost_after_retries").add(1)
                     continue
 
             delivered.append(update)

@@ -65,6 +65,8 @@ def save_history(history: TrainingHistory, path: str | Path) -> None:
                 "retries": {str(k): v for k, v in record.retries.items()},
                 "aggregated": record.aggregated,
                 "skipped": record.skipped,
+                "uplink_bytes": record.uplink_bytes,
+                "downlink_bytes": record.downlink_bytes,
             }
         )
     path.write_text(json.dumps({"records": records}, indent=2))
@@ -93,6 +95,8 @@ def load_history(path: str | Path) -> TrainingHistory:
                 retries={int(k): int(v) for k, v in item.get("retries", {}).items()},
                 aggregated=int(item.get("aggregated", 0)),
                 skipped=bool(item.get("skipped", False)),
+                uplink_bytes=int(item.get("uplink_bytes", 0)),
+                downlink_bytes=int(item.get("downlink_bytes", 0)),
             )
         )
     return history
@@ -183,8 +187,11 @@ def save_simulation(simulation, directory: str | Path) -> Path:
     }
     if simulation.transport is not None:
         rng_states["transport"] = _rng_state(simulation.transport.rng)
-        arrays[f"transport{_SEP}bytes_per_round"] = np.asarray(
-            simulation.transport.log.bytes_per_round, dtype=np.int64
+        arrays[f"transport{_SEP}uplink_bytes_per_round"] = np.asarray(
+            simulation.transport.log.uplink_bytes_per_round, dtype=np.int64
+        )
+        arrays[f"transport{_SEP}downlink_bytes_per_round"] = np.asarray(
+            simulation.transport.log.downlink_bytes_per_round, dtype=np.int64
         )
 
     meta = {
@@ -256,8 +263,18 @@ def load_simulation(simulation, directory: str | Path) -> int:
 
     if simulation.transport is not None and "transport" in meta["rng_states"]:
         _restore_rng(simulation.transport.rng, meta["rng_states"]["transport"])
-        simulation.transport.log.bytes_per_round = [
-            int(b) for b in prefixed["transport"].get("bytes_per_round", [])
+        transport_arrays = prefixed["transport"]
+        # Older checkpoints stored only the (uplink) "bytes_per_round" array.
+        uplink_key = (
+            "uplink_bytes_per_round"
+            if "uplink_bytes_per_round" in transport_arrays
+            else "bytes_per_round"
+        )
+        simulation.transport.log.uplink_bytes_per_round = [
+            int(b) for b in transport_arrays.get(uplink_key, [])
+        ]
+        simulation.transport.log.downlink_bytes_per_round = [
+            int(b) for b in transport_arrays.get("downlink_bytes_per_round", [])
         ]
 
     simulation.history = load_history(directory / HISTORY_FILE)

@@ -16,6 +16,7 @@ from ..autograd import Tensor, cross_entropy
 from ..data.dataset import TensorDataset
 from ..data.loader import BatchSampler
 from ..nn.module import Module
+from ..telemetry import get_telemetry
 from .state import ClientUpdate
 from .timing import CostModel
 
@@ -73,32 +74,35 @@ class Client:
         uploaded delta is measured from that start, matching Eq. (5) with
         w_{i,0}^t = the broadcast initialisation.
         """
+        telemetry = get_telemetry()
         started = time.perf_counter()
-        start = global_params + payload.get("start_shift", 0.0)
-        params = start.copy()
+        with telemetry.span("client", client=self.client_id, steps=strategy.local_steps):
+            start = global_params + payload.get("start_shift", 0.0)
+            params = start.copy()
 
-        for step in range(strategy.local_steps):
-            features, labels = self.sampler.sample()
-            features_t = Tensor(features)
+            for step in range(strategy.local_steps):
+                features, labels = self.sampler.sample()
+                features_t = Tensor(features)
 
-            def grad_fn(at_params: np.ndarray) -> np.ndarray:
-                model.load_vector(at_params)
-                model.zero_grad()
-                loss = cross_entropy(model(features_t), labels)
-                loss.backward()
-                return model.gradient_vector()
+                def grad_fn(at_params: np.ndarray) -> np.ndarray:
+                    model.load_vector(at_params)
+                    model.zero_grad()
+                    loss = cross_entropy(model(features_t), labels)
+                    loss.backward()
+                    return model.gradient_vector()
 
-            grad = grad_fn(params)
-            prox = strategy.prox_gradient(params, payload)
-            if prox is not None:
-                grad = grad + prox
-            direction = strategy.local_direction(
-                self.client_id, step, params, grad, grad_fn, payload
-            )
-            params = params - strategy.local_lr * direction
+                grad = grad_fn(params)
+                prox = strategy.prox_gradient(params, payload)
+                if prox is not None:
+                    grad = grad + prox
+                direction = strategy.local_direction(
+                    self.client_id, step, params, grad, grad_fn, payload
+                )
+                params = params - strategy.local_lr * direction
 
-        delta = start - params  # Eq. (5)
+            delta = start - params  # Eq. (5)
         wall = time.perf_counter() - started
+        telemetry.counter("client.local_steps").add(strategy.local_steps)
         sim = cost_model.round_seconds(
             strategy.compute_profile(), strategy.local_steps, self.speed_factor
         )

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import get_telemetry
 from .state import ClientUpdate
 
 #: Quarantine reasons recorded in RoundRecord.quarantined.
@@ -117,6 +118,10 @@ def validate_updates(
                     survivors.append(update)
             accepted = survivors
 
+    if quarantined:
+        telemetry = get_telemetry()
+        for reason in quarantined.values():
+            telemetry.counter("degradation.quarantine", reason=reason).add(1)
     return accepted, quarantined
 
 
@@ -128,4 +133,6 @@ def split_stragglers(
         return list(updates), []
     on_time = [u for u in updates if u.sim_time <= deadline]
     late = sorted(u.client_id for u in updates if u.sim_time > deadline)
+    if late:
+        get_telemetry().counter("degradation.deadline_misses").add(len(late))
     return on_time, late

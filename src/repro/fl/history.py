@@ -31,6 +31,9 @@ class RoundRecord:
     retries: Dict[int, int] = field(default_factory=dict)  # client -> attempts
     aggregated: int = 0  # updates that actually reached the strategy
     skipped: bool = False  # True when quorum failed and the step was skipped
+    # Transport accounting (repro.comm; zero when no Transport is attached):
+    uplink_bytes: int = 0  # client -> server upload bytes this round
+    downlink_bytes: int = 0  # server -> client broadcast bytes this round
 
     @property
     def fault_count(self) -> int:
@@ -70,6 +73,16 @@ class TrainingHistory:
         return np.array([r.round_sim_time for r in self.records])
 
     @property
+    def wall_times(self) -> np.ndarray:
+        """Measured (real) seconds per round, alongside the simulated series."""
+        return np.array([r.round_wall_time for r in self.records])
+
+    @property
+    def cumulative_wall_times(self) -> np.ndarray:
+        """Running total of measured per-round seconds."""
+        return np.cumsum(self.wall_times) if self.records else np.array([])
+
+    @property
     def final_accuracy(self) -> float:
         if not self.records:
             raise ValueError("history is empty")
@@ -87,6 +100,19 @@ class TrainingHistory:
         for record in self.records:
             expelled.extend(record.expelled)
         return expelled
+
+    # ------------------------------------------------------------------
+    # Traffic accounting (repro.comm)
+    # ------------------------------------------------------------------
+    @property
+    def total_uplink_bytes(self) -> int:
+        """All client -> server upload bytes across the run."""
+        return sum(r.uplink_bytes for r in self.records)
+
+    @property
+    def total_downlink_bytes(self) -> int:
+        """All server -> client broadcast bytes across the run."""
+        return sum(r.downlink_bytes for r in self.records)
 
     # ------------------------------------------------------------------
     # Fault accounting

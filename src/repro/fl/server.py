@@ -6,6 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..telemetry import get_telemetry
 from .state import ClientUpdate, ServerState
 
 
@@ -40,6 +41,10 @@ class Server:
         new_params = self.state.global_params - self.global_lr * delta
         strategy.post_round(self.state, updates)
         self.state.advance(new_params, delta)
+        telemetry = get_telemetry()
+        telemetry.counter("server.rounds").add(1)
+        if telemetry.enabled:  # the norm is computed only when someone listens
+            telemetry.gauge("server.global_delta_norm").set(float(np.linalg.norm(delta)))
         return new_params
 
     def skip_round(self) -> np.ndarray:
@@ -47,4 +52,5 @@ class Server:
         self.state.advance(
             self.state.global_params.copy(), np.zeros_like(self.state.global_params)
         )
+        get_telemetry().counter("server.skipped_rounds").add(1)
         return self.state.global_params

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..data.dataset import TensorDataset
 from ..nn.module import Module
+from ..telemetry import get_telemetry
 from .client import Client
 from .degradation import DegradationPolicy, split_stragglers, validate_updates
 from .history import RoundRecord, TrainingHistory
@@ -53,6 +54,7 @@ class SimulationResult:
     final_accuracy: float
     output_accuracy: float
     diverged: bool
+    elapsed_seconds: float = 0.0  # measured wall-clock for the whole run
 
 
 class FederatedSimulation:
@@ -166,7 +168,13 @@ class FederatedSimulation:
             self.strategy.reset()
             if self.transport is not None:
                 self.transport.reset()
+            # Mirror Transport.reset(): back-to-back simulations in one
+            # process each start from an empty trace and registry instead of
+            # accumulating the previous run's events (already-streamed
+            # exporter output, e.g. JSONL lines, is untouched).
+            get_telemetry().reset()
 
+        run_started = time.perf_counter()
         diverged = False
         while self.server.state.round < rounds:
             record = self.run_round()
@@ -200,6 +208,7 @@ class FederatedSimulation:
             final_accuracy=final_accuracy,
             output_accuracy=output_accuracy,
             diverged=diverged,
+            elapsed_seconds=time.perf_counter() - run_started,
         )
 
     def _refresh_final_metrics(self, final_params: np.ndarray, diverged: bool) -> None:
@@ -229,68 +238,79 @@ class FederatedSimulation:
         state = self.server.state
         round_started = time.perf_counter()
         round_index = state.round
+        telemetry = get_telemetry()
 
-        previously_active = self.strategy.active_clients(state, sorted(self.clients))
-        participating = self.participation.select(previously_active, round_index, self.rng)
-        if not participating:
-            raise RuntimeError("no clients available to participate")
-        participating = self._over_select(previously_active, participating)
+        with telemetry.span("round", round=round_index):
+            previously_active = self.strategy.active_clients(state, sorted(self.clients))
+            participating = self.participation.select(previously_active, round_index, self.rng)
+            if not participating:
+                raise RuntimeError("no clients available to participate")
+            participating = self._over_select(previously_active, participating)
 
-        from ..faults import RoundFaultLog  # lightweight; only dataclasses
+            from ..faults import RoundFaultLog  # lightweight; only dataclasses
 
-        fault_log = RoundFaultLog()
-        runners = list(participating)
-        if self.fault_injector is not None:
-            # Crashed clients do no local work at all, so their private RNG
-            # streams stay untouched — a drop is indistinguishable from not
-            # having been selected.
-            runners = self.fault_injector.filter_crashes(round_index, runners, fault_log)
+            fault_log = RoundFaultLog()
+            runners = list(participating)
+            if self.fault_injector is not None:
+                # Crashed clients do no local work at all, so their private RNG
+                # streams stay untouched — a drop is indistinguishable from not
+                # having been selected.
+                runners = self.fault_injector.filter_crashes(round_index, runners, fault_log)
 
-        broadcast = self.strategy.broadcast(state)
-        global_params = state.global_params
+            with telemetry.span("broadcast", round=round_index, clients=len(runners)):
+                broadcast = self.strategy.broadcast(state)
+                if self.transport is not None:
+                    self.transport.process_broadcast(state.global_params, len(runners))
+            global_params = state.global_params
 
-        updates: List[ClientUpdate] = []
-        for client_id in runners:
-            client = self.clients[client_id]
-            payload = self.strategy.client_payload(client_id, state, broadcast)
-            update = client.local_round(
-                self.model, self.strategy, global_params, payload, self.cost_model
+            updates: List[ClientUpdate] = []
+            for client_id in runners:
+                client = self.clients[client_id]
+                payload = self.strategy.client_payload(client_id, state, broadcast)
+                update = client.local_round(
+                    self.model, self.strategy, global_params, payload, self.cost_model
+                )
+                updates.append(update)
+
+            if self.fault_injector is not None:
+                updates = self.fault_injector.process_updates(round_index, updates, fault_log)
+
+            if self.transport is not None:
+                updates = self.transport.process_round(updates)
+
+            stragglers: List[int] = []
+            quarantined = {}
+            skipped = False
+            if self.degradation is not None:
+                updates, stragglers = split_stragglers(updates, self.degradation.round_deadline)
+                updates, quarantined = validate_updates(updates, state.dim, self.degradation)
+                if len(updates) < self.degradation.min_quorum:
+                    skipped = True
+
+            with telemetry.span(
+                "aggregate", round=round_index, updates=len(updates), skipped=skipped
+            ):
+                if skipped:
+                    self.server.skip_round()
+                else:
+                    self.server.run_aggregation(self.strategy, updates)
+
+            still_active = set(
+                self.strategy.active_clients(self.server.state, sorted(self.clients))
             )
-            updates.append(update)
+            expelled = [cid for cid in participating if cid not in still_active]
 
-        if self.fault_injector is not None:
-            updates = self.fault_injector.process_updates(round_index, updates, fault_log)
+            round_sim = self._round_sim_time(updates, fault_log, stragglers)
+            self._cumulative_sim_time += round_sim
 
-        if self.transport is not None:
-            updates = self.transport.process_round(updates)
-
-        stragglers: List[int] = []
-        quarantined = {}
-        skipped = False
-        if self.degradation is not None:
-            updates, stragglers = split_stragglers(updates, self.degradation.round_deadline)
-            updates, quarantined = validate_updates(updates, state.dim, self.degradation)
-            if len(updates) < self.degradation.min_quorum:
-                skipped = True
-
-        if skipped:
-            self.server.skip_round()
-        else:
-            self.server.run_aggregation(self.strategy, updates)
-
-        still_active = set(self.strategy.active_clients(self.server.state, sorted(self.clients)))
-        expelled = [cid for cid in participating if cid not in still_active]
-
-        round_sim = self._round_sim_time(updates, fault_log, stragglers)
-        self._cumulative_sim_time += round_sim
-
-        if (round_index + 1) % self.eval_every == 0 or not len(self.history):
-            self.model.load_vector(self.server.state.global_params)
-            accuracy, loss = evaluate(self.model, self.test_set)
-            self._last_evaluated_round = round_index
-        else:
-            accuracy = self.history.records[-1].test_accuracy
-            loss = self.history.records[-1].test_loss
+            if (round_index + 1) % self.eval_every == 0 or not len(self.history):
+                with telemetry.span("evaluate", round=round_index):
+                    self.model.load_vector(self.server.state.global_params)
+                    accuracy, loss = evaluate(self.model, self.test_set)
+                self._last_evaluated_round = round_index
+            else:
+                accuracy = self.history.records[-1].test_accuracy
+                loss = self.history.records[-1].test_loss
 
         alphas = {} if skipped else dict(getattr(self.strategy, "last_alphas", {}) or {})
         record = RoundRecord(
@@ -310,9 +330,36 @@ class FederatedSimulation:
             retries=dict(fault_log.retries),
             aggregated=0 if skipped else len(updates),
             skipped=skipped,
+            uplink_bytes=(
+                self.transport.log.uplink_bytes_per_round[-1]
+                if self.transport is not None
+                else 0
+            ),
+            downlink_bytes=(
+                self.transport.log.downlink_bytes_per_round[-1]
+                if self.transport is not None
+                else 0
+            ),
         )
         self.history.append(record)
+        self._record_round_metrics(telemetry, record, round_sim)
         return record
+
+    def _record_round_metrics(self, telemetry, record: RoundRecord, round_sim: float) -> None:
+        """Publish one round's headline numbers to the metric registry."""
+        telemetry.histogram("round.wall_seconds").observe(record.round_wall_time)
+        telemetry.histogram("round.sim_seconds").observe(round_sim)
+        telemetry.counter("agg.quarantined").add(len(record.quarantined))
+        telemetry.counter("agg.stragglers").add(len(record.stragglers))
+        telemetry.counter("agg.dropped").add(len(record.dropped))
+        telemetry.counter("agg.aggregated").add(record.aggregated)
+        if record.skipped:
+            telemetry.counter("agg.skipped_rounds").add(1)
+        if record.expelled:
+            telemetry.counter("agg.expelled").add(len(record.expelled))
+        if telemetry.enabled:
+            telemetry.gauge("round.test_accuracy").set(record.test_accuracy)
+            telemetry.gauge("round.test_loss").set(record.test_loss)
 
     # ------------------------------------------------------------------
     def _over_select(

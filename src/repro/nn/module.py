@@ -17,6 +17,12 @@ import numpy as np
 
 from ..autograd import Tensor
 
+#: Profiling tap (see :mod:`repro.telemetry.profiler`).  When installed it
+#: replaces the plain ``forward`` dispatch in :meth:`Module.__call__` so
+#: per-layer forward time can be attributed; ``None`` costs one global load
+#: and a branch per call.
+_FORWARD_CALL_HOOK = None
+
 
 class Parameter(Tensor):
     """A trainable tensor registered on a :class:`Module`."""
@@ -184,7 +190,9 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if _FORWARD_CALL_HOOK is None:
+            return self.forward(*args, **kwargs)
+        return _FORWARD_CALL_HOOK(self, args, kwargs)
 
 
 class Sequential(Module):

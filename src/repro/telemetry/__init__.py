@@ -1,0 +1,68 @@
+"""Telemetry for the FL stack: tracing, metrics, exporters, profiling.
+
+The subsystem has four parts (see ``docs/OBSERVABILITY.md``):
+
+- **spans** — nestable timed sections (``round`` > ``client`` >
+  ``aggregate``) recorded by a :class:`Tracer` against an injectable clock;
+- **metrics** — a :class:`MetricRegistry` of counters, gauges and
+  histograms (``round.wall_seconds``, ``transport.uplink_bytes``,
+  ``taco.alpha`` per client, ...);
+- **exporters** — JSONL event stream, Prometheus text dump and a console
+  summary, selected with ``repro run ... --telemetry jsonl:out/trace.jsonl``;
+- **profiler** — an op-level autograd tap attributing forward/backward time
+  to layer types, for cross-checking the simulated ``CostModel``.
+
+Instrumented code calls :func:`get_telemetry`; the default is a shared
+no-op whose cost is one call + branch per site, keeping tier-1 numerics
+bit-identical when telemetry is off.
+"""
+
+from .clock import FakeClock, MonotonicClock
+from .exporters import (
+    ConsoleExporter,
+    Exporter,
+    InMemoryExporter,
+    JsonlExporter,
+    PrometheusExporter,
+    make_exporter,
+    prometheus_name,
+    render_prometheus,
+)
+from .hub import (
+    NOOP,
+    NoopTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .profiler import LayerStats, OpProfiler
+from .spans import SpanRecord, Tracer
+
+__all__ = [
+    "MonotonicClock",
+    "FakeClock",
+    "Tracer",
+    "SpanRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Exporter",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "PrometheusExporter",
+    "ConsoleExporter",
+    "make_exporter",
+    "prometheus_name",
+    "render_prometheus",
+    "Telemetry",
+    "NoopTelemetry",
+    "NOOP",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "OpProfiler",
+    "LayerStats",
+]

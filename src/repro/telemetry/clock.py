@@ -1,0 +1,48 @@
+"""Clock abstraction behind the tracer: monotonic by default, fake in tests.
+
+Span durations must never go backwards and must survive wall-clock
+adjustments, so the production clock wraps :func:`time.perf_counter`.
+Tests inject a :class:`FakeClock` and advance it explicitly, which makes
+span durations (and therefore exporter output) fully deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:
+    """Production clock: monotonic seconds from :func:`time.perf_counter`."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.perf_counter()
+
+
+class FakeClock:
+    """Deterministic manual clock for tests.
+
+    Parameters
+    ----------
+    start:
+        Initial reading in seconds.
+    tick:
+        Seconds auto-advanced on *every* :meth:`now` call (0 disables
+        auto-advance; use :meth:`advance` instead for explicit control).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        """Current fake time; auto-advances by ``tick`` afterwards."""
+        current = self._now
+        self._now += self.tick
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += seconds

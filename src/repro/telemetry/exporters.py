@@ -1,0 +1,220 @@
+"""Telemetry exporters: JSONL event stream, Prometheus text dump, console.
+
+Exporters receive *events* (span closures and point events) as they happen
+via :meth:`Exporter.export`, and a final metric-registry snapshot via
+:meth:`Exporter.flush`.  They are selected on the CLI with
+``--telemetry SPEC`` where SPEC is one of::
+
+    jsonl:PATH        # one JSON object per line, streamed as events occur
+    prom:PATH         # Prometheus text exposition, written at flush
+    prometheus:PATH   # alias for prom
+    console           # human summary printed at flush (stderr-safe: stdout)
+
+``PATH`` may be ``-`` for stdout.  :func:`make_exporter` parses a spec.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO
+
+import numpy as np
+
+from .metrics import MetricRegistry
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars/arrays so events always serialise."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+class Exporter:
+    """Base class: receives streamed events and a final registry snapshot."""
+
+    def export(self, event: Dict[str, Any]) -> None:
+        """Handle one event (span closure or point event)."""
+
+    def flush(self, registry: MetricRegistry) -> None:
+        """Emit any terminal output derived from the metric registry."""
+
+    def close(self) -> None:
+        """Release resources (open files)."""
+
+
+class InMemoryExporter(Exporter):
+    """Keeps every event in a list — the test and bench harness exporter."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def export(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def flush(self, registry: MetricRegistry) -> None:
+        self.events.append({"type": "metrics", "metrics": registry.snapshot()})
+
+
+class JsonlExporter(Exporter):
+    """Streams one JSON object per line to a file (or stdout with ``-``).
+
+    Spans and point events are written as they occur; :meth:`flush` appends
+    a final ``{"type": "metrics", ...}`` line holding the registry snapshot,
+    so a trace file is self-contained.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        if self.path == "-":
+            self._stream: TextIO = sys.stdout
+            self._owns_stream = False
+        else:
+            target = Path(self.path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = target.open("w", encoding="utf-8")
+            self._owns_stream = True
+
+    def export(self, event: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(event, default=_json_default) + "\n")
+
+    def flush(self, registry: MetricRegistry) -> None:
+        self.export({"type": "metrics", "metrics": registry.snapshot()})
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitise a dotted metric name to Prometheus conventions."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histograms are rendered as summaries (``_count``/``_sum`` plus
+    ``quantile`` series), which round-trips through standard scrapers.
+    """
+    lines: List[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.instruments():
+        base = prometheus_name(instrument.name)
+        if instrument.labels:
+            labels = "{" + ",".join(
+                f'{prometheus_name(k)}="{v}"' for k, v in instrument.labels
+            ) + "}"
+        else:
+            labels = ""
+        if base not in seen_types:
+            kind = "summary" if instrument.kind == "histogram" else instrument.kind
+            lines.append(f"# TYPE {base} {kind}")
+            seen_types.add(base)
+        if instrument.kind == "histogram":
+            snap = instrument.snapshot()
+            lines.append(f"{base}_count{labels} {snap['count']}")
+            lines.append(f"{base}_sum{labels} {snap['sum']}")
+            for q in (0.5, 0.95):
+                quantile_labels = labels[:-1] + "," if labels else "{"
+                lines.append(
+                    f'{base}{quantile_labels}quantile="{q}"}} {instrument.quantile(q)}'
+                )
+        else:
+            lines.append(f"{base}{labels} {instrument.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PrometheusExporter(Exporter):
+    """Writes a Prometheus-style text dump of the registry at flush time."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+
+    def export(self, event: Dict[str, Any]) -> None:
+        pass  # pull-model: only the final registry state is exposed
+
+    def flush(self, registry: MetricRegistry) -> None:
+        text = render_prometheus(registry)
+        if self.path == "-":
+            sys.stdout.write(text)
+        else:
+            target = Path(self.path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+
+
+class ConsoleExporter(Exporter):
+    """Human-readable run summary: span totals and headline metrics.
+
+    Span durations are aggregated by name as events stream in; the summary
+    table is printed at :meth:`flush` alongside counters, gauges and
+    histogram percentiles.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream or sys.stdout
+        self._span_count: Dict[str, int] = {}
+        self._span_total: Dict[str, float] = {}
+
+    def export(self, event: Dict[str, Any]) -> None:
+        if event.get("type") != "span":
+            return
+        name = event["name"]
+        self._span_count[name] = self._span_count.get(name, 0) + 1
+        self._span_total[name] = self._span_total.get(name, 0.0) + event["duration"]
+
+    def flush(self, registry: MetricRegistry) -> None:
+        write = self.stream.write
+        write("── telemetry summary ──\n")
+        if self._span_total:
+            write("spans (total seconds, calls):\n")
+            for name in sorted(self._span_total, key=self._span_total.get, reverse=True):
+                write(
+                    f"  {name:<24} {self._span_total[name]:>10.4f}s"
+                    f"  x{self._span_count[name]}\n"
+                )
+        if len(registry):
+            write("metrics:\n")
+            for instrument in registry.instruments():
+                label_text = (
+                    "{" + ",".join(f"{k}={v}" for k, v in instrument.labels) + "}"
+                    if instrument.labels
+                    else ""
+                )
+                if instrument.kind == "histogram":
+                    snap = instrument.snapshot()
+                    if snap["count"]:
+                        write(
+                            f"  {instrument.name}{label_text}: count={snap['count']}"
+                            f" sum={snap['sum']:.4f} p50={snap['p50']:.4f}"
+                            f" p95={snap['p95']:.4f}\n"
+                        )
+                    else:
+                        write(f"  {instrument.name}{label_text}: count=0\n")
+                else:
+                    write(f"  {instrument.name}{label_text}: {instrument.value:g}\n")
+
+
+def make_exporter(spec: str) -> Exporter:
+    """Build an exporter from a CLI spec (see the module docstring)."""
+    kind, _, target = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind == "console":
+        return ConsoleExporter()
+    if not target:
+        raise ValueError(f"telemetry spec {spec!r} needs a path, e.g. '{kind}:out/trace'")
+    if kind == "jsonl":
+        return JsonlExporter(target)
+    if kind in ("prom", "prometheus"):
+        return PrometheusExporter(target)
+    raise ValueError(
+        f"unknown telemetry exporter {kind!r}; expected jsonl:PATH, prom:PATH or console"
+    )

@@ -1,0 +1,211 @@
+"""Op-level autograd profiler: forward/backward time per layer type.
+
+The simulated :class:`~repro.fl.timing.CostModel` asserts how expensive
+each algorithm's local step *should* be; this profiler measures where the
+time *actually* goes, so the two can be cross-checked.  It taps three
+seams, all free when disabled:
+
+- ``repro.nn.module._FORWARD_CALL_HOOK`` — wraps every ``Module.__call__``
+  to time forward passes (self-time: child layers' time is subtracted, so
+  a ``Sequential`` does not absorb its layers' cost);
+- ``repro.autograd.tensor._TENSOR_CREATED_HOOK`` — tags tensors created
+  inside a layer's forward with that layer's type, via the otherwise-unused
+  ``Tensor.name`` slot;
+- ``repro.autograd.tensor._BACKWARD_OP_HOOK`` — receives per-node backward
+  timings during ``Tensor.backward`` and attributes them to the tagged
+  creating layer.
+
+Usage::
+
+    with OpProfiler() as profiler:
+        loss = cross_entropy(model(x), y)
+        loss.backward()
+    print(profiler.render())
+
+Tensors born outside any module forward (e.g. the loss computation) land in
+the ``(outside modules)`` row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List
+
+import importlib
+
+# The submodules are imported by path: ``repro.autograd`` re-exports a
+# ``tensor()`` constructor that shadows the submodule attribute.
+_tensor_mod = importlib.import_module("repro.autograd.tensor")
+_module_mod = importlib.import_module("repro.nn.module")
+
+#: Layer tags are stored in ``Tensor.name`` behind this prefix so they can
+#: never collide with user-assigned debug names.
+_TAG_PREFIX = "\x00layer:"
+
+#: Attribution bucket for backward ops on untagged tensors.
+OUTSIDE_LABEL = "(outside modules)"
+
+
+@dataclass
+class LayerStats:
+    """Accumulated timings for one layer type."""
+
+    layer: str
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    forward_calls: int = 0
+    backward_ops: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Forward + backward seconds."""
+        return self.forward_seconds + self.backward_seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of this row."""
+        return {
+            "layer": self.layer,
+            "forward_seconds": self.forward_seconds,
+            "backward_seconds": self.backward_seconds,
+            "forward_calls": self.forward_calls,
+            "backward_ops": self.backward_ops,
+        }
+
+
+class OpProfiler:
+    """Context manager attributing autograd time to layer types.
+
+    Re-entrant use is rejected (the hooks are process-global); nesting a
+    second profiler inside an active one raises ``RuntimeError``.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, LayerStats] = {}
+        self._stack: List[List] = []  # [layer label, child seconds] frames
+        self._previous_hooks = None
+
+    # ------------------------------------------------------------------
+    # Hook installation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "OpProfiler":
+        if (
+            _module_mod._FORWARD_CALL_HOOK is not None
+            or _tensor_mod._TENSOR_CREATED_HOOK is not None
+        ):
+            raise RuntimeError("another OpProfiler is already active")
+        self._previous_hooks = (
+            _module_mod._FORWARD_CALL_HOOK,
+            _tensor_mod._TENSOR_CREATED_HOOK,
+            _tensor_mod._BACKWARD_OP_HOOK,
+        )
+        _module_mod._FORWARD_CALL_HOOK = self._forward_hook
+        _tensor_mod._TENSOR_CREATED_HOOK = self._tensor_hook
+        _tensor_mod._BACKWARD_OP_HOOK = self._backward_hook
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        previous = self._previous_hooks or (None, None, None)
+        _module_mod._FORWARD_CALL_HOOK = previous[0]
+        _tensor_mod._TENSOR_CREATED_HOOK = previous[1]
+        _tensor_mod._BACKWARD_OP_HOOK = previous[2]
+        self._previous_hooks = None
+        return False
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _forward_hook(self, module, args, kwargs):
+        label = type(module).__name__
+        frame = [label, 0.0]
+        self._stack.append(frame)
+        started = perf_counter()
+        try:
+            return module.forward(*args, **kwargs)
+        finally:
+            elapsed = perf_counter() - started
+            self._stack.pop()
+            stats = self._stats_for(label)
+            stats.forward_seconds += elapsed - frame[1]  # self-time only
+            stats.forward_calls += 1
+            if self._stack:
+                self._stack[-1][1] += elapsed
+
+    def _tensor_hook(self, tensor) -> None:
+        if self._stack and not tensor.name:
+            tensor.name = _TAG_PREFIX + self._stack[-1][0]
+
+    def _backward_hook(self, node, elapsed: float) -> None:
+        name = node.name
+        if name.startswith(_TAG_PREFIX):
+            label = name[len(_TAG_PREFIX):]
+        else:
+            label = OUTSIDE_LABEL
+        stats = self._stats_for(label)
+        stats.backward_seconds += elapsed
+        stats.backward_ops += 1
+
+    def _stats_for(self, label: str) -> LayerStats:
+        stats = self.stats.get(label)
+        if stats is None:
+            stats = LayerStats(layer=label)
+            self.stats[label] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_forward_seconds(self) -> float:
+        """Summed forward self-time across all layer types."""
+        return sum(s.forward_seconds for s in self.stats.values())
+
+    @property
+    def total_backward_seconds(self) -> float:
+        """Summed backward time across all layer types."""
+        return sum(s.backward_seconds for s in self.stats.values())
+
+    def rows(self) -> List[LayerStats]:
+        """Per-layer stats, most expensive first."""
+        return sorted(self.stats.values(), key=lambda s: s.total_seconds, reverse=True)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump: per-layer rows plus totals."""
+        return {
+            "layers": [row.snapshot() for row in self.rows()],
+            "total_forward_seconds": self.total_forward_seconds,
+            "total_backward_seconds": self.total_backward_seconds,
+        }
+
+    def render(self) -> str:
+        """Plain-text table of per-layer forward/backward time."""
+        header = f"{'layer':<24} {'fwd (s)':>10} {'bwd (s)':>10} {'total (s)':>10} {'calls':>7}"
+        lines = [header, "-" * len(header)]
+        for row in self.rows():
+            lines.append(
+                f"{row.layer:<24} {row.forward_seconds:>10.4f}"
+                f" {row.backward_seconds:>10.4f} {row.total_seconds:>10.4f}"
+                f" {row.forward_calls:>7}"
+            )
+        lines.append(
+            f"{'total':<24} {self.total_forward_seconds:>10.4f}"
+            f" {self.total_backward_seconds:>10.4f}"
+            f" {self.total_forward_seconds + self.total_backward_seconds:>10.4f}"
+        )
+        return "\n".join(lines)
+
+    def cross_check(self, cost_model, profile, num_steps: int) -> Dict[str, float]:
+        """Compare measured time against the simulated :class:`CostModel`.
+
+        Returns measured seconds (forward + backward), the cost model's
+        simulated seconds for ``num_steps`` local steps of ``profile``, and
+        their ratio — the calibration factor between simulated and real
+        time on this machine.
+        """
+        measured = self.total_forward_seconds + self.total_backward_seconds
+        simulated = cost_model.round_seconds(profile, num_steps)
+        return {
+            "measured_seconds": measured,
+            "simulated_seconds": simulated,
+            "measured_over_simulated": measured / simulated if simulated > 0 else float("inf"),
+        }

@@ -1,0 +1,149 @@
+"""Span-based tracing: nestable timed sections with attributes.
+
+A *span* is one timed section of work (``round``, ``client``,
+``aggregate``).  Spans nest via a per-tracer stack — entering a span inside
+another records the parent/child link — and close in LIFO order through the
+context-manager protocol::
+
+    with tracer.span("round", round=3):
+        with tracer.span("client", client=7):
+            ...
+
+Durations come from an injectable clock (see :mod:`repro.telemetry.clock`),
+so tests can assert exact durations with a fake clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .clock import MonotonicClock
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: identity, timing, nesting and attributes."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int  # 0 = root span
+    start: float
+    end: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds between enter and exit."""
+        return self.end - self.start
+
+    def to_event(self) -> Dict[str, Any]:
+        """The exporter-facing event dict for this span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _ActiveSpan:
+    """Context-manager handle for a span currently on the tracer stack."""
+
+    __slots__ = ("tracer", "name", "attributes", "span_id", "parent_id", "depth", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+
+    def __enter__(self) -> "_ActiveSpan":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self.tracer._exit(self)
+        return False
+
+
+class Tracer:
+    """Records nested spans against an injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        Object with a ``now() -> float`` method; defaults to
+        :class:`~repro.telemetry.clock.MonotonicClock`.
+    on_finish:
+        Optional callback invoked with every finished :class:`SpanRecord`
+        (the telemetry hub streams these to exporters).
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        on_finish: Optional[Callable[[SpanRecord], None]] = None,
+    ) -> None:
+        self.clock = clock or MonotonicClock()
+        self.on_finish = on_finish
+        self.finished: List[SpanRecord] = []
+        self._stack: List[_ActiveSpan] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """A context manager timing one named section of work."""
+        return _ActiveSpan(self, name, dict(attributes))
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def reset(self) -> None:
+        """Drop all finished spans and abandon any open ones.
+
+        Mirrors :meth:`repro.comm.Transport.reset`: back-to-back simulations
+        in one process each start from an empty trace instead of
+        accumulating the previous run's spans.
+        """
+        self.finished = []
+        self._stack = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def _enter(self, span: _ActiveSpan) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.depth = len(self._stack)
+        self._stack.append(span)
+        span.start = self.clock.now()
+
+    def _exit(self, span: _ActiveSpan) -> None:
+        end = self.clock.now()
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order; "
+                f"open spans: {[s.name for s in self._stack]}"
+            )
+        self._stack.pop()
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            depth=span.depth,
+            start=span.start,
+            end=end,
+            attributes=span.attributes,
+        )
+        self.finished.append(record)
+        if self.on_finish is not None:
+            self.on_finish(record)

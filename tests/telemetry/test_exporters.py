@@ -1,0 +1,110 @@
+"""Exporter behaviour: JSONL round-trip, spec parsing, console and prom."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    ConsoleExporter,
+    FakeClock,
+    InMemoryExporter,
+    JsonlExporter,
+    NOOP,
+    PrometheusExporter,
+    Telemetry,
+    get_telemetry,
+    make_exporter,
+    telemetry_session,
+)
+from repro.telemetry.exporters import _json_default
+
+
+def _record_sample_traffic(telemetry: Telemetry) -> None:
+    with telemetry.span("round", round=0):
+        with telemetry.span("client", client=1):
+            pass
+    telemetry.counter("transport.uplink_bytes").add(1200)
+    telemetry.histogram("round.wall_seconds").observe(3.0)
+    telemetry.event("checkpoint", path="ckpt/round3")
+
+
+def test_jsonl_round_trip_matches_in_memory_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    memory = InMemoryExporter()
+    with telemetry_session([JsonlExporter(path), memory], clock=FakeClock(tick=1.0)) as telemetry:
+        _record_sample_traffic(telemetry)
+
+    parsed = [json.loads(line) for line in path.read_text().splitlines()]
+    expected = [json.loads(json.dumps(e, default=_json_default)) for e in memory.events]
+    assert parsed == expected
+    # Stream order: child span, parent span, event, terminal metrics line.
+    assert [e["type"] for e in parsed] == ["span", "span", "event", "metrics"]
+    assert parsed[0]["name"] == "client"
+    assert parsed[-1]["metrics"]["transport.uplink_bytes"]["series"][0]["value"] == 1200
+
+
+def test_jsonl_export_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "trace.jsonl"
+    with telemetry_session([JsonlExporter(path)]) as telemetry:
+        telemetry.event("ping")
+    assert path.exists()
+
+
+def test_prometheus_exporter_writes_at_flush(tmp_path):
+    path = tmp_path / "metrics.prom"
+    with telemetry_session([PrometheusExporter(path)]) as telemetry:
+        telemetry.counter("server.rounds").add(2)
+        assert not path.exists()  # pull-model: nothing until flush/close
+    assert "server_rounds 2.0" in path.read_text()
+
+
+def test_console_exporter_summarises_spans_and_metrics():
+    stream = io.StringIO()
+    exporter = ConsoleExporter(stream=stream)
+    with telemetry_session([exporter], clock=FakeClock(tick=1.0)) as telemetry:
+        _record_sample_traffic(telemetry)
+    output = stream.getvalue()
+    assert "telemetry summary" in output
+    assert "round" in output and "client" in output
+    assert "transport.uplink_bytes" in output
+
+
+def test_make_exporter_parses_specs(tmp_path):
+    assert isinstance(make_exporter("console"), ConsoleExporter)
+    assert isinstance(make_exporter(f"jsonl:{tmp_path}/t.jsonl"), JsonlExporter)
+    assert isinstance(make_exporter(f"prom:{tmp_path}/m.prom"), PrometheusExporter)
+    assert isinstance(make_exporter(f"prometheus:{tmp_path}/m.prom"), PrometheusExporter)
+
+
+@pytest.mark.parametrize("spec", ["jsonl", "prom:", "csv:out.csv", ""])
+def test_make_exporter_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        make_exporter(spec)
+
+
+def test_session_installs_and_restores_global_telemetry():
+    assert get_telemetry() is NOOP
+    with telemetry_session([InMemoryExporter()]) as telemetry:
+        assert get_telemetry() is telemetry
+        assert telemetry.enabled
+    assert get_telemetry() is NOOP
+
+
+def test_session_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with telemetry_session([InMemoryExporter()]):
+            raise RuntimeError("boom")
+    assert get_telemetry() is NOOP
+
+
+def test_numpy_values_serialise_in_events(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "trace.jsonl"
+    with telemetry_session([JsonlExporter(path)]) as telemetry:
+        telemetry.event("norms", value=np.float64(0.5), count=np.int64(3))
+    line = json.loads(path.read_text().splitlines()[0])
+    assert line["fields"] == {"value": 0.5, "count": 3}

@@ -1,0 +1,87 @@
+"""Op-level profiler: layer attribution, hook hygiene, cost cross-check."""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.autograd import cross_entropy, tensor
+from repro.fl.timing import ComputeProfile, CostModel
+from repro.nn.models import MLP
+from repro.telemetry import OpProfiler
+from repro.telemetry.profiler import OUTSIDE_LABEL
+
+_tensor_mod = importlib.import_module("repro.autograd.tensor")
+_module_mod = importlib.import_module("repro.nn.module")
+
+
+def _forward_backward(rng):
+    model = MLP(6, 3, hidden=(8,), rng=rng)
+    x = tensor(rng.normal(size=(4, 6)))
+    y = rng.integers(0, 3, size=4)
+    loss = cross_entropy(model(x), y)
+    loss.backward()
+
+
+def test_profiler_attributes_time_to_layer_types(rng):
+    with OpProfiler() as profiler:
+        _forward_backward(rng)
+    layers = {row.layer for row in profiler.rows()}
+    assert "Linear" in layers
+    linear = profiler.stats["Linear"]
+    assert linear.forward_calls > 0
+    assert linear.forward_seconds >= 0
+    assert linear.backward_ops > 0
+    assert profiler.total_forward_seconds > 0
+    assert profiler.total_backward_seconds > 0
+    # The loss computation happens outside any module forward.
+    assert OUTSIDE_LABEL in layers
+
+
+def test_profiler_restores_hooks_and_leaves_no_tags(rng):
+    assert _module_mod._FORWARD_CALL_HOOK is None
+    with OpProfiler():
+        _forward_backward(rng)
+    assert _module_mod._FORWARD_CALL_HOOK is None
+    assert _tensor_mod._TENSOR_CREATED_HOOK is None
+    assert _tensor_mod._BACKWARD_OP_HOOK is None
+    # Tensors created after exit are untagged.
+    fresh = tensor(np.ones(3))
+    assert not fresh.name
+
+
+def test_profiler_rejects_nesting(rng):
+    with OpProfiler():
+        with pytest.raises(RuntimeError, match="already active"):
+            with OpProfiler():
+                pass
+    assert _module_mod._FORWARD_CALL_HOOK is None
+
+
+def test_profiler_is_inert_without_activation(rng):
+    profiler = OpProfiler()
+    _forward_backward(rng)
+    assert profiler.stats == {}
+
+
+def test_render_and_snapshot(rng):
+    with OpProfiler() as profiler:
+        _forward_backward(rng)
+    table = profiler.render()
+    assert "Linear" in table and "total" in table
+    snap = profiler.snapshot()
+    assert snap["layers"][0]["layer"] == profiler.rows()[0].layer
+    assert snap["total_forward_seconds"] == profiler.total_forward_seconds
+
+
+def test_cross_check_against_cost_model(rng):
+    with OpProfiler() as profiler:
+        _forward_backward(rng)
+    report = profiler.cross_check(CostModel(), ComputeProfile(grad=1), num_steps=1)
+    assert report["measured_seconds"] > 0
+    assert report["simulated_seconds"] > 0
+    assert report["measured_over_simulated"] == pytest.approx(
+        report["measured_seconds"] / report["simulated_seconds"]
+    )

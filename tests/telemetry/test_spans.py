@@ -1,0 +1,106 @@
+"""Span nesting, ordering and timing against a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import FakeClock, Tracer
+
+
+def test_fake_clock_tick_and_advance():
+    clock = FakeClock(start=10.0, tick=1.0)
+    assert clock.now() == 10.0
+    assert clock.now() == 11.0
+    clock.tick = 0.0
+    clock.advance(5.0)
+    assert clock.now() == 17.0
+
+
+def test_fake_clock_rejects_negative_advance():
+    with pytest.raises(ValueError):
+        FakeClock().advance(-1.0)
+
+
+def test_nested_spans_record_parent_depth_and_exact_durations():
+    # Every clock read advances by 1s: outer start=0, inner start=1,
+    # inner end=2, outer end=3.
+    tracer = Tracer(clock=FakeClock(tick=1.0))
+    with tracer.span("round", round=0):
+        assert tracer.depth == 1
+        with tracer.span("client", client=3):
+            assert tracer.depth == 2
+    assert tracer.depth == 0
+
+    inner, outer = tracer.finished  # children close (and export) first
+    assert inner.name == "client"
+    assert inner.depth == 1
+    assert inner.parent_id == outer.span_id
+    assert inner.duration == 1.0
+    assert inner.attributes == {"client": 3}
+    assert outer.name == "round"
+    assert outer.depth == 0
+    assert outer.parent_id is None
+    assert outer.duration == 3.0
+
+
+def test_sibling_spans_share_parent_and_order():
+    tracer = Tracer(clock=FakeClock(tick=1.0))
+    with tracer.span("round"):
+        with tracer.span("client", client=0):
+            pass
+        with tracer.span("client", client=1):
+            pass
+    names = [(r.name, r.attributes.get("client")) for r in tracer.finished]
+    assert names == [("client", 0), ("client", 1), ("round", None)]
+    round_record = tracer.finished[-1]
+    for child in tracer.finished[:-1]:
+        assert child.parent_id == round_record.span_id
+
+
+def test_span_records_error_attribute_on_exception():
+    tracer = Tracer(clock=FakeClock(tick=1.0))
+    with pytest.raises(KeyError):
+        with tracer.span("round"):
+            raise KeyError("boom")
+    assert tracer.finished[0].attributes["error"] == "KeyError"
+
+
+def test_out_of_order_close_raises():
+    tracer = Tracer(clock=FakeClock(tick=1.0))
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(RuntimeError, match="out of order"):
+        outer.__exit__(None, None, None)
+
+
+def test_on_finish_callback_streams_each_record():
+    seen = []
+    tracer = Tracer(clock=FakeClock(tick=1.0), on_finish=seen.append)
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    assert [r.name for r in seen] == ["b", "a"]
+
+
+def test_reset_clears_finished_spans_and_ids():
+    tracer = Tracer(clock=FakeClock(tick=1.0))
+    with tracer.span("a"):
+        pass
+    tracer.reset()
+    assert tracer.finished == []
+    with tracer.span("b"):
+        pass
+    assert tracer.finished[0].span_id == 1  # ids restart
+
+
+def test_span_event_dict_shape():
+    tracer = Tracer(clock=FakeClock(tick=1.0))
+    with tracer.span("round", round=7):
+        pass
+    event = tracer.finished[0].to_event()
+    assert event["type"] == "span"
+    assert event["name"] == "round"
+    assert event["duration"] == event["end"] - event["start"]
+    assert event["attributes"] == {"round": 7}

@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.theory",
     "repro.analysis",
     "repro.experiments",
+    "repro.telemetry",
 ]
 
 
