@@ -53,6 +53,31 @@ assert not missing, f"trace missing metrics: {missing}"
 print(f"telemetry smoke ok: {len(events)} events, {len(names)} metric names")
 PY
 
+echo "==> guard chaos smoke (stealth-NaN + hot lr, quarantine off)"
+CHAOS_ARGS=(
+    --dataset adult --algorithm fedavg --clients 6 --rounds 3
+    --local-steps 3 --train-size 200 --test-size 80 --seed 3
+    --global-lr 1.0 --corrupt-rate 0.5 --corrupt-mode nan-stealth
+    --no-quarantine --json
+)
+python -m repro.cli run "${CHAOS_ARGS[@]}" --guard --lr-backoff 0.25 \
+    | python -c '
+import json, sys
+out = json.load(sys.stdin)
+assert not out["diverged"], "guarded chaos run diverged"
+guard = out["guard"]
+assert guard["rollbacks"] >= 1, f"guard never rolled back: {guard}"
+assert not guard["aborted"], f"guard aborted: {guard}"
+print("guard smoke ok:", guard)
+'
+python -m repro.cli run "${CHAOS_ARGS[@]}" \
+    | python -c '
+import json, sys
+out = json.load(sys.stdin)
+assert out["diverged"], "unguarded chaos run should have diverged"
+print("unguarded control ok: diverged as expected")
+'
+
 echo "==> fault-tolerance experiment smoke"
 python -m pytest -q benchmarks/test_fault_tolerance.py --benchmark-disable
 

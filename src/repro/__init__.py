@@ -25,13 +25,28 @@ Subpackages:
 - :mod:`repro.attacks` — freeloader clients and detection metrics.
 - :mod:`repro.faults` — deterministic fault injection (drops, stragglers,
   corrupted payloads, transient upload errors) for robustness testing.
+- :mod:`repro.guard` — self-healing training: anomaly detection, automatic
+  rollback to known-good snapshots, and adaptive recovery.
 - :mod:`repro.theory` — Theorem 1 / Corollary 1-2 quantities.
 - :mod:`repro.experiments` — one module per paper table/figure.
 """
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, attacks, autograd, comm, data, faults, fl, nn, optim, theory
+from . import (
+    algorithms,
+    analysis,
+    attacks,
+    autograd,
+    comm,
+    data,
+    faults,
+    fl,
+    guard,
+    nn,
+    optim,
+    theory,
+)
 
 __all__ = [
     "algorithms",
@@ -42,6 +57,7 @@ __all__ = [
     "data",
     "faults",
     "fl",
+    "guard",
     "nn",
     "optim",
     "theory",

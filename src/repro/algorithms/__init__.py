@@ -8,7 +8,12 @@ from .fedprox import FedProx
 from .foolsgold import FoolsGold
 from .hybrid import TailoredFedProx, TailoredScaffold
 from .registry import ALL_ALGORITHMS, BASELINES, algorithm_names, make_strategy
-from .robust import CoordinateMedianAggregation, KrumAggregation, TrimmedMeanAggregation
+from .robust import (
+    CoordinateMedianAggregation,
+    KrumAggregation,
+    NormClippingAggregation,
+    TrimmedMeanAggregation,
+)
 from .scaffold import Scaffold
 from .stem import STEM
 from .taco import INITIAL_ALPHA, TACO
@@ -31,6 +36,7 @@ __all__ = [
     "KrumAggregation",
     "CoordinateMedianAggregation",
     "TrimmedMeanAggregation",
+    "NormClippingAggregation",
     "make_strategy",
     "algorithm_names",
     "BASELINES",

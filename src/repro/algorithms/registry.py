@@ -16,7 +16,12 @@ from .fedavg import FedAvg
 from .fedprox import FedProx
 from .foolsgold import FoolsGold
 from .hybrid import TailoredFedProx, TailoredScaffold
-from .robust import CoordinateMedianAggregation, KrumAggregation, TrimmedMeanAggregation
+from .robust import (
+    CoordinateMedianAggregation,
+    KrumAggregation,
+    NormClippingAggregation,
+    TrimmedMeanAggregation,
+)
 from .scaffold import Scaffold
 from .stem import STEM
 from .taco import TACO
@@ -42,6 +47,7 @@ _FACTORIES: Dict[str, Factory] = {
     "krum": KrumAggregation,
     "median": CoordinateMedianAggregation,
     "trimmed-mean": TrimmedMeanAggregation,
+    "norm-clip": NormClippingAggregation,
 }
 
 #: The six baselines the paper compares against, in its presentation order.

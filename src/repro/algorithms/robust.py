@@ -9,7 +9,10 @@ freeloader/attack experiments can be compared against them:
   neighbours (Krum), or average the m best (multi-Krum);
 - :class:`CoordinateMedianAggregation` — coordinate-wise median;
 - :class:`TrimmedMeanAggregation` — coordinate-wise mean after trimming the
-  b largest and smallest values per coordinate.
+  b largest and smallest values per coordinate;
+- :class:`NormClippingAggregation` — mean of updates clipped to a bounded
+  multiple of the round's median norm (centered-clip style), which caps any
+  single client's influence without discarding honest heavy hitters.
 
 All three keep FedAvg's plain local update (no local correction) and scale
 the robust estimate by 1/(K eta_l), matching Eq. (6)'s units.
@@ -109,3 +112,37 @@ class TrimmedMeanAggregation(Strategy):
         deltas = np.sort(np.stack([u.delta for u in updates]), axis=0)
         kept = deltas[self.trim : len(updates) - self.trim]
         return kept.mean(axis=0) / (self.local_steps * self.local_lr)
+
+
+class NormClippingAggregation(Strategy):
+    """Norm-bounded mean: clip every update to tau, then average.
+
+    The clipping radius is data-driven: ``tau = clip_factor * median norm``
+    of the round's updates, so an amplified upload contributes at most a
+    bounded multiple of a typical honest one while honest updates (norm at
+    or below the median) pass through untouched.  This is the fixed-point
+    step of centered clipping (Karimireddy et al., 2021) taken once around
+    the origin.
+    """
+
+    name = "norm-clip"
+    has_aggregation_correction = True
+
+    def __init__(
+        self, local_lr: float = 0.01, local_steps: int = 10, clip_factor: float = 2.0
+    ) -> None:
+        super().__init__(local_lr, local_steps)
+        if clip_factor <= 0:
+            raise ValueError(f"clip_factor must be positive, got {clip_factor}")
+        self.clip_factor = clip_factor
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        deltas = np.stack([u.delta for u in updates])
+        norms = np.linalg.norm(deltas, axis=1)
+        tau = self.clip_factor * float(np.median(norms))
+        if tau > 0.0:
+            scales = np.minimum(1.0, tau / np.maximum(norms, 1e-12))
+            deltas = deltas * scales[:, None]
+        return deltas.mean(axis=0) / (self.local_steps * self.local_lr)

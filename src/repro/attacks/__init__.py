@@ -2,12 +2,13 @@
 
 from .detection import DetectionReport, evaluate_detection
 from .freeloader import FreeloaderClient
-from .poisoning import GaussianNoiseClient, SignFlipClient
+from .poisoning import ALIEClient, GaussianNoiseClient, SignFlipClient
 
 __all__ = [
     "FreeloaderClient",
     "SignFlipClient",
     "GaussianNoiseClient",
+    "ALIEClient",
     "DetectionReport",
     "evaluate_detection",
 ]

@@ -7,7 +7,10 @@ poisoning behaviours the Byzantine-robust aggregators in
 - :class:`SignFlipClient` — trains honestly, then uploads the negated
   (optionally amplified) update;
 - :class:`GaussianNoiseClient` — uploads pure noise scaled to look like a
-  plausible update.
+  plausible update;
+- :class:`ALIEClient` — "a little is enough" (Baruch et al., 2019): a
+  small, statistics-matched perturbation that stays inside the benign
+  update distribution, evading norm-based quarantine gates.
 """
 
 from __future__ import annotations
@@ -74,4 +77,41 @@ class GaussianNoiseClient(Client):
         noise_norm = np.linalg.norm(noise)
         if noise_norm > 1e-12:
             update.delta = noise * (self.norm_scale * honest_norm / noise_norm)
+        return update
+
+
+class ALIEClient(Client):
+    """"A little is enough" (Baruch et al., 2019), adapted to single uploads.
+
+    The attacker trains honestly to estimate the benign update statistics,
+    then uploads ``mu - z_max * sigma * sign(delta)`` built from its *own*
+    update's coordinate mean and standard deviation: every coordinate sits
+    within ``z_max`` standard deviations of the (estimated) benign mean, so
+    the payload's norm is commensurate with honest uploads — it sails
+    through norm-outlier quarantines and distance-based defences — while
+    pointing systematically against the honest descent direction.
+    """
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        z_max: float = 1.5,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        if z_max <= 0:
+            raise ValueError(f"z_max must be positive, got {z_max}")
+        self.z_max = z_max
+
+    def local_round(self, model, strategy, global_params, payload: Dict[str, Any], cost_model: CostModel) -> ClientUpdate:
+        update = super().local_round(model, strategy, global_params, payload, cost_model)
+        delta = update.delta
+        mu = float(delta.mean())
+        sigma = float(delta.std())
+        update.delta = np.full_like(delta, mu) - self.z_max * sigma * np.sign(delta)
         return update

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.cli run --dataset fmnist --algorithm taco --rounds 12
     python -m repro.cli run --algorithm taco --drop-rate 0.3 --corrupt-rate 0.1
+    python -m repro.cli run --algorithm fedavg --guard --corrupt-rate 0.3 --corrupt-mode nan-stealth
     python -m repro.cli run --algorithm taco --checkpoint-every 5 --checkpoint-dir ckpt
     python -m repro.cli run --algorithm taco --checkpoint-dir ckpt --resume
     python -m repro.cli compare --dataset adult --algorithms fedavg taco
@@ -31,7 +32,30 @@ from .experiments import (
 )
 from .faults import CORRUPTION_MODES, FaultPlan
 from .fl.degradation import DegradationPolicy
+from .guard import GuardPolicy
 from .telemetry import OpProfiler, make_exporter, telemetry_session
+
+
+def _rate(text: str) -> float:
+    """Argparse type for probabilities: a float constrained to [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"rate must be in [0, 1], got {value}")
+    return value
+
+
+def _backoff(text: str) -> float:
+    """Argparse type for the lr-backoff multiplier: a float in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"backoff must be in (0, 1], got {value}")
+    return value
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +65,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--local-steps", type=int, default=None, help="local updates K")
     parser.add_argument("--batch-size", type=int, default=None, help="mini-batch size s")
     parser.add_argument("--lr", type=float, default=None, help="local learning rate eta_l")
+    parser.add_argument(
+        "--global-lr", type=float, default=None,
+        help="server learning rate eta_g (default: K * eta_l)",
+    )
     parser.add_argument("--train-size", type=int, default=None)
     parser.add_argument("--test-size", type=int, default=None)
     parser.add_argument("--partition", default=None, choices=["synthetic", "dirichlet"])
@@ -51,18 +79,42 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("fault injection / graceful degradation")
-    group.add_argument("--drop-rate", type=float, default=0.0, help="client crash probability")
-    group.add_argument("--corrupt-rate", type=float, default=0.0, help="payload corruption probability")
+    group.add_argument("--drop-rate", type=_rate, default=0.0, help="client crash probability")
+    group.add_argument("--corrupt-rate", type=_rate, default=0.0, help="payload corruption probability")
     group.add_argument(
         "--corrupt-mode", nargs="+", default=["nan"], choices=list(CORRUPTION_MODES),
         help="corruption modes drawn from when an upload is corrupted",
     )
-    group.add_argument("--straggler-rate", type=float, default=0.0, help="straggler probability")
-    group.add_argument("--transient-rate", type=float, default=0.0, help="transient upload-error probability")
+    group.add_argument("--straggler-rate", type=_rate, default=0.0, help="straggler probability")
+    group.add_argument("--transient-rate", type=_rate, default=0.0, help="transient upload-error probability")
     group.add_argument("--fault-seed", type=int, default=None, help="fault plan seed (default: config seed)")
     group.add_argument("--round-deadline", type=float, default=None, help="straggler deadline in sim-seconds")
-    group.add_argument("--over-selection", type=float, default=0.0, help="extra selection fraction")
+    group.add_argument("--over-selection", type=_rate, default=0.0, help="extra selection fraction")
     group.add_argument("--min-quorum", type=int, default=1, help="min surviving updates per round")
+    group.add_argument(
+        "--no-quarantine", action="store_true",
+        help="disable the non-finite upload quarantine (chaos-testing the guard)",
+    )
+
+
+def _add_guard_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("self-healing guard (repro.guard)")
+    group.add_argument(
+        "--guard", action="store_true",
+        help="enable anomaly detection + automatic rollback/recovery",
+    )
+    group.add_argument(
+        "--rollback-window", type=int, default=3, metavar="K",
+        help="known-good snapshots kept for rollback (default: 3)",
+    )
+    group.add_argument(
+        "--max-rollbacks", type=int, default=4, metavar="N",
+        help="rollback budget before the guard aborts the run (default: 4)",
+    )
+    group.add_argument(
+        "--lr-backoff", type=_backoff, default=0.5, metavar="FRAC",
+        help="server-lr multiplier applied on every rollback, in (0, 1] (default: 0.5)",
+    )
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -105,12 +157,28 @@ def _fault_plan_from_args(args: argparse.Namespace, config: ExperimentConfig) ->
 
 
 def _degradation_from_args(args: argparse.Namespace) -> Optional[DegradationPolicy]:
-    if args.round_deadline is None and args.over_selection == 0.0 and args.min_quorum == 1:
+    if (
+        args.round_deadline is None
+        and args.over_selection == 0.0
+        and args.min_quorum == 1
+        and not args.no_quarantine
+    ):
         return None  # a fault plan alone still gets the default policy
     return DegradationPolicy(
         round_deadline=args.round_deadline,
         over_selection=args.over_selection,
         min_quorum=args.min_quorum,
+        quarantine_nonfinite=not args.no_quarantine,
+    )
+
+
+def _guard_from_args(args: argparse.Namespace) -> Optional[GuardPolicy]:
+    if not args.guard:
+        return None
+    return GuardPolicy(
+        rollback_window=args.rollback_window,
+        max_rollbacks=args.max_rollbacks,
+        lr_backoff=args.lr_backoff,
     )
 
 
@@ -128,6 +196,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "phi": "phi",
         "freeloaders": "num_freeloaders",
         "seed": "seed",
+        "global_lr": "global_lr",
     }
     overrides = {
         field: getattr(args, attr)
@@ -160,6 +229,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         fault_plan = _fault_plan_from_args(args, config)
         degradation = _degradation_from_args(args)
+        guard = _guard_from_args(args)
         exporters = [make_exporter(spec) for spec in (args.telemetry or [])]
     except ValueError as error:
         print(f"invalid fault/degradation/telemetry arguments: {error}", file=sys.stderr)
@@ -182,6 +252,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 fault_plan=fault_plan,
                 degradation=degradation,
                 transport=transport,
+                guard=guard,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_dir=args.checkpoint_dir,
                 resume_from=args.checkpoint_dir if args.resume else None,
@@ -210,6 +281,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                     "cumulative_sim_time": result.history.cumulative_times.tolist(),
                     "expelled_clients": result.history.expelled_clients,
                     "faults": fault_summary,
+                    "guard": result.history.recovery_summary(),
                     "quarantine_reasons": result.history.quarantine_reasons(),
                     "elapsed_seconds": result.elapsed_seconds,
                     "uplink_bytes": result.history.total_uplink_bytes,
@@ -229,6 +301,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(
                 "faults: "
                 + ", ".join(f"{key}={value}" for key, value in fault_summary.items())
+            )
+        guard_summary = result.history.recovery_summary()
+        if result.history.recoveries or guard_summary["anomalies"]:
+            print(
+                "guard: "
+                + ", ".join(f"{key}={value}" for key, value in guard_summary.items())
             )
     return 0
 
@@ -288,6 +366,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "fig7": fig7_gamma_sensitivity,
         "theory": theory_overcorrection,
         "faults": fault_tolerance,
+        "chaos": fault_tolerance,
     }
     module = modules.get(args.name)
     if module is None:
@@ -302,6 +381,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif args.name == "faults":
         config = default_config_for(args.datasets[0] if args.datasets else "fmnist")
         result = module.run(config)
+    elif args.name == "chaos":
+        config = default_config_for(args.datasets[0]) if args.datasets else None
+        result = module.run_chaos(config)
     elif args.name in ("table2", "table8"):
         config = default_config_for(args.datasets[0] if args.datasets else "fmnist").with_overrides(
             num_freeloaders=4
@@ -320,7 +402,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("algorithms:", " ".join(sorted(algorithm_names())))
     print(
         "experiments:",
-        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 fig7 theory faults",
+        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 fig7 theory faults chaos",
     )
     return 0
 
@@ -335,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     _add_config_arguments(run_p)
     _add_fault_arguments(run_p)
+    _add_guard_arguments(run_p)
     _add_telemetry_arguments(run_p)
     _add_checkpoint_arguments(run_p)
     run_p.set_defaults(func=cmd_run)

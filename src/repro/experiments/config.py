@@ -14,6 +14,9 @@ from typing import Optional
 
 from ..data.registry import get_spec
 
+#: Poisoning-attack client kinds (see :mod:`repro.attacks.poisoning`).
+ATTACK_KINDS = ("sign-flip", "gaussian", "alie")
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -33,6 +36,8 @@ class ExperimentConfig:
     width_multiplier: float = 0.25  # model width scale (1.0 = paper architecture)
     num_freeloaders: int = 0  # paper uses 8 of 20 in Tables II/VIII
     camouflage_noise: float = 0.02
+    attack: Optional[str] = None  # poisoning attack: one of ATTACK_KINDS
+    num_attackers: int = 0  # clients replaced by `attack` clients
     seed: int = 0
     eval_every: int = 1
     speed_spread: float = 0.3  # client compute heterogeneity for Fig. 5
@@ -48,6 +53,14 @@ class ExperimentConfig:
             )
         if self.rounds <= 0 or self.local_steps <= 0 or self.batch_size <= 0:
             raise ValueError("rounds, local_steps and batch_size must be positive")
+        if self.attack is not None and self.attack not in ATTACK_KINDS:
+            raise ValueError(f"unknown attack {self.attack!r}; known: {ATTACK_KINDS}")
+        if self.num_attackers < 0 or self.num_attackers >= self.num_clients:
+            raise ValueError(
+                f"num_attackers must be in [0, num_clients), got {self.num_attackers}"
+            )
+        if self.num_attackers > 0 and self.attack is None:
+            raise ValueError("num_attackers > 0 requires an attack kind")
 
     @property
     def effective_global_lr(self) -> float:

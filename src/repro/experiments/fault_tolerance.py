@@ -15,11 +15,12 @@ rather than collapsing — the surviving quorum keeps training.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis import render_table
 from ..faults import FaultPlan
 from ..fl.degradation import DegradationPolicy
+from ..guard import GuardPolicy
 from .config import ExperimentConfig
 from .runner import run_algorithm
 
@@ -127,4 +128,137 @@ def run(
         levels=tuple(levels),
         algorithms=tuple(algorithms),
         cells=cells,
+    )
+
+
+# ----------------------------------------------------------------------
+# Guard chaos experiment (repro.guard)
+# ----------------------------------------------------------------------
+#: Server-lr amplification for the chaos scenario's "divergent eta_g".
+CHAOS_LR_MULTIPLIER = 8.0
+#: Stealth-NaN corruption rate injected into the chaos runs.
+CHAOS_CORRUPT_RATE = 0.3
+
+
+@dataclass
+class ChaosResult:
+    """Clean baseline vs the same chaos with the guard off and on."""
+
+    dataset: str
+    rounds: int
+    algorithm: str
+    clean_accuracy: float
+    unguarded_diverged: bool
+    unguarded_rounds: int  # rounds survived before dying
+    guarded_accuracy: float
+    guarded_diverged: bool
+    rollbacks: int
+    skips: int
+    lr_scale: float
+    blamed_clients: Tuple[int, ...]
+    alie_fedavg_accuracy: Optional[float] = None  # ALIE attack, plain mean
+    alie_clipped_accuracy: Optional[float] = None  # ALIE attack, norm-clip
+
+    @property
+    def recovered(self) -> bool:
+        """Did the guard turn a fatal scenario into a completed run?"""
+        return self.unguarded_diverged and not self.guarded_diverged
+
+    def render(self) -> str:
+        rows = [
+            ["clean baseline", f"{self.clean_accuracy:.2%}", "-", "-"],
+            [
+                "chaos, guard off",
+                "x (diverged)" if self.unguarded_diverged else "survived?!",
+                str(self.unguarded_rounds),
+                "-",
+            ],
+            [
+                "chaos, guard on",
+                "x (diverged)" if self.guarded_diverged else f"{self.guarded_accuracy:.2%}",
+                str(self.rounds),
+                f"{self.rollbacks}rb/{self.skips}sk, lr x{self.lr_scale:g}",
+            ],
+        ]
+        if self.alie_fedavg_accuracy is not None:
+            rows.append(["ALIE vs plain mean", f"{self.alie_fedavg_accuracy:.2%}", "-", "-"])
+        if self.alie_clipped_accuracy is not None:
+            rows.append(["ALIE vs norm-clip", f"{self.alie_clipped_accuracy:.2%}", "-", "-"])
+        return render_table(
+            ["scenario", "final acc", "rounds", "recovery"],
+            rows,
+            title=(
+                f"Guard chaos — {self.dataset}, {self.algorithm}, "
+                f"{CHAOS_CORRUPT_RATE:.0%} stealth-NaN uploads + "
+                f"{CHAOS_LR_MULTIPLIER:g}x eta_g"
+                + (f"; blamed clients {list(self.blamed_clients)}" if self.blamed_clients else "")
+            ),
+        )
+
+
+def run_chaos(
+    config: ExperimentConfig | None = None,
+    algorithm: str = "fedavg",
+    guard: GuardPolicy | None = None,
+    with_alie: bool = True,
+) -> ChaosResult:
+    """The self-healing demonstration (see docs/ROBUSTNESS.md).
+
+    One seeded scenario — stealth-NaN uploads slipping a misconfigured
+    quarantine plus an amplified server lr — run three ways: clean, guard
+    off (dies), guard on (recovers via the escalation ladder).  When
+    ``with_alie`` is set, the same config is also attacked with ALIE
+    clients to compare the plain mean against norm-clipping aggregation.
+    """
+    config = config or ExperimentConfig(
+        dataset="adult", num_clients=8, rounds=8, local_steps=5,
+        train_size=200, test_size=100, seed=3,
+    )
+    guard = guard or GuardPolicy(lr_backoff=0.25)
+    chaos_config = config.with_overrides(
+        global_lr=CHAOS_LR_MULTIPLIER * config.effective_global_lr
+    )
+    plan = FaultPlan(
+        seed=config.seed + 7919,
+        corrupt_rate=CHAOS_CORRUPT_RATE,
+        corruption_modes=("nan-stealth",),
+    )
+    # The misconfiguration the guard must survive: non-finite quarantine off.
+    weak_degradation = DegradationPolicy(quarantine_nonfinite=False)
+
+    clean = run_algorithm(config, algorithm)
+    unguarded = run_algorithm(
+        chaos_config, algorithm, fault_plan=plan, degradation=weak_degradation
+    )
+    guarded = run_algorithm(
+        chaos_config, algorithm, fault_plan=plan, degradation=weak_degradation,
+        guard=guard,
+    )
+    summary = guarded.history.recovery_summary()
+    blamed = sorted(
+        {cid for event in guarded.history.recoveries for cid in event.blamed_clients}
+    )
+
+    alie_fedavg = alie_clipped = None
+    if with_alie:
+        attackers = max(1, config.num_clients // 4)
+        alie_config = config.with_overrides(attack="alie", num_attackers=attackers)
+        alie_fedavg = run_algorithm(alie_config, algorithm).final_accuracy
+        alie_clipped = run_algorithm(alie_config, "norm-clip").final_accuracy
+
+    return ChaosResult(
+        dataset=config.dataset,
+        rounds=config.rounds,
+        algorithm=algorithm,
+        clean_accuracy=clean.final_accuracy,
+        unguarded_diverged=unguarded.diverged,
+        unguarded_rounds=len(unguarded.history),
+        guarded_accuracy=guarded.final_accuracy,
+        guarded_diverged=guarded.diverged,
+        rollbacks=summary["rollbacks"],
+        skips=summary["skips"],
+        lr_scale=summary["lr_scale"],
+        blamed_clients=tuple(blamed),
+        alie_fedavg_accuracy=alie_fedavg,
+        alie_clipped_accuracy=alie_clipped,
     )

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..algorithms import make_strategy
 from ..algorithms.base import Strategy
-from ..attacks import FreeloaderClient
+from ..attacks import ALIEClient, FreeloaderClient, GaussianNoiseClient, SignFlipClient
 from ..data.dataset import TensorDataset
 from ..data.registry import FederatedDataBundle, load_dataset
 from ..fl import Client, CostModel, FederatedSimulation, SimulationResult, sample_speed_factors
@@ -34,10 +34,12 @@ class Environment:
     speed_factors: np.ndarray
     freeloader_ids: List[int]
     partition_metadata: Dict[int, str] = field(default_factory=dict)  # client -> group
+    attacker_ids: List[int] = field(default_factory=list)  # poisoning clients
 
     @property
     def benign_ids(self) -> List[int]:
-        return [cid for cid in range(self.config.num_clients) if cid not in self.freeloader_ids]
+        hostile = set(self.freeloader_ids) | set(self.attacker_ids)
+        return [cid for cid in range(self.config.num_clients) if cid not in hostile]
 
 
 @lru_cache(maxsize=32)
@@ -66,6 +68,15 @@ def _build_environment(config: ExperimentConfig) -> Environment:
             rng.choice(config.num_clients, size=config.num_freeloaders, replace=False).tolist()
         )
 
+    # Poisoning attackers are drawn from the non-freeloader pool, again as a
+    # deterministic function of seed; the draw happens only when configured,
+    # so attack-free configs consume exactly the same RNG stream as before.
+    attacker_ids: List[int] = []
+    if config.num_attackers:
+        pool = [cid for cid in range(config.num_clients) if cid not in freeloader_ids]
+        picks = rng.choice(len(pool), size=min(config.num_attackers, len(pool)), replace=False)
+        attacker_ids = sorted(pool[int(i)] for i in picks)
+
     metadata: Dict[int, str] = {}
     groups = getattr(partitioner, "client_groups", None)
     if groups:
@@ -78,16 +89,36 @@ def _build_environment(config: ExperimentConfig) -> Environment:
         speed_factors=speed_factors,
         freeloader_ids=freeloader_ids,
         partition_metadata=metadata,
+        attacker_ids=attacker_ids,
     )
 
 
+#: config.attack value -> poisoning client class.
+_ATTACK_CLIENTS = {
+    "sign-flip": SignFlipClient,
+    "gaussian": GaussianNoiseClient,
+    "alie": ALIEClient,
+}
+
+
 def make_clients(env: Environment) -> List[Client]:
-    """Fresh client objects (benign + freeloaders) for one run."""
+    """Fresh client objects (benign + freeloaders + attackers) for one run."""
     config = env.config
     clients: List[Client] = []
     for cid in range(config.num_clients):
         client_rng = np.random.default_rng(config.seed * 10_000 + cid)
-        if cid in env.freeloader_ids:
+        if cid in env.attacker_ids:
+            attack_cls = _ATTACK_CLIENTS[config.attack]
+            clients.append(
+                attack_cls(
+                    cid,
+                    env.client_datasets[cid],
+                    config.batch_size,
+                    client_rng,
+                    speed_factor=float(env.speed_factors[cid]),
+                )
+            )
+        elif cid in env.freeloader_ids:
             clients.append(
                 FreeloaderClient(
                     cid,
@@ -148,6 +179,7 @@ def run_algorithm(
     fault_plan=None,
     degradation=None,
     transport=None,
+    guard=None,
     checkpoint_every: int = 0,
     checkpoint_dir=None,
     resume_from=None,
@@ -166,6 +198,7 @@ def run_algorithm(
         and fault_plan is None
         and degradation is None
         and transport is None
+        and guard is None
         and not checkpoint_every
         and resume_from is None
         and not overrides
@@ -190,6 +223,7 @@ def run_algorithm(
         transport=transport,
         fault_plan=fault_plan,
         degradation=degradation,
+        guard=guard,
     )
     result = simulation.run(
         config.rounds,

@@ -49,6 +49,14 @@ def corrupt_delta(delta: np.ndarray, mode: str, rng: np.random.Generator) -> np.
         count = max(1, out.size // 100)
         out[rng.choice(out.size, size=count, replace=False)] = np.nan
         return out
+    if mode == "nan-stealth":
+        # One poisoned coordinate in an otherwise-honest payload: the norm
+        # becomes NaN, so every norm-threshold comparison is False and the
+        # upload sails through magnitude gates; only an isfinite check (the
+        # quarantine's, or the guard monitor's) can see it.
+        out = delta.copy()
+        out[int(rng.integers(out.size))] = np.nan
+        return out
     if mode == "inf":
         out = delta.copy()
         out[int(rng.integers(out.size))] = np.inf

@@ -21,8 +21,12 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-#: Supported payload corruption modes.
-CORRUPTION_MODES = ("nan", "inf", "shape", "scale")
+#: Supported payload corruption modes.  "nan-stealth" poisons a single
+#: entry of an otherwise-honest payload: its norm turns NaN (every norm
+#: comparison is then False, so norm-based gates pass it) and only an
+#: explicit finiteness check catches it — the adversarial case the
+#: self-healing guard (:mod:`repro.guard`) is built around.
+CORRUPTION_MODES = ("nan", "inf", "shape", "scale", "nan-stealth")
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from typing import Any, Dict, Tuple
 import numpy as np
 
 from ..nn.module import Module
-from .history import RoundRecord, TrainingHistory
+from .history import RecoveryEvent, RoundRecord, TrainingHistory
 
 
 def save_model(model: Module, path: str | Path) -> None:
@@ -67,9 +67,23 @@ def save_history(history: TrainingHistory, path: str | Path) -> None:
                 "skipped": record.skipped,
                 "uplink_bytes": record.uplink_bytes,
                 "downlink_bytes": record.downlink_bytes,
+                "anomalies": list(record.anomalies),
+                "recovery": record.recovery,
             }
         )
-    path.write_text(json.dumps({"records": records}, indent=2))
+    recoveries = [
+        {
+            "round": event.round,
+            "action": event.action,
+            "anomalies": list(event.anomalies),
+            "rolled_back_to": event.rolled_back_to,
+            "lr_scale": event.lr_scale,
+            "blamed_clients": list(event.blamed_clients),
+            "detail": event.detail,
+        }
+        for event in history.recoveries
+    ]
+    path.write_text(json.dumps({"records": records, "recoveries": recoveries}, indent=2))
 
 
 def load_history(path: str | Path) -> TrainingHistory:
@@ -97,6 +111,24 @@ def load_history(path: str | Path) -> TrainingHistory:
                 skipped=bool(item.get("skipped", False)),
                 uplink_bytes=int(item.get("uplink_bytes", 0)),
                 downlink_bytes=int(item.get("downlink_bytes", 0)),
+                anomalies=list(item.get("anomalies", [])),
+                recovery=item.get("recovery"),
+            )
+        )
+    for item in payload.get("recoveries", []):
+        history.recoveries.append(
+            RecoveryEvent(
+                round=int(item["round"]),
+                action=item["action"],
+                anomalies=list(item.get("anomalies", [])),
+                rolled_back_to=(
+                    int(item["rolled_back_to"])
+                    if item.get("rolled_back_to") is not None
+                    else None
+                ),
+                lr_scale=float(item.get("lr_scale", 1.0)),
+                blamed_clients=[int(c) for c in item.get("blamed_clients", [])],
+                detail=item.get("detail", ""),
             )
         )
     return history
@@ -203,6 +235,22 @@ def save_simulation(simulation, directory: str | Path) -> Path:
         "rng_states": rng_states,
     }
 
+    if getattr(simulation, "recovery", None) is not None:
+        # Guard state: the monitor's rolling windows plus the recovery
+        # controller's ladder position and snapshot ring buffer, so a
+        # checkpoint taken mid-recovery resumes bit-exactly.
+        recovery_state = simulation.recovery.state_dict()
+        recovery_state["snapshots"] = {
+            str(i): snap for i, snap in enumerate(recovery_state["snapshots"])
+        }
+        guard_arrays: Dict[str, np.ndarray] = {}
+        guard_scalars: Dict[str, Any] = {}
+        _flatten_state(recovery_state, "recovery", guard_arrays, guard_scalars)
+        _flatten_state(simulation.monitor.state_dict(), "monitor", guard_arrays, guard_scalars)
+        for key, value in guard_arrays.items():
+            arrays[f"guard{_SEP}{key}"] = value
+        meta["guard_scalars"] = guard_scalars
+
     np.savez(directory / ARRAYS_FILE, **arrays)
     (directory / META_FILE).write_text(json.dumps(meta, indent=2))
     save_history(simulation.history, directory / HISTORY_FILE)
@@ -227,7 +275,13 @@ def load_simulation(simulation, directory: str | Path) -> int:
             f"simulation has {len(simulation.clients)}"
         )
 
-    prefixed: Dict[str, Dict[str, np.ndarray]] = {"server": {}, "model": {}, "strategy": {}, "transport": {}}
+    prefixed: Dict[str, Dict[str, np.ndarray]] = {
+        "server": {},
+        "model": {},
+        "strategy": {},
+        "transport": {},
+        "guard": {},
+    }
     for key in archive.files:
         group, rest = key.split(_SEP, 1)
         prefixed[group][rest] = archive[key]
@@ -280,6 +334,33 @@ def load_simulation(simulation, directory: str | Path) -> int:
     simulation.history = load_history(directory / HISTORY_FILE)
     simulation._cumulative_sim_time = float(meta["cumulative_sim_time"])
     simulation._last_evaluated_round = int(meta["last_evaluated_round"])
+
+    if getattr(simulation, "recovery", None) is not None:
+        if "guard_scalars" in meta:
+            flat: Dict[str, Any] = dict(prefixed["guard"])
+            flat.update(meta["guard_scalars"])
+            guard_state = _unflatten_state(flat)
+            recovery_state = guard_state.get("recovery", {})
+            snapshots = recovery_state.get("snapshots", {}) or {}
+            recovery_state["snapshots"] = [
+                snapshots[key] for key in sorted(snapshots, key=int)
+            ]
+            simulation.recovery.load_state_dict(recovery_state)
+            simulation.monitor.load_state_dict(guard_state.get("monitor", {}))
+            # Re-derive the mutated run knobs from the restored ladder
+            # position: the backed-off server lr and, if recovery had
+            # already escalated that far, the tightened quarantine.
+            simulation.server.global_lr = (
+                simulation.recovery.base_global_lr * simulation.recovery.lr_scale
+            )
+            if simulation.recovery.tightened:
+                simulation.recovery.tightened = False
+                simulation.recovery._tighten_quarantine(simulation)
+        else:
+            # Checkpoint written without a guard: treat the restored state
+            # as the known-good baseline and start the ladder fresh.
+            simulation.recovery.prime(simulation)
+
     return state.round
 
 

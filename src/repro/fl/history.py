@@ -34,6 +34,9 @@ class RoundRecord:
     # Transport accounting (repro.comm; zero when no Transport is attached):
     uplink_bytes: int = 0  # client -> server upload bytes this round
     downlink_bytes: int = 0  # server -> client broadcast bytes this round
+    # Guard accounting (repro.guard; empty when no guard is attached):
+    anomalies: List[str] = field(default_factory=list)  # anomaly kinds observed
+    recovery: Optional[str] = None  # action applied after this round, if any
 
     @property
     def fault_count(self) -> int:
@@ -41,14 +44,40 @@ class RoundRecord:
         return len(self.dropped) + len(self.quarantined) + len(self.stragglers)
 
 
+@dataclass
+class RecoveryEvent:
+    """One action the recovery controller took (see :mod:`repro.guard`).
+
+    Rollbacks truncate the poisoned round records they revert, so this
+    audit log is the durable trace of what the guard did: which round was
+    anomalous, what the escalation ladder chose, where the run was rewound
+    to, the server-lr scale afterwards, and the clients blamed.
+    """
+
+    round: int  # the anomalous round that triggered the action
+    action: str  # "skip" | "rollback" | "abort"
+    anomalies: List[str] = field(default_factory=list)  # anomaly kinds
+    rolled_back_to: Optional[int] = None  # snapshot round (rollback only)
+    lr_scale: float = 1.0  # server-lr scale after the action
+    blamed_clients: List[int] = field(default_factory=list)
+    detail: str = ""
+
+
 class TrainingHistory:
     """Accumulates round records and answers the paper's metric queries."""
 
     def __init__(self) -> None:
         self.records: List[RoundRecord] = []
+        self.recoveries: List[RecoveryEvent] = []
 
     def append(self, record: RoundRecord) -> None:
         self.records.append(record)
+
+    def truncate(self, length: int) -> None:
+        """Drop records beyond ``length`` (rollback rewinds the history)."""
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        del self.records[length:]
 
     def __len__(self) -> int:
         return len(self.records)
@@ -150,6 +179,51 @@ class TrainingHistory:
             for reason in record.quarantined.values():
                 reasons[reason] = reasons.get(reason, 0) + 1
         return reasons
+
+    # ------------------------------------------------------------------
+    # Guard accounting (repro.guard)
+    # ------------------------------------------------------------------
+    @property
+    def total_rollbacks(self) -> int:
+        return sum(1 for e in self.recoveries if e.action == "rollback")
+
+    @property
+    def total_skips(self) -> int:
+        return sum(1 for e in self.recoveries if e.action == "skip")
+
+    @property
+    def aborted(self) -> bool:
+        """True when the guard exhausted its budget and gave up."""
+        return any(e.action == "abort" for e in self.recoveries)
+
+    def anomaly_counts(self) -> Dict[str, int]:
+        """Counts per anomaly kind, from surviving records *and* the audit log.
+
+        A rollback truncates the records of the rounds it reverts, so their
+        anomalies are counted from the recovery events instead; skip events
+        leave their (annotated) record in place, so only non-skip events
+        contribute here.
+        """
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            for kind in record.anomalies:
+                counts[kind] = counts.get(kind, 0) + 1
+        for event in self.recoveries:
+            if event.action == "skip":
+                continue  # its record survived and was counted above
+            for kind in event.anomalies:
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def recovery_summary(self) -> Dict[str, object]:
+        """Run-level guard totals for reports and the CLI JSON output."""
+        return {
+            "skips": self.total_skips,
+            "rollbacks": self.total_rollbacks,
+            "aborted": self.aborted,
+            "anomalies": self.anomaly_counts(),
+            "lr_scale": self.recoveries[-1].lr_scale if self.recoveries else 1.0,
+        }
 
     # ------------------------------------------------------------------
     # Paper metrics

@@ -87,6 +87,12 @@ class FederatedSimulation:
         ``fault_plan`` is given without one, a default policy is used so
         injected corruption is always quarantined.  Without either, the
         legacy trusting pipeline runs unchanged.
+    guard:
+        Optional :class:`~repro.guard.GuardPolicy` enabling self-healing:
+        a :class:`~repro.guard.HealthMonitor` checks every round and a
+        :class:`~repro.guard.RecoveryController` skips, rolls back (with
+        server-lr backoff) or aborts on critical anomalies.  ``None`` (the
+        default) keeps the run bit-identical to an unguarded one.
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class FederatedSimulation:
         transport=None,
         fault_plan=None,
         degradation: Optional[DegradationPolicy] = None,
+        guard=None,
     ) -> None:
         if not clients:
             raise ValueError("at least one client is required")
@@ -132,6 +139,22 @@ class FederatedSimulation:
         self.history = TrainingHistory()
         self._cumulative_sim_time = 0.0
         self._last_evaluated_round = -1
+
+        if guard is not None:
+            from ..guard import (  # local import: fl must not require guard
+                HealthMonitor,
+                RecoveryController,
+                parameter_layout,
+            )
+
+            self.guard_policy = guard
+            self.monitor = HealthMonitor(guard, parameter_layout(model))
+            self.recovery = RecoveryController(guard, self.global_lr)
+        else:
+            self.guard_policy = None
+            self.monitor = None
+            self.recovery = None
+        self._round_upload_anomalies: list = []
 
     # ------------------------------------------------------------------
     def run(
@@ -173,20 +196,31 @@ class FederatedSimulation:
             # accumulating the previous run's events (already-streamed
             # exporter output, e.g. JSONL lines, is untouched).
             get_telemetry().reset()
+            if self.recovery is not None:
+                # Seed the rollback ring buffer with w_0 so even a round-0
+                # anomaly has a known-good state to rewind to.
+                self.recovery.prime(self)
 
         run_started = time.perf_counter()
         diverged = False
         while self.server.state.round < rounds:
             record = self.run_round()
-            if not np.isfinite(record.test_loss) or not np.isfinite(
+            if self.recovery is not None:
+                if self._guard_intervene(record) == "abort":
+                    diverged = True
+                    break
+            elif not np.isfinite(record.test_loss) or not np.isfinite(
                 self.server.state.global_params
             ).all():
                 diverged = True
                 break
+            # state.round is record.round + 1 on the legacy path, but a
+            # guard rollback rewinds it — key the cadence on the counter so
+            # checkpoints always describe the state actually on disk.
             if (
                 checkpoint_every
                 and checkpoint_dir is not None
-                and (record.round + 1) % checkpoint_every == 0
+                and self.server.state.round % checkpoint_every == 0
             ):
                 checkpoint.save_simulation(self, checkpoint_dir)
 
@@ -209,6 +243,22 @@ class FederatedSimulation:
             output_accuracy=output_accuracy,
             diverged=diverged,
             elapsed_seconds=time.perf_counter() - run_started,
+        )
+
+    def _guard_intervene(self, record: RoundRecord) -> str:
+        """Run the round through the guard; returns the action taken."""
+        state = self.server.state
+        anomalies = self.monitor.check_round(record, state)
+        record.anomalies.extend(a.kind for a in anomalies)
+        critical = [a for a in anomalies if a.critical]
+        if not critical:
+            self.monitor.commit(record, state)
+            self.recovery.note_healthy(self, record)
+            return "ok"
+        # Upload anomalies carry the per-client blame; fold them into the
+        # recovery event so the audit log names the offending uploads.
+        return self.recovery.respond(
+            self, record, critical + self._round_upload_anomalies
         )
 
     def _refresh_final_metrics(self, final_params: np.ndarray, diverged: bool) -> None:
@@ -278,6 +328,15 @@ class FederatedSimulation:
             if self.transport is not None:
                 updates = self.transport.process_round(updates)
 
+            self._round_upload_anomalies = []
+            if self.monitor is not None:
+                # Attribution happens before the quarantine gate, so a
+                # non-finite upload is blamed on its client even when the
+                # degradation layer eats it a few lines down.
+                self._round_upload_anomalies = self.monitor.check_updates(
+                    round_index, updates
+                )
+
             stragglers: List[int] = []
             quarantined = {}
             skipped = False
@@ -340,6 +399,7 @@ class FederatedSimulation:
                 if self.transport is not None
                 else 0
             ),
+            anomalies=[a.kind for a in self._round_upload_anomalies],
         )
         self.history.append(record)
         self._record_round_metrics(telemetry, record, round_sim)

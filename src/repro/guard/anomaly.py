@@ -1,0 +1,84 @@
+"""Typed anomalies raised by the training health monitor.
+
+An :class:`Anomaly` names one unhealthy observation about a round —
+non-finite state, a loss spike, a stalled run, an exploding global update —
+with enough context to act on it: the round it struck, whether it warrants
+recovery (``critical``) or only bookkeeping (``warn``), and a
+:class:`BlameReport` pointing at the uploads and the first parameter slice
+that went bad.  The taxonomy is deliberately small and string-keyed so
+histories, telemetry labels and JSON exports all speak the same names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Anomaly kinds produced by :class:`~repro.guard.monitor.HealthMonitor`.
+NON_FINITE_PARAMS = "non-finite-params"  # w_{t+1} contains NaN/Inf
+NON_FINITE_LOSS = "non-finite-loss"  # the round's test loss is NaN/Inf
+NON_FINITE_DELTA = "non-finite-delta"  # the aggregated global update is NaN/Inf
+NON_FINITE_UPDATE = "non-finite-update"  # a client upload contains NaN/Inf
+LOSS_SPIKE = "loss-spike"  # loss far above the rolling median (MAD units)
+PLATEAU = "plateau"  # accuracy flat for a sustained window
+NORM_BLOWUP = "norm-blowup"  # global update norm far above its rolling median
+
+ANOMALY_KINDS = (
+    NON_FINITE_PARAMS,
+    NON_FINITE_LOSS,
+    NON_FINITE_DELTA,
+    NON_FINITE_UPDATE,
+    LOSS_SPIKE,
+    PLATEAU,
+    NORM_BLOWUP,
+)
+
+#: Severities: ``critical`` anomalies trigger the recovery ladder, ``warn``
+#: anomalies are recorded and counted but left to the degradation gate.
+SEVERITY_WARN = "warn"
+SEVERITY_CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class BlameReport:
+    """Who/what first went bad, as precisely as the monitor can tell.
+
+    ``layer``/``index`` locate the first non-finite entry inside the flat
+    parameter vector using the model's parameter layout; ``clients`` lists
+    the uploads that carried non-finite payloads into the round.
+    """
+
+    clients: List[int] = field(default_factory=list)
+    layer: Optional[str] = None  # dotted parameter name, e.g. "fc1.weight"
+    index: Optional[int] = None  # flat-vector index of the first bad entry
+
+    def describe(self) -> str:
+        parts = []
+        if self.clients:
+            parts.append(f"clients={self.clients}")
+        if self.layer is not None:
+            parts.append(f"first bad slice={self.layer!r}@{self.index}")
+        return ", ".join(parts) if parts else "no blame assigned"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One unhealthy observation about one round."""
+
+    kind: str  # one of ANOMALY_KINDS
+    round: int
+    severity: str = SEVERITY_CRITICAL
+    detail: str = ""
+    blame: Optional[BlameReport] = None
+
+    @property
+    def critical(self) -> bool:
+        return self.severity == SEVERITY_CRITICAL
+
+    def describe(self) -> str:
+        text = f"round {self.round}: {self.kind}"
+        if self.detail:
+            text += f" ({self.detail})"
+        if self.blame is not None:
+            text += f" [{self.blame.describe()}]"
+        return text

@@ -1,0 +1,267 @@
+"""Training health monitor: turns round observations into typed anomalies.
+
+The monitor sees two things each round, mirroring where trouble can enter:
+
+1. the raw client uploads, *before* the degradation quarantine — so a
+   non-finite payload is blamed on its client even when the quarantine
+   later eats it (:meth:`HealthMonitor.check_updates`);
+2. the committed round — global parameters, the aggregated update and the
+   evaluated loss — where divergence actually manifests
+   (:meth:`HealthMonitor.check_round`).
+
+Statistical checks (loss spike, update-norm blowup, plateau) compare
+against rolling windows of *healthy* rounds only: an anomalous round is
+never folded into its own baseline, so one bad round cannot mask the next.
+All thresholds are deterministic functions of the window contents and the
+:class:`~repro.guard.policy.GuardPolicy`, and the window contents are part
+of the checkpoint state — a resumed monitor judges exactly like an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fl.history import RoundRecord
+from ..fl.state import ClientUpdate, ServerState
+from ..nn.module import Module
+from ..telemetry import get_telemetry
+from .anomaly import (
+    LOSS_SPIKE,
+    NON_FINITE_DELTA,
+    NON_FINITE_LOSS,
+    NON_FINITE_PARAMS,
+    NON_FINITE_UPDATE,
+    NORM_BLOWUP,
+    PLATEAU,
+    SEVERITY_WARN,
+    Anomaly,
+    BlameReport,
+)
+from .policy import GuardPolicy
+
+#: Flat-vector layout entry: (dotted parameter name, start, stop).
+LayoutEntry = Tuple[str, int, int]
+
+#: Absolute floor on the MAD so a flat loss window cannot turn numerical
+#: noise into spike anomalies.
+_MAD_FLOOR = 1e-3
+
+
+def parameter_layout(model: Module) -> List[LayoutEntry]:
+    """The model's parameter slices inside its flat vector, in order."""
+    layout: List[LayoutEntry] = []
+    offset = 0
+    for name, param in model.named_parameters():
+        layout.append((name, offset, offset + param.size))
+        offset += param.size
+    return layout
+
+
+def locate_slice(layout: Sequence[LayoutEntry], index: int) -> Optional[str]:
+    """The dotted parameter name owning flat index ``index``, if any."""
+    for name, start, stop in layout:
+        if start <= index < stop:
+            return name
+    return None
+
+
+def _first_non_finite(vector: np.ndarray) -> int:
+    """Flat index of the first NaN/Inf entry (caller guarantees one exists)."""
+    return int(np.flatnonzero(~np.isfinite(vector))[0])
+
+
+class HealthMonitor:
+    """Checks every round for the anomaly taxonomy in :mod:`repro.guard.anomaly`."""
+
+    def __init__(self, policy: GuardPolicy, layout: Optional[Sequence[LayoutEntry]] = None) -> None:
+        self.policy = policy
+        self.layout = list(layout or [])
+        self._losses: List[float] = []  # healthy-round losses (spike baseline)
+        self._delta_norms: List[float] = []  # healthy-round global update norms
+        self._accuracies: List[float] = []  # healthy-round accuracies (plateau)
+        self._last_plateau_round = -(10**9)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check_updates(
+        self, round_index: int, updates: Sequence[ClientUpdate]
+    ) -> List[Anomaly]:
+        """Flag non-finite client uploads with a per-client blame report.
+
+        These are ``warn`` anomalies: the degradation quarantine is the
+        component responsible for keeping them out of aggregation; the
+        monitor's job here is attribution (which client, which layer slice
+        first went non-finite) and accounting.
+        """
+        anomalies: List[Anomaly] = []
+        for update in updates:
+            if np.isfinite(update.delta).all():
+                continue
+            index = _first_non_finite(update.delta)
+            blame = BlameReport(
+                clients=[update.client_id],
+                layer=locate_slice(self.layout, index),
+                index=index,
+            )
+            anomalies.append(
+                Anomaly(
+                    kind=NON_FINITE_UPDATE,
+                    round=round_index,
+                    severity=SEVERITY_WARN,
+                    detail=f"upload from client {update.client_id}",
+                    blame=blame,
+                )
+            )
+        self._count(anomalies)
+        return anomalies
+
+    def check_round(self, record: RoundRecord, state: ServerState) -> List[Anomaly]:
+        """All anomalies visible in the committed round state."""
+        anomalies: List[Anomaly] = []
+        anomalies.extend(self._check_non_finite(record, state))
+        if not anomalies:  # statistical checks only make sense on finite state
+            anomalies.extend(self._check_loss_spike(record))
+            anomalies.extend(self._check_norm_blowup(record, state))
+            anomalies.extend(self._check_plateau(record))
+        self._count(anomalies)
+        return anomalies
+
+    def commit(self, record: RoundRecord, state: ServerState) -> None:
+        """Fold a healthy round into the rolling baselines."""
+        window = self.policy.spike_window
+        self._losses.append(float(record.test_loss))
+        self._accuracies.append(float(record.test_accuracy))
+        if state.global_delta is not None:
+            self._delta_norms.append(float(np.linalg.norm(state.global_delta)))
+        del self._losses[:-window]
+        del self._delta_norms[:-window]
+        if self.policy.plateau_window:
+            del self._accuracies[: -self.policy.plateau_window]
+        else:
+            del self._accuracies[:-window]
+
+    # ------------------------------------------------------------------
+    # Individual detectors
+    # ------------------------------------------------------------------
+    def _check_non_finite(self, record: RoundRecord, state: ServerState) -> List[Anomaly]:
+        anomalies: List[Anomaly] = []
+        if not np.isfinite(state.global_params).all():
+            index = _first_non_finite(state.global_params)
+            anomalies.append(
+                Anomaly(
+                    kind=NON_FINITE_PARAMS,
+                    round=record.round,
+                    detail="global parameters contain NaN/Inf",
+                    blame=BlameReport(layer=locate_slice(self.layout, index), index=index),
+                )
+            )
+        if state.global_delta is not None and not np.isfinite(state.global_delta).all():
+            index = _first_non_finite(state.global_delta)
+            anomalies.append(
+                Anomaly(
+                    kind=NON_FINITE_DELTA,
+                    round=record.round,
+                    detail="aggregated global update contains NaN/Inf",
+                    blame=BlameReport(layer=locate_slice(self.layout, index), index=index),
+                )
+            )
+        if not np.isfinite(record.test_loss):
+            anomalies.append(
+                Anomaly(
+                    kind=NON_FINITE_LOSS,
+                    round=record.round,
+                    detail=f"test loss = {record.test_loss}",
+                )
+            )
+        return anomalies
+
+    def _check_loss_spike(self, record: RoundRecord) -> List[Anomaly]:
+        if len(self._losses) < self.policy.spike_min_history:
+            return []
+        baseline = np.asarray(self._losses)
+        median = float(np.median(baseline))
+        mad = float(np.median(np.abs(baseline - median)))
+        cutoff = median + self.policy.spike_threshold * max(mad, _MAD_FLOOR)
+        if record.test_loss <= cutoff:
+            return []
+        return [
+            Anomaly(
+                kind=LOSS_SPIKE,
+                round=record.round,
+                detail=(
+                    f"loss {record.test_loss:.4g} > median {median:.4g} "
+                    f"+ {self.policy.spike_threshold:g} x MAD {max(mad, _MAD_FLOOR):.4g}"
+                ),
+            )
+        ]
+
+    def _check_norm_blowup(self, record: RoundRecord, state: ServerState) -> List[Anomaly]:
+        if state.global_delta is None or record.skipped:
+            return []
+        if len(self._delta_norms) < self.policy.spike_min_history:
+            return []
+        median = float(np.median(self._delta_norms))
+        if median <= 0.0:
+            return []
+        norm = float(np.linalg.norm(state.global_delta))
+        if norm <= self.policy.norm_blowup_factor * median:
+            return []
+        return [
+            Anomaly(
+                kind=NORM_BLOWUP,
+                round=record.round,
+                detail=(
+                    f"global update norm {norm:.4g} > "
+                    f"{self.policy.norm_blowup_factor:g} x median {median:.4g}"
+                ),
+            )
+        ]
+
+    def _check_plateau(self, record: RoundRecord) -> List[Anomaly]:
+        window = self.policy.plateau_window
+        if not window or len(self._accuracies) < window:
+            return []
+        if record.round - self._last_plateau_round < window:
+            return []  # rate-limit: one plateau report per window
+        recent = np.asarray(self._accuracies[-window:] + [record.test_accuracy])
+        if float(recent.max() - recent.min()) > self.policy.plateau_tolerance:
+            return []
+        self._last_plateau_round = record.round
+        return [
+            Anomaly(
+                kind=PLATEAU,
+                round=record.round,
+                severity=SEVERITY_WARN,
+                detail=f"accuracy flat over the last {window} rounds",
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def _count(self, anomalies: Sequence[Anomaly]) -> None:
+        if not anomalies:
+            return
+        telemetry = get_telemetry()
+        for anomaly in anomalies:
+            telemetry.counter("guard.anomalies", kind=anomaly.kind).add(1)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Rolling windows, so a resumed monitor judges bit-identically."""
+        return {
+            "losses": list(self._losses),
+            "delta_norms": list(self._delta_norms),
+            "accuracies": list(self._accuracies),
+            "last_plateau_round": self._last_plateau_round,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._losses = [float(x) for x in state.get("losses", [])]
+        self._delta_norms = [float(x) for x in state.get("delta_norms", [])]
+        self._accuracies = [float(x) for x in state.get("accuracies", [])]
+        self._last_plateau_round = int(state.get("last_plateau_round", -(10**9)))

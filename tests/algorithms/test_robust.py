@@ -6,7 +6,9 @@ import pytest
 from repro.algorithms import (
     CoordinateMedianAggregation,
     KrumAggregation,
+    NormClippingAggregation,
     TrimmedMeanAggregation,
+    make_strategy,
 )
 from repro.fl.state import ClientUpdate, ServerState
 
@@ -65,8 +67,26 @@ class TestKrum:
         with pytest.raises(ValueError):
             KrumAggregation().aggregate(state(), [])
 
+    def test_selection_stays_inside_clean_cluster(self):
+        # Two coordinated outliers on opposite sides of the honest cluster:
+        # every multi-Krum pick must still come from the cluster.
+        krum = KrumAggregation(local_lr=0.1, local_steps=2, byzantine_count=2, multi=2)
+        updates = [update(i, d) for i, d in enumerate(HONEST)]
+        updates += [update(7, [50.0, 50.0]), update(8, [-50.0, -50.0])]
+        krum.aggregate(state(n=6), updates)
+        assert set(krum.last_selected) <= {0, 1, 2, 3}
+
 
 class TestMedian:
+    def test_matches_numpy_on_mixed_signs(self):
+        # The median must be taken per coordinate, sign included — not on
+        # magnitudes.
+        rows = [[-3.0, 2.0, -1.0], [1.0, -5.0, 4.0], [0.5, 0.0, -2.0]]
+        median = CoordinateMedianAggregation(local_lr=0.1, local_steps=5)
+        updates = [update(i, row) for i, row in enumerate(rows)]
+        delta = median.aggregate(ServerState(global_params=np.zeros(3)), updates)
+        np.testing.assert_allclose(delta, np.median(np.array(rows), axis=0) / 0.5)
+
     def test_ignores_single_outlier(self):
         median = CoordinateMedianAggregation(local_lr=0.1, local_steps=2)
         updates = [update(i, d) for i, d in enumerate(HONEST)] + [update(9, POISON)]
@@ -101,6 +121,49 @@ class TestTrimmedMean:
     def test_invalid_trim(self):
         with pytest.raises(ValueError):
             TrimmedMeanAggregation(trim=-1)
+
+    def test_exact_minimum_update_count_accepted(self):
+        # 2 * trim + 1 updates is the smallest legal cohort.
+        tm = TrimmedMeanAggregation(local_lr=0.1, local_steps=5, trim=2)
+        updates = [update(i, [float(i)]) for i in range(5)]
+        delta = tm.aggregate(ServerState(global_params=np.zeros(1)), updates)
+        np.testing.assert_allclose(delta, [4.0])  # only the median value survives
+        with pytest.raises(ValueError):
+            tm.aggregate(ServerState(global_params=np.zeros(1)), updates[:4])
+
+
+class TestNormClipping:
+    def test_amplified_upload_is_bounded(self):
+        clip = NormClippingAggregation(local_lr=0.1, local_steps=2, clip_factor=2.0)
+        updates = [update(i, d) for i, d in enumerate(HONEST)] + [update(9, POISON)]
+        delta = clip.aggregate(state(n=5), updates)
+        # The poison's norm (~141) is clipped to 2x the median honest norm
+        # (~1.4), so the aggregate stays close to the honest mean.
+        honest_only = clip.aggregate(state(n=4), [update(i, d) for i, d in enumerate(HONEST)])
+        assert np.abs(delta - honest_only * 4 / 5).max() < honest_only.max()
+
+    def test_honest_updates_pass_untouched(self):
+        # All norms equal => tau = 2x the common norm => no scaling at all;
+        # the rule degrades to plain FedAvg-style averaging.
+        clip = NormClippingAggregation(local_lr=0.1, local_steps=5, clip_factor=2.0)
+        updates = [update(0, [1.0, 0.0]), update(1, [0.0, 1.0])]
+        delta = clip.aggregate(state(), updates)
+        np.testing.assert_allclose(delta, [1.0, 1.0])  # mean / (5 * 0.1)
+
+    def test_all_zero_round_is_safe(self):
+        clip = NormClippingAggregation(local_lr=0.1, local_steps=5)
+        updates = [update(0, [0.0, 0.0]), update(1, [0.0, 0.0])]
+        np.testing.assert_allclose(clip.aggregate(state(), updates), [0.0, 0.0])
+
+    def test_invalid_clip_factor(self):
+        with pytest.raises(ValueError):
+            NormClippingAggregation(clip_factor=0.0)
+
+    def test_registered_in_strategy_registry(self):
+        strategy = make_strategy("norm-clip", local_lr=0.05, local_steps=3, clip_factor=1.5)
+        assert isinstance(strategy, NormClippingAggregation)
+        assert strategy.clip_factor == 1.5
+        assert strategy.has_aggregation_correction
 
 
 class TestRobustVsPoisonEndToEnd:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms import CoordinateMedianAggregation, FedAvg, make_strategy
-from repro.attacks import GaussianNoiseClient, SignFlipClient
+from repro.attacks import ALIEClient, GaussianNoiseClient, SignFlipClient
 from repro.data import IIDPartitioner, TensorDataset, load_dataset
 from repro.fl import Client, CostModel, FederatedSimulation
 
@@ -61,6 +61,45 @@ class TestGaussianNoise:
     def test_invalid_scale(self, dataset):
         with pytest.raises(ValueError):
             GaussianNoiseClient(0, dataset, 8, np.random.default_rng(0), norm_scale=0.0)
+
+
+class TestALIE:
+    def _pair(self, dataset, model, z_max=1.5):
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = model.parameters_vector()
+        honest = Client(0, dataset, 8, np.random.default_rng(1))
+        attacker = ALIEClient(0, dataset, 8, np.random.default_rng(1), z_max=z_max)
+        honest_update = honest.local_round(model, strategy, params, {}, CostModel())
+        poison_update = attacker.local_round(model, strategy, params, {}, CostModel())
+        return honest_update, poison_update
+
+    def test_is_malicious_flag(self, dataset):
+        assert ALIEClient(0, dataset, 8, np.random.default_rng(0)).is_malicious
+
+    def test_invalid_z_max(self, dataset):
+        with pytest.raises(ValueError):
+            ALIEClient(0, dataset, 8, np.random.default_rng(0), z_max=0.0)
+
+    def test_payload_matches_alie_formula(self, dataset, model):
+        honest_update, poison_update = self._pair(dataset, model, z_max=2.0)
+        d = honest_update.delta
+        expected = np.full_like(d, d.mean()) - 2.0 * d.std() * np.sign(d)
+        np.testing.assert_allclose(poison_update.delta, expected)
+
+    def test_norm_commensurate_with_honest_update(self, dataset, model):
+        # The whole point of ALIE: the payload must sail through a
+        # norm-outlier gate (the degradation default flags > 25x median).
+        honest_update, poison_update = self._pair(dataset, model)
+        ratio = poison_update.delta_norm / honest_update.delta_norm
+        assert ratio < 25.0
+        assert np.isfinite(poison_update.delta).all()
+
+    def test_payload_opposes_honest_direction(self, dataset, model):
+        honest_update, poison_update = self._pair(dataset, model)
+        cosine = np.dot(honest_update.delta, poison_update.delta) / (
+            honest_update.delta_norm * poison_update.delta_norm
+        )
+        assert cosine < 0  # systematically anti-correlated with descent
 
 
 class TestRobustDefenceEndToEnd:

@@ -47,6 +47,15 @@ class TestExperimentConfig:
     def test_config_hashable_for_cache(self):
         assert hash(ExperimentConfig()) == hash(ExperimentConfig())
 
+    def test_attack_fields_validated(self):
+        ExperimentConfig(attack="alie", num_attackers=2)  # valid
+        with pytest.raises(ValueError):
+            ExperimentConfig(attack="pixel-dust", num_attackers=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_attackers=3)  # kind required
+        with pytest.raises(ValueError):
+            ExperimentConfig(attack="alie", num_attackers=10, num_clients=10)
+
 
 class TestTargets:
     def test_all_datasets_have_targets(self):

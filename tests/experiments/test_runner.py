@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.attacks import FreeloaderClient
+from repro.attacks import ALIEClient, FreeloaderClient
 from repro.experiments import (
     build_environment,
     make_clients,
@@ -52,6 +52,31 @@ class TestMakeClients:
         clients = make_clients(env)
         freeloaders = [c.client_id for c in clients if isinstance(c, FreeloaderClient)]
         assert freeloaders == env.freeloader_ids
+
+    def test_attackers_substituted(self, tiny_config):
+        config = tiny_config.with_overrides(attack="alie", num_attackers=2)
+        env = build_environment(config)
+        clients = make_clients(env)
+        attackers = [c.client_id for c in clients if isinstance(c, ALIEClient)]
+        assert attackers == env.attacker_ids
+        assert len(attackers) == 2
+        assert env.attacker_ids == build_environment(config).attacker_ids
+
+    def test_attackers_disjoint_from_freeloaders(self, tiny_config):
+        config = tiny_config.with_overrides(
+            attack="alie", num_attackers=1, num_freeloaders=2
+        )
+        env = build_environment(config)
+        assert not set(env.attacker_ids) & set(env.freeloader_ids)
+        assert set(env.benign_ids).isdisjoint(env.attacker_ids)
+
+    def test_attack_config_leaves_benign_rng_untouched(self, tiny_config):
+        # Configs without attackers must draw the same environment as before
+        # the attack fields existed.
+        baseline = build_environment(tiny_config)
+        other = build_environment(tiny_config.with_overrides(attack="alie"))
+        assert other.attacker_ids == []
+        np.testing.assert_array_equal(baseline.speed_factors, other.speed_factors)
 
 
 class TestMakeExperimentStrategy:

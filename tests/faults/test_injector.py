@@ -36,6 +36,17 @@ class TestCorruptDelta:
         assert np.isfinite(out).all()
         assert np.linalg.norm(out) > 100 * np.linalg.norm(np.ones(50))
 
+    def test_nan_stealth_single_entry_keeps_norm(self, rng):
+        delta = np.ones(200)
+        out = corrupt_delta(delta, "nan-stealth", rng)
+        assert np.isnan(out).sum() == 1
+        assert out.shape == delta.shape
+        # The rest of the payload is untouched: with the NaN masked out, the
+        # norm is indistinguishable from honest — this mode exists to slip
+        # past norm-based quarantines.
+        finite = out[np.isfinite(out)]
+        assert np.linalg.norm(finite) == pytest.approx(np.sqrt(199))
+
     def test_unknown_mode_raises(self, rng):
         with pytest.raises(ValueError):
             corrupt_delta(np.ones(5), "bogus", rng)

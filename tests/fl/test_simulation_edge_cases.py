@@ -65,6 +65,41 @@ class TestDivergenceHandling:
         result = sim.run(3)
         assert result.output_accuracy == 0.0
 
+    def test_diverged_final_params_reported_faithfully(self, setup):
+        # The poisoned parameters are returned as-is — no silent repair on
+        # the legacy (guard-off) path.
+        bundle, clients = setup
+        model = bundle.spec.make_model(rng=np.random.default_rng(0))
+        strategy = DivergingStrategy(local_lr=0.05, local_steps=2)
+        sim = FederatedSimulation(model, clients, strategy, bundle.test, seed=0)
+        result = sim.run(3)
+        assert not np.isfinite(result.final_params).all()
+        np.testing.assert_array_equal(result.final_params, model.parameters_vector())
+
+    def test_diverged_final_accuracy_is_stale_history(self, setup):
+        # A diverged run skips the final re-evaluation: final_accuracy is
+        # whatever the last (poisoned) history record measured, and the two
+        # views must agree.
+        bundle, clients = setup
+        model = bundle.spec.make_model(rng=np.random.default_rng(0))
+        strategy = DivergingStrategy(local_lr=0.05, local_steps=2)
+        sim = FederatedSimulation(
+            model, clients, strategy, bundle.test, seed=0, eval_every=2
+        )
+        result = sim.run(5)
+        assert result.diverged
+        assert result.final_accuracy == result.history.final_accuracy
+        assert result.final_accuracy == result.history.records[-1].test_accuracy
+
+    def test_diverging_round_record_kept_in_history(self, setup):
+        bundle, clients = setup
+        model = bundle.spec.make_model(rng=np.random.default_rng(0))
+        strategy = DivergingStrategy(local_lr=0.05, local_steps=2)
+        sim = FederatedSimulation(model, clients, strategy, bundle.test, seed=0)
+        result = sim.run(3)
+        assert len(result.history) == 1  # the fatal round is audited, not dropped
+        assert not np.isfinite(result.history.records[-1].test_loss)
+
 
 class TestExpulsionFlow:
     def test_expelled_client_leaves_participation(self, setup):

@@ -1,0 +1,205 @@
+"""Unit tests for the health monitor and guard policy validation."""
+
+import numpy as np
+import pytest
+
+from repro.fl.history import RoundRecord
+from repro.fl.state import ClientUpdate, ServerState
+from repro.guard import (
+    LOSS_SPIKE,
+    NON_FINITE_DELTA,
+    NON_FINITE_LOSS,
+    NON_FINITE_PARAMS,
+    NON_FINITE_UPDATE,
+    NORM_BLOWUP,
+    PLATEAU,
+    GuardPolicy,
+    HealthMonitor,
+    locate_slice,
+    parameter_layout,
+)
+from repro.nn.models import MLP
+
+
+def make_record(round_index, loss=0.5, accuracy=0.8, skipped=False):
+    return RoundRecord(
+        round=round_index,
+        test_accuracy=accuracy,
+        test_loss=loss,
+        round_sim_time=1.0,
+        cumulative_sim_time=float(round_index + 1),
+        round_wall_time=0.01,
+        skipped=skipped,
+    )
+
+
+def make_state(dim=6, delta_norm=None, params=None):
+    state = ServerState(global_params=params if params is not None else np.zeros(dim))
+    if delta_norm is not None:
+        delta = np.zeros(dim)
+        delta[0] = delta_norm
+        state.global_delta = delta
+    return state
+
+
+def healthy_monitor(policy=None, rounds=6, loss=0.5, accuracy=0.8, delta_norm=1.0):
+    """A monitor with `rounds` healthy rounds already committed."""
+    monitor = HealthMonitor(policy or GuardPolicy())
+    for i in range(rounds):
+        monitor.commit(make_record(i, loss=loss, accuracy=accuracy), make_state(delta_norm=delta_norm))
+    return monitor
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rollback_window": 0},
+            {"max_rollbacks": -1},
+            {"lr_backoff": 0.0},
+            {"lr_backoff": 1.5},
+            {"spike_window": 1},
+            {"spike_min_history": 1},
+            {"spike_threshold": 0.0},
+            {"norm_blowup_factor": 1.0},
+            {"plateau_window": -1},
+            {"plateau_tolerance": -0.1},
+            {"tighten_after": 0},
+            {"quarantine_tighten": 0.0},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GuardPolicy(**kwargs)
+
+    def test_defaults_valid(self):
+        GuardPolicy()  # must not raise
+
+
+class TestLayout:
+    def test_layout_covers_flat_vector(self, rng):
+        model = MLP(4, 3, hidden=(5,), rng=rng)
+        layout = parameter_layout(model)
+        assert layout[0][1] == 0
+        assert layout[-1][2] == model.parameters_vector().size
+        for (_, _, stop), (_, start, _) in zip(layout, layout[1:]):
+            assert stop == start  # contiguous, in order
+
+    def test_locate_slice_names_the_owning_parameter(self, rng):
+        model = MLP(4, 3, hidden=(5,), rng=rng)
+        layout = parameter_layout(model)
+        name, start, stop = layout[1]
+        assert locate_slice(layout, start) == name
+        assert locate_slice(layout, stop - 1) == name
+        assert locate_slice(layout, layout[-1][2]) is None  # out of range
+
+
+class TestNonFiniteChecks:
+    def test_nan_params_flagged_with_layer_blame(self, rng):
+        model = MLP(4, 3, hidden=(5,), rng=rng)
+        layout = parameter_layout(model)
+        monitor = HealthMonitor(GuardPolicy(), layout)
+        params = model.parameters_vector()
+        bad_index = layout[1][1]  # first entry of the second parameter
+        params[bad_index] = np.nan
+        anomalies = monitor.check_round(make_record(0), make_state(params=params))
+        kinds = [a.kind for a in anomalies]
+        assert NON_FINITE_PARAMS in kinds
+        blame = anomalies[kinds.index(NON_FINITE_PARAMS)].blame
+        assert blame.layer == layout[1][0]
+        assert blame.index == bad_index
+
+    def test_nan_delta_and_loss_flagged(self):
+        monitor = HealthMonitor(GuardPolicy())
+        state = make_state()
+        state.global_delta = np.array([1.0, np.inf, 0.0])
+        anomalies = monitor.check_round(make_record(0, loss=float("nan")), state)
+        kinds = {a.kind for a in anomalies}
+        assert kinds == {NON_FINITE_DELTA, NON_FINITE_LOSS}
+        assert all(a.critical for a in anomalies)
+
+    def test_finite_round_produces_no_anomalies(self):
+        monitor = HealthMonitor(GuardPolicy())
+        assert monitor.check_round(make_record(0), make_state(delta_norm=1.0)) == []
+
+    def test_non_finite_update_blames_client(self):
+        monitor = HealthMonitor(GuardPolicy())
+        good = ClientUpdate(client_id=1, delta=np.ones(4), num_samples=8, num_steps=2, sim_time=1.0)
+        bad = ClientUpdate(client_id=3, delta=np.array([1.0, np.nan, 0.0, 0.0]),
+                           num_samples=8, num_steps=2, sim_time=1.0)
+        anomalies = monitor.check_updates(0, [good, bad])
+        assert len(anomalies) == 1
+        assert anomalies[0].kind == NON_FINITE_UPDATE
+        assert anomalies[0].blame.clients == [3]
+        assert not anomalies[0].critical  # warn: the quarantine's job to drop it
+
+
+class TestStatisticalChecks:
+    def test_loss_spike_detected_after_history(self):
+        monitor = healthy_monitor(loss=0.5)
+        anomalies = monitor.check_round(make_record(6, loss=50.0), make_state(delta_norm=1.0))
+        assert [a.kind for a in anomalies] == [LOSS_SPIKE]
+
+    def test_loss_spike_silent_without_history(self):
+        monitor = HealthMonitor(GuardPolicy())
+        monitor.commit(make_record(0, loss=0.5), make_state(delta_norm=1.0))
+        assert monitor.check_round(make_record(1, loss=50.0), make_state(delta_norm=1.0)) == []
+
+    def test_mad_floor_prevents_noise_spikes(self):
+        # A perfectly flat loss window has MAD = 0; the floor keeps tiny
+        # fluctuations from being reported as spikes.
+        monitor = healthy_monitor(loss=0.5)
+        assert monitor.check_round(make_record(6, loss=0.505), make_state(delta_norm=1.0)) == []
+
+    def test_norm_blowup_detected(self):
+        monitor = healthy_monitor(delta_norm=1.0)
+        anomalies = monitor.check_round(make_record(6), make_state(delta_norm=500.0))
+        assert [a.kind for a in anomalies] == [NORM_BLOWUP]
+
+    def test_skipped_round_exempt_from_blowup(self):
+        monitor = healthy_monitor(delta_norm=1.0)
+        record = make_record(6, skipped=True)
+        assert monitor.check_round(record, make_state(delta_norm=500.0)) == []
+
+    def test_statistical_checks_suppressed_by_non_finite(self):
+        # A NaN loss must not additionally count as a spike/blowup.
+        monitor = healthy_monitor()
+        state = make_state(delta_norm=500.0)
+        anomalies = monitor.check_round(make_record(6, loss=float("nan")), state)
+        assert [a.kind for a in anomalies] == [NON_FINITE_LOSS]
+
+    def test_plateau_reported_once_per_window(self):
+        policy = GuardPolicy(plateau_window=3, plateau_tolerance=1e-3)
+        monitor = HealthMonitor(policy)
+        anomalies = []
+        for i in range(8):
+            record = make_record(i, accuracy=0.8)
+            anomalies.extend(monitor.check_round(record, make_state(delta_norm=1.0)))
+            monitor.commit(record, make_state(delta_norm=1.0))
+        kinds = [a.kind for a in anomalies]
+        assert kinds.count(PLATEAU) == 2  # rounds ~3 and ~6, rate-limited
+        assert all(not a.critical for a in anomalies)
+
+    def test_plateau_disabled_by_default(self):
+        monitor = healthy_monitor(rounds=10)
+        assert monitor.check_round(make_record(10), make_state(delta_norm=1.0)) == []
+
+
+class TestMonitorState:
+    def test_state_dict_round_trip(self):
+        monitor = healthy_monitor(rounds=5)
+        clone = HealthMonitor(GuardPolicy())
+        clone.load_state_dict(monitor.state_dict())
+        record = make_record(6, loss=50.0)
+        assert [a.kind for a in clone.check_round(record, make_state(delta_norm=1.0))] == [
+            a.kind for a in monitor.check_round(record, make_state(delta_norm=1.0))
+        ]
+
+    def test_windows_are_trimmed(self):
+        policy = GuardPolicy(spike_window=4)
+        monitor = HealthMonitor(policy)
+        for i in range(20):
+            monitor.commit(make_record(i), make_state(delta_norm=1.0))
+        state = monitor.state_dict()
+        assert len(state["losses"]) == 4
+        assert len(state["delta_norms"]) == 4

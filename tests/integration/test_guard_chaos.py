@@ -1,0 +1,136 @@
+"""Chaos test: the guard must turn a fatal scenario into a finished run.
+
+The scenario combines the two failure classes ISSUE 3 names: stealth-NaN
+uploads slipping past a misconfigured (norm-only) quarantine, and an
+intentionally divergent server learning rate.  With the guard off the run
+dies; with the guard on the escalation ladder (rollback + lr backoff +
+quarantine tightening) must recover to within tolerance of the clean run —
+and a checkpoint saved mid-recovery must resume bit-exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_strategy
+from repro.data import IIDPartitioner, load_dataset
+from repro.faults import FaultPlan
+from repro.fl import Client, FederatedSimulation
+from repro.fl.checkpoint import save_simulation
+from repro.fl.degradation import DegradationPolicy
+from repro.guard import GuardPolicy
+
+ROUNDS = 8
+#: 8x the sane eta_g = K * eta_l.
+CHAOS_GLOBAL_LR = 8 * (5 * 0.05)
+CHAOS_PLAN = FaultPlan(seed=11, corrupt_rate=0.3, corruption_modes=("nan-stealth",))
+#: The operator misconfiguration the guard must survive.
+WEAK_DEGRADATION = DegradationPolicy(quarantine_nonfinite=False)
+ACCURACY_TOLERANCE = 0.15
+
+
+def make_sim(guard=None, chaos=True, seed=3):
+    bundle = load_dataset("adult", 200, 100, seed=0)
+    parts = IIDPartitioner().partition(bundle.train.labels, 8, np.random.default_rng(5))
+    clients = [
+        Client(i, bundle.train.subset(p), 16, np.random.default_rng(100 + i))
+        for i, p in enumerate(parts)
+    ]
+    model = bundle.spec.make_model(rng=np.random.default_rng(seed))
+    strategy = make_strategy("fedavg", local_lr=0.05, local_steps=5)
+    return FederatedSimulation(
+        model,
+        clients,
+        strategy,
+        bundle.test,
+        global_lr=CHAOS_GLOBAL_LR if chaos else None,
+        seed=seed,
+        fault_plan=CHAOS_PLAN if chaos else None,
+        degradation=WEAK_DEGRADATION if chaos else None,
+        guard=guard,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return make_sim(chaos=False).run(ROUNDS)
+
+
+@pytest.fixture(scope="module")
+def guarded():
+    sim = make_sim(guard=GuardPolicy(lr_backoff=0.25))
+    result = sim.run(ROUNDS)
+    return sim, result
+
+
+class TestChaosScenario:
+    def test_unguarded_run_dies(self):
+        result = make_sim(guard=None).run(ROUNDS)
+        assert result.diverged
+        assert len(result.history) < ROUNDS
+
+    def test_guarded_run_completes_and_recovers(self, clean_result, guarded):
+        sim, result = guarded
+        assert not result.diverged
+        assert len(result.history) == ROUNDS
+        assert np.isfinite(result.final_params).all()
+        assert abs(result.final_accuracy - clean_result.final_accuracy) <= ACCURACY_TOLERANCE
+
+    def test_recovery_was_exercised_and_logged(self, guarded):
+        sim, result = guarded
+        assert result.history.total_rollbacks >= 1
+        assert result.history.recoveries  # audit trail present
+        assert sim.recovery.lr_scale < 1.0  # backoff actually applied
+        # The ladder hardened the misconfigured quarantine.
+        assert sim.degradation.quarantine_nonfinite
+        # Blame names at least one of the corrupt uploaders.
+        blamed = {c for e in result.history.recoveries for c in e.blamed_clients}
+        assert blamed
+        counts = result.history.anomaly_counts()
+        assert counts.get("non-finite-update", 0) >= 1
+
+    def test_healthy_guarded_run_is_bit_identical_to_unguarded(self):
+        off = make_sim(chaos=False).run(4)
+        on = make_sim(chaos=False, guard=GuardPolicy()).run(4)
+        np.testing.assert_array_equal(off.final_params, on.final_params)
+        np.testing.assert_array_equal(
+            [r.test_loss for r in off.history.records],
+            [r.test_loss for r in on.history.records],
+        )
+
+
+class TestMidRecoveryResume:
+    def test_checkpointed_chaos_run_resumes_bit_exact(self, tmp_path):
+        guard = GuardPolicy(lr_backoff=0.25)
+        full = make_sim(guard=guard).run(ROUNDS)
+
+        # checkpoint_every=3 also fires during recovery: a rollback rewinds
+        # state.round to the snapshot round, which re-triggers the cadence,
+        # so at least one checkpoint is written mid-ladder.
+        interrupted = make_sim(guard=guard)
+        r1 = interrupted.run(ROUNDS, checkpoint_every=3, checkpoint_dir=tmp_path)
+        np.testing.assert_array_equal(full.final_params, r1.final_params)
+
+        resumed = make_sim(guard=guard)
+        r2 = resumed.run(ROUNDS, resume_from=tmp_path)
+        np.testing.assert_array_equal(full.final_params, r2.final_params)
+        assert [r.test_loss for r in r2.history.records] == [
+            r.test_loss for r in full.history.records
+        ]
+        assert len(r2.history.recoveries) == len(full.history.recoveries)
+
+    def test_explicit_mid_ladder_checkpoint_round_trips(self, tmp_path):
+        guard = GuardPolicy(lr_backoff=0.25)
+        sim = make_sim(guard=guard)
+        uninterrupted = make_sim(guard=guard)
+        full = uninterrupted.run(ROUNDS)
+
+        partial = sim.run(3)  # recovery (rollbacks, backoff) happens by here
+        assert sim.recovery.lr_scale < 1.0  # the ladder is mid-flight
+        save_simulation(sim, tmp_path / "mid")
+
+        clone = make_sim(guard=guard)
+        result = clone.run(ROUNDS, resume_from=tmp_path / "mid")
+        np.testing.assert_array_equal(full.final_params, result.final_params)
+        assert clone.recovery.lr_scale == uninterrupted.recovery.lr_scale
+        assert clone.recovery.rollbacks_used == uninterrupted.recovery.rollbacks_used
+        assert clone.degradation == uninterrupted.degradation

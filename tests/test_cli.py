@@ -31,6 +31,49 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    @pytest.mark.parametrize(
+        "flag", ["--drop-rate", "--corrupt-rate", "--straggler-rate",
+                 "--transient-rate", "--over-selection"]
+    )
+    @pytest.mark.parametrize("value", ["-0.1", "1.5", "nan", "two"])
+    def test_rates_must_be_probabilities(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", flag, value])
+        err = capsys.readouterr().err
+        assert "rate must be in [0, 1]" in err or "expected a number" in err
+
+    def test_rate_boundaries_accepted(self):
+        args = build_parser().parse_args(["run", "--drop-rate", "0", "--corrupt-rate", "1"])
+        assert args.drop_rate == 0.0
+        assert args.corrupt_rate == 1.0
+
+    def test_guard_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "--guard", "--rollback-window", "5",
+             "--max-rollbacks", "2", "--lr-backoff", "0.25"]
+        )
+        assert args.guard
+        assert args.rollback_window == 5
+        assert args.max_rollbacks == 2
+        assert args.lr_backoff == 0.25
+
+    def test_guard_off_by_default(self):
+        assert not build_parser().parse_args(["run"]).guard
+
+    @pytest.mark.parametrize("value", ["0", "1.5", "-0.5"])
+    def test_lr_backoff_range_enforced(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--lr-backoff", value])
+        assert "backoff must be in (0, 1]" in capsys.readouterr().err
+
+    def test_no_quarantine_flag(self):
+        args = build_parser().parse_args(["run", "--no-quarantine"])
+        assert args.no_quarantine
+
+    def test_nan_stealth_corrupt_mode_accepted(self):
+        args = build_parser().parse_args(["run", "--corrupt-mode", "nan-stealth"])
+        assert args.corrupt_mode == ["nan-stealth"]
+
 
 class TestCommands:
     COMMON = [
@@ -70,6 +113,27 @@ class TestCommands:
 
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "table99"]) == 2
+
+    def test_guarded_chaos_run_recovers(self, capsys):
+        # End-to-end through the CLI: stealth-NaN uploads + disabled
+        # quarantine + hot server lr must be survived when --guard is on.
+        assert main([
+            "run", "--algorithm", "fedavg", "--json", *self.COMMON,
+            "--seed", "3", "--global-lr", "2.0",
+            "--corrupt-rate", "0.5", "--corrupt-mode", "nan-stealth",
+            "--no-quarantine", "--guard", "--lr-backoff", "0.25",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diverged"] is False
+        assert payload["guard"]["rollbacks"] >= 1
+        assert payload["guard"]["lr_scale"] < 1.0
+
+    def test_json_guard_summary_present_when_clean(self, capsys):
+        assert main(["run", "--algorithm", "fedavg", "--json", *self.COMMON, "--guard"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["guard"]["rollbacks"] == 0
+        assert payload["guard"]["skips"] == 0
+        assert payload["guard"]["aborted"] is False
 
     def test_seed_flag_changes_run(self, capsys):
         main(["run", "--algorithm", "fedavg", "--json", *self.COMMON, "--seed", "1"])
