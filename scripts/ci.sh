@@ -81,4 +81,29 @@ print("unguarded control ok: diverged as expected")
 echo "==> fault-tolerance experiment smoke"
 python -m pytest -q benchmarks/test_fault_tolerance.py --benchmark-disable
 
+echo "==> kernel perf smoke (floors: cnn_round >= 2x, max_pool2d >= 5x)"
+python scripts/bench_kernels.py --smoke
+
+echo "==> float64 bit-identity: 2-round fedavg, arena on vs off"
+python - <<'PY'
+from repro.experiments import ExperimentConfig, run_algorithm
+from repro.experiments.runner import _RESULT_CACHE
+from repro.nn import set_arena_enabled
+
+config = ExperimentConfig(
+    dataset="adult", num_clients=4, rounds=2, local_steps=2,
+    train_size=200, test_size=80, seed=0, width_multiplier=0.3,
+)
+set_arena_enabled(True)
+with_arena = run_algorithm(config, "fedavg")
+_RESULT_CACHE.clear()
+set_arena_enabled(False)
+without_arena = run_algorithm(config, "fedavg")
+set_arena_enabled(True)
+assert (
+    with_arena.final_params.tobytes() == without_arena.final_params.tobytes()
+), "arena on/off parameter vectors differ"
+print("bit-identity ok: final params byte-equal with arena on and off")
+PY
+
 echo "CI green."

@@ -6,7 +6,9 @@ Public surface:
 - :func:`tensor`, :func:`zeros`, :func:`ones` — constructors.
 - :func:`no_grad`, :func:`is_grad_enabled` — graph-recording control.
 - :func:`concatenate`, :func:`stack`, :func:`where` — multi-input ops.
-- :mod:`repro.autograd.ops` — fused conv/pool/softmax primitives.
+- :func:`set_default_dtype` / :func:`default_dtype` — float32/float64 compute
+  mode (float64 is the bit-exact default).
+- :mod:`repro.autograd.ops` — fused conv/pool/LSTM/softmax primitives.
 - :func:`check_gradients` — finite-difference validation.
 """
 
@@ -16,16 +18,21 @@ from .ops import (
     conv2d,
     cross_entropy,
     log_softmax,
+    lstm_step,
     max_pool2d,
+    narrow,
     nll_loss,
     softmax,
 )
 from .tensor import (
     Tensor,
     concatenate,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     no_grad,
     ones,
+    set_default_dtype,
     stack,
     tensor,
     where,
@@ -39,12 +46,17 @@ __all__ = [
     "ones",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "concatenate",
     "stack",
     "where",
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "lstm_step",
+    "narrow",
     "log_softmax",
     "softmax",
     "cross_entropy",

@@ -3,8 +3,15 @@
 These operations are implemented as fused primitives (a single forward numpy
 computation plus a hand-written backward) rather than compositions of
 :class:`~repro.autograd.tensor.Tensor` ops, because they dominate the runtime
-of the CNN / ResNet models: convolution via im2col, max pooling, and the
-numerically stabilised log-softmax used by the cross-entropy loss.
+of the CNN / ResNet / LSTM models: convolution via im2col, the pooling
+kernels, a fused LSTM step, and the numerically stabilised log-softmax used
+by the cross-entropy loss.
+
+Index arithmetic that depends only on shapes — im2col gather/scatter
+indices, pooling scatter offsets — is memoised with ``lru_cache`` so steady
+-state training recomputes none of it (see docs/PERFORMANCE.md for the
+hot-path map and tests/reference_kernels.py for the naive oracles these
+kernels are verified against).
 """
 
 from __future__ import annotations
@@ -16,19 +23,22 @@ import numpy as np
 
 from .tensor import Tensor, is_grad_enabled
 
+_sliding_window_view = np.lib.stride_tricks.sliding_window_view
+
 
 @lru_cache(maxsize=128)
 def _im2col_indices(
-    x_shape: Tuple[int, int, int, int], kernel: int, stride: int
+    channels: int, height: int, width: int, kernel: int, stride: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Gather indices for im2col, plus flat scatter indices for the backward.
 
+    Keyed on the per-sample geometry only (no batch dimension), so a final
+    partial mini-batch reuses the same cache entry as the full-size batches.
     Returns ``(k, i, j, flat)`` where ``flat`` maps each im2col cell to its
     linear offset within one sample's ``(C, H, W)`` volume — used by the
     backward pass to scatter gradients with ``np.bincount`` (much faster
     than ``np.add.at`` on this single-core target).
     """
-    _, channels, height, width = x_shape
     out_h = (height - kernel) // stride + 1
     out_w = (width - kernel) // stride + 1
 
@@ -42,6 +52,36 @@ def _im2col_indices(
     k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
     flat = (k * height + i) * width + j
     return k, i, j, flat
+
+
+@lru_cache(maxsize=256)
+def _pool_window_offsets(
+    batch: int, channels: int, height: int, width: int,
+    out_h: int, out_w: int, stride: int,
+) -> np.ndarray:
+    """Flat index of each pooling window's top-left cell, shape (B, C, oH, oW).
+
+    The max-pool backward adds the in-window argmax offset to this base and
+    scatters with ``np.bincount``; caching it removes the per-call
+    ``np.indices`` allocation the naive backward needs.
+    """
+    b = np.arange(batch).reshape(-1, 1, 1, 1)
+    c = np.arange(channels).reshape(1, -1, 1, 1)
+    h = (stride * np.arange(out_h)).reshape(1, 1, -1, 1)
+    w = (stride * np.arange(out_w)).reshape(1, 1, 1, -1)
+    return ((b * channels + c) * height + h) * width + w
+
+
+@lru_cache(maxsize=128)
+def _avg_pool_scatter_indices(
+    height: int, width: int, out_h: int, out_w: int, kernel: int, stride: int
+) -> np.ndarray:
+    """Per-sample flat indices of every cell of every window, (oH*oW*k*k,)."""
+    h = (stride * np.arange(out_h)).reshape(-1, 1, 1, 1)
+    w = (stride * np.arange(out_w)).reshape(1, -1, 1, 1)
+    kh = np.arange(kernel).reshape(1, 1, -1, 1)
+    kw = np.arange(kernel).reshape(1, 1, 1, -1)
+    return ((h + kh) * width + (w + kw)).ravel()
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:
@@ -67,31 +107,41 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     out_h = (height - kernel) // stride + 1
     out_w = (width - kernel) // stride + 1
 
-    k, i, j, flat = _im2col_indices(x.shape, kernel, stride)
+    k, i, j, flat = _im2col_indices(in_c, height, width, kernel, stride)
     cols = x.data[:, k, i, j]  # (batch, C*k*k, out_h*out_w)
     w_flat = weight.data.reshape(out_c, -1)
-    out = np.matmul(w_flat, cols)  # (batch, out_c, P) by broadcasting
+    # tensordot collapses the batched product into ONE dgemm; the broadcast
+    # np.matmul form runs batch separate small GEMMs and is ~2x slower here.
+    # BLAS may pick a different kernel for the collapsed shape, so values can
+    # differ from the per-batch form by a couple of ULP (deterministic within
+    # a run — all round-trip/equivalence guarantees are unaffected).
+    out = np.tensordot(w_flat, cols, axes=([1], [1]))  # (out_c, batch, P)
     if bias is not None:
-        out = out + bias.data.reshape(1, out_c, 1)
-    out = out.reshape(batch, out_c, out_h, out_w)
+        out = out + bias.data.reshape(out_c, 1, 1)
+    out = np.ascontiguousarray(out.transpose(1, 0, 2)).reshape(
+        batch, out_c, out_h, out_w
+    )
 
     x_shape = x.shape
-    sample_size = in_c * height * width
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g: np.ndarray):
         g_flat = g.reshape(batch, out_c, -1)  # (batch, out_c, P)
         grad_w = np.einsum("bop,bcp->oc", g_flat, cols, optimize=True).reshape(weight.shape)
         grad_cols = np.matmul(w_flat.T, g_flat)  # (batch, C*k*k, P)
-        # Scatter-add via bincount on per-sample flat indices: much faster
-        # than np.add.at on single-core numpy.
-        idx = np.broadcast_to(flat.ravel(), (batch, flat.size))
-        offsets = (np.arange(batch) * sample_size)[:, None]
-        grad_x = np.bincount(
-            (idx + offsets).ravel(),
-            weights=grad_cols.reshape(batch, -1).ravel(),
-            minlength=batch * sample_size,
-        ).reshape(x_shape).astype(g.dtype, copy=False)
+        # col2im as k*k vectorized strided adds — each in-window offset maps
+        # its whole (batch, C, oH, oW) gradient block onto a strided slice of
+        # the input in one shot.  Per input cell the addends arrive in the
+        # same (kh, kw)-ascending order a per-element np.add.at would use, so
+        # the sums match an element-wise scatter of the same grad_cols
+        # bit-for-bit while running ~2x faster.
+        windowed = grad_cols.reshape(batch, in_c, kernel * kernel, out_h, out_w)
+        grad_x = np.zeros(x_shape, dtype=g.dtype)
+        for offset in range(kernel * kernel):
+            kh, kw = divmod(offset, kernel)
+            grad_x[
+                :, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride
+            ] += windowed[:, :, offset]
         if bias is None:
             return (grad_x, grad_w)
         grad_b = g_flat.sum(axis=(0, 2))
@@ -105,43 +155,80 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
-    """Max pooling over non-overlapping (or strided) square windows."""
+    """Max pooling over square windows (any kernel/stride combination).
+
+    The reduction runs over the ``kernel**2`` in-window offsets rather than
+    the ``out_h * out_w`` output pixels: each offset selects a zero-copy
+    strided view of the whole input, so the forward is ``k*k - 1`` vectorized
+    ``maximum``/compare passes with no window gather or per-pixel ``argmax``
+    calls.  Updating only on strictly-greater keeps numpy's first-occurrence
+    (row-major) tie-breaking, so values *and* gradient routing are
+    bit-identical to the naive per-window formulation.  The backward routes
+    one gradient per window to its argmax cell: non-overlapping windows are
+    collision-free, so each offset's strided view is written in one masked
+    ``multiply`` pass (no index math, no scatter); overlapping windows fall
+    back to cached flat offsets + ``np.bincount``.
+    """
     stride = stride or kernel
     batch, channels, height, width = x.shape
+    if height < kernel or width < kernel:
+        raise ValueError(f"kernel {kernel} larger than spatial dims {(height, width)}")
     out_h = (height - kernel) // stride + 1
     out_w = (width - kernel) // stride + 1
 
-    if stride == kernel and height % kernel == 0 and width % kernel == 0:
-        reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
-        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(
-            batch, channels, out_h, out_w, kernel * kernel
-        )
-    else:
-        windows = np.empty((batch, channels, out_h, out_w, kernel * kernel), dtype=x.dtype)
-        for idx_h in range(out_h):
-            for idx_w in range(out_w):
-                patch = x.data[
-                    :,
-                    :,
-                    idx_h * stride : idx_h * stride + kernel,
-                    idx_w * stride : idx_w * stride + kernel,
-                ]
-                windows[:, :, idx_h, idx_w, :] = patch.reshape(batch, channels, -1)
-
-    argmax = windows.argmax(axis=-1)
-    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+    data = x.data
+    out = data[:, :, : stride * out_h : stride, : stride * out_w : stride].copy()
+    # uint8 argmax keeps the branch-free update cheap (masked writes on int64
+    # are ~5x slower); kernels with >255 cells don't occur in practice but
+    # fall back to int64 for safety.
+    idx_dtype = np.uint8 if kernel * kernel <= 255 else np.int64
+    argmax = np.zeros((batch, channels, out_h, out_w), dtype=idx_dtype)
+    better = np.empty(argmax.shape, dtype=bool)
+    for offset in range(1, kernel * kernel):
+        kh, kw = divmod(offset, kernel)
+        candidate = data[
+            :, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride
+        ]
+        np.greater(candidate, out, out=better)
+        np.maximum(out, candidate, out=out)
+        # argmax = better ? offset : argmax, branch-free.
+        argmax *= ~better
+        argmax += better * argmax.dtype.type(offset)
     x_shape = x.shape
 
-    def backward(g: np.ndarray):
-        rows_in_window, cols_in_window = np.divmod(argmax, kernel)
-        b_idx, c_idx, h_idx, w_idx = np.indices(argmax.shape)
-        src_h = h_idx * stride + rows_in_window
-        src_w = w_idx * stride + cols_in_window
-        flat_idx = ((b_idx * channels + c_idx) * height + src_h) * width + src_w
-        grad_x = np.bincount(
-            flat_idx.ravel(), weights=g.ravel(), minlength=batch * channels * height * width
-        ).reshape(x_shape).astype(g.dtype, copy=False)
-        return (grad_x,)
+    if stride >= kernel:
+        # Non-overlapping windows: every input cell belongs to at most one
+        # window, so each offset's strided view can be written wholesale with
+        # ``g * (argmax == offset)`` — no int64 index temporaries, no
+        # bincount.  With exact tiling every cell is covered and the buffer
+        # needn't be zeroed first.  The final ``+= 0.0`` normalises signed
+        # zeros exactly as the naive ``0.0 + g`` scatter does.
+        exact_tiling = stride == kernel and height == kernel * out_h and width == kernel * out_w
+
+        def backward(g: np.ndarray):
+            alloc = np.empty if exact_tiling else np.zeros
+            grad_x = alloc(x_shape, dtype=g.dtype)
+            mask = np.empty(argmax.shape, dtype=bool)
+            for offset in range(kernel * kernel):
+                kh, kw = divmod(offset, kernel)
+                view = grad_x[
+                    :, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride
+                ]
+                np.equal(argmax, argmax.dtype.type(offset), out=mask)
+                np.multiply(g, mask, out=view)
+            grad_x += 0.0
+            return (grad_x,)
+
+    else:
+
+        def backward(g: np.ndarray):
+            rows_in_window, cols_in_window = np.divmod(argmax.astype(np.int64), kernel)
+            base = _pool_window_offsets(batch, channels, height, width, out_h, out_w, stride)
+            flat_idx = base + (rows_in_window * width + cols_in_window)
+            grad_x = np.bincount(
+                flat_idx.ravel(), weights=g.ravel(), minlength=batch * channels * height * width
+            ).reshape(x_shape).astype(g.dtype, copy=False)
+            return (grad_x,)
 
     requires = is_grad_enabled() and x.requires_grad
     result = Tensor(out, requires_grad=requires, _parents=(x,) if requires else ())
@@ -151,23 +238,125 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
-    """Average pooling over square windows (non-overlapping fast path)."""
+    """Average pooling over square windows (any kernel/stride combination).
+
+    The non-overlapping tiling case keeps the reshape/`mean` fast path with
+    its ``np.repeat`` backward; strided/overlapping windows go through a
+    strided view forward and a cached-index ``np.bincount`` scatter backward.
+    """
     stride = stride or kernel
     batch, channels, height, width = x.shape
-    if stride != kernel or height % kernel or width % kernel:
-        raise ValueError("avg_pool2d supports non-overlapping windows that tile the input")
-    out_h, out_w = height // kernel, width // kernel
-    reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
-    out = reshaped.mean(axis=(3, 5))
+    if height < kernel or width < kernel:
+        raise ValueError(f"kernel {kernel} larger than spatial dims {(height, width)}")
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
     scale = 1.0 / (kernel * kernel)
     x_shape = x.shape
 
-    def backward(g: np.ndarray):
-        expanded = np.repeat(np.repeat(g, kernel, axis=2), kernel, axis=3)
-        return (expanded.reshape(x_shape) * scale,)
+    if stride == kernel and height % kernel == 0 and width % kernel == 0:
+        reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
+        out = reshaped.mean(axis=(3, 5))
+
+        def backward(g: np.ndarray):
+            expanded = np.repeat(np.repeat(g, kernel, axis=2), kernel, axis=3)
+            return (expanded.reshape(x_shape) * scale,)
+
+    else:
+        view = _sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
+        out = view[:, :, ::stride, ::stride].mean(axis=(4, 5))
+        spatial = _avg_pool_scatter_indices(height, width, out_h, out_w, kernel, stride)
+
+        def backward(g: np.ndarray):
+            # Every cell of window (oh, ow) receives g[b, c, oh, ow] * scale;
+            # overlapping windows accumulate through the bincount scatter.
+            weights = np.broadcast_to(
+                (g * scale)[..., None], g.shape + (kernel * kernel,)
+            ).reshape(batch * channels, -1)
+            offsets = (np.arange(batch * channels) * (height * width)).reshape(-1, 1)
+            flat_idx = spatial.reshape(1, -1) + offsets
+            grad_x = np.bincount(
+                flat_idx.ravel(),
+                weights=weights.ravel(),
+                minlength=batch * channels * height * width,
+            ).reshape(x_shape).astype(g.dtype, copy=False)
+            return (grad_x,)
 
     requires = is_grad_enabled() and x.requires_grad
     result = Tensor(out, requires_grad=requires, _parents=(x,) if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def narrow(x: Tensor, start: int, stop: int) -> Tensor:
+    """Column slice ``x[:, start:stop]`` with an assignment-based backward.
+
+    Unlike generic ``__getitem__`` (whose backward scatters with
+    ``np.add.at``), the backward here is a plain slice assignment into a
+    zero buffer — the fast path for splitting fused-op outputs.
+    """
+    data = x.data[:, start:stop]
+    in_shape = x.shape
+
+    def backward(g: np.ndarray):
+        grad = np.zeros(in_shape, dtype=g.dtype)
+        grad[:, start:stop] = g
+        return (grad,)
+
+    requires = is_grad_enabled() and x.requires_grad
+    result = Tensor(data, requires_grad=requires, _parents=(x,) if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def lstm_step(
+    x: Tensor, h: Tensor, c: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor
+) -> Tensor:
+    """One fused LSTM cell step; returns ``[h', c']`` stacked as (batch, 2H).
+
+    All four gates are sliced from a single ``(batch, 4H)`` matmul and the
+    whole step is one graph node with a closed-form backward, replacing the
+    ~17 per-step nodes (4 ``np.add.at`` slice backwards among them) the
+    unfused composition records.  Gate ordering follows the torch
+    convention: input, forget, cell, output.  Split the result with
+    :func:`narrow` (see ``LSTMCell``).
+    """
+    hidden = w_hh.shape[1]
+    gates = x.data @ w_ih.data.T + h.data @ w_hh.data.T + bias.data
+    i_gate = 1.0 / (1.0 + np.exp(-gates[:, 0 * hidden : 1 * hidden]))
+    f_gate = 1.0 / (1.0 + np.exp(-gates[:, 1 * hidden : 2 * hidden]))
+    g_gate = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+    o_gate = 1.0 / (1.0 + np.exp(-gates[:, 3 * hidden : 4 * hidden]))
+    c_next = f_gate * c.data + i_gate * g_gate
+    tanh_c = np.tanh(c_next)
+    h_next = o_gate * tanh_c
+    out = np.concatenate([h_next, c_next], axis=1)
+
+    x_data, h_data, c_data = x.data, h.data, c.data
+    w_ih_data, w_hh_data = w_ih.data, w_hh.data
+    parents = (x, h, c, w_ih, w_hh, bias)
+
+    def backward(g: np.ndarray):
+        grad_h = g[:, :hidden]
+        grad_c_ext = g[:, hidden:]
+        d_c = grad_c_ext + grad_h * o_gate * (1.0 - tanh_c**2)
+        d_gates = np.empty_like(gates)
+        d_gates[:, 0 * hidden : 1 * hidden] = d_c * g_gate * i_gate * (1.0 - i_gate)
+        d_gates[:, 1 * hidden : 2 * hidden] = d_c * c_data * f_gate * (1.0 - f_gate)
+        d_gates[:, 2 * hidden : 3 * hidden] = d_c * i_gate * (1.0 - g_gate**2)
+        d_gates[:, 3 * hidden : 4 * hidden] = grad_h * tanh_c * o_gate * (1.0 - o_gate)
+        return (
+            d_gates @ w_ih_data,       # dx
+            d_gates @ w_hh_data,       # dh
+            d_c * f_gate,              # dc
+            d_gates.T @ x_data,        # dW_ih
+            d_gates.T @ h_data,        # dW_hh
+            d_gates.sum(axis=0),       # dbias
+        )
+
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
     if requires:
         result._backward = backward
     return result

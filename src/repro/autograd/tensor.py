@@ -24,6 +24,41 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+#: Dtype every Tensor payload is converted to on construction.  float64 is
+#: the bit-exact default (checkpoints, the guard and the equivalence tests
+#: all rely on it); float32 roughly halves memory traffic on the hot path
+#: and is opt-in per run via :func:`set_default_dtype` / CLI ``--dtype``.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the compute dtype used for all new tensors (float32 or float64)."""
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {dtype!r}; choose float32 or float64"
+        )
+    _DEFAULT_DTYPE = resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (see :func:`set_default_dtype`)."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager running a block under a different compute dtype."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
 #: Profiling taps (see :mod:`repro.telemetry.profiler`).  ``None`` keeps the
 #: hot path to a single global load + branch; when installed, the creation
 #: hook tags tensors with the layer that made them and the backward hook
@@ -68,10 +103,10 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
 
 
 class Tensor:

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from .algorithms import algorithm_names
 from .analysis import render_table
+from .autograd import default_dtype
 from .data import dataset_names
 from .experiments import (
     ExperimentConfig,
@@ -75,6 +76,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--phi", type=float, default=None, help="Dirichlet concentration")
     parser.add_argument("--freeloaders", type=int, default=None, help="freeloader count")
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--dtype", default="float64", choices=["float64", "float32"],
+        help="compute dtype: float64 is the bit-exact default; float32 trades "
+        "the bit-exactness guarantees for speed and half the memory traffic",
+    )
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -444,7 +450,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    dtype = getattr(args, "dtype", "float64")
+    if dtype == "float64":
+        return args.func(args)
+    with default_dtype(dtype):
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..algorithms import make_strategy
 from ..algorithms.base import Strategy
+from ..autograd import get_default_dtype
 from ..attacks import ALIEClient, FreeloaderClient, GaussianNoiseClient, SignFlipClient
 from ..data.dataset import TensorDataset
 from ..data.registry import FederatedDataBundle, load_dataset
@@ -203,7 +204,9 @@ def run_algorithm(
         and resume_from is None
         and not overrides
     )
-    cache_key = (config, name)
+    # Keyed on the active compute dtype too: a float32 run must never be
+    # served from (or poison) the float64 cache.
+    cache_key = (config, name, get_default_dtype().name)
     if cacheable and cache_key in _RESULT_CACHE:
         return _RESULT_CACHE[cache_key]
     env = build_environment(config)

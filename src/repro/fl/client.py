@@ -98,7 +98,10 @@ class Client:
                 direction = strategy.local_direction(
                     self.client_id, step, params, grad, grad_fn, payload
                 )
-                params = params - strategy.local_lr * direction
+                # In place: no strategy retains the live `params` reference
+                # (stem snapshots via .copy()), and x -= s*d is bit-identical
+                # to x = x - s*d, so this only saves a per-step allocation.
+                params -= strategy.local_lr * direction
 
             delta = start - params  # Eq. (5)
         wall = time.perf_counter() - started

@@ -1,12 +1,13 @@
 """Neural-network substrate built on :mod:`repro.autograd`."""
 
 from .activations import Flatten, ReLU, Sigmoid, Tanh
+from .arena import FlatParameterArena
 from .conv import Conv2d
 from .dropout import Dropout
 from .embedding import Embedding
 from .linear import Linear
 from .loss import CrossEntropyLoss, L2Regularizer, MSELoss
-from .module import Module, Parameter, Sequential
+from .module import Module, Parameter, Sequential, arena_enabled, set_arena_enabled
 from .normalization import BatchNorm2d, LayerNorm
 from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from .recurrent import LSTM, LSTMCell
@@ -15,6 +16,9 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "FlatParameterArena",
+    "arena_enabled",
+    "set_arena_enabled",
     "Linear",
     "Conv2d",
     "MaxPool2d",

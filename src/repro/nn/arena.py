@@ -1,0 +1,127 @@
+"""Flat-parameter arena: one contiguous buffer backing a model's parameters.
+
+Every FL algorithm in this repo operates on flat parameter/gradient vectors
+(the ``w`` of the paper's math), so the client hot loop crosses the
+structured-parameters <-> flat-vector boundary twice per local step.  The
+naive crossing concatenates / re-allocates per parameter on every call; the
+arena instead preallocates **one** contiguous buffer per model and rebinds
+each :class:`~repro.nn.module.Parameter`'s ``data`` to a zero-copy view into
+it, so:
+
+- ``parameters_vector`` is a single ``buffer.copy()``,
+- ``load_vector`` is a single ``np.copyto`` into the buffer,
+- ``gradient_vector`` reads a parallel gradient buffer that backward passes
+  accumulate into directly (see ``Parameter._accumulate``), and
+- ``add_to_gradients`` writes through per-parameter gradient views without
+  allocating.
+
+Aliasing rules (see docs/PERFORMANCE.md): views stay valid as long as
+nothing rebinds ``param.data``.  All in-tree code mutates parameters
+in place (``param.data[...] = ...``, ``param.data -= ...``); if a parameter
+is ever rebound — or the parameter list itself changes — :meth:`owns`
+returns ``False`` and the owning module transparently rebuilds the arena,
+re-copying current values, so correctness never depends on the fast path.
+Vectors returned to callers are always independent copies; the buffers are
+never handed out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class FlatParameterArena:
+    """Contiguous parameter + gradient storage for one module tree.
+
+    Build via :meth:`build`, which returns ``None`` when the parameter set
+    cannot be arena-backed (no parameters, or mixed dtypes).
+    """
+
+    __slots__ = ("buffer", "grad_buffer", "size", "_params", "_views", "_grad_views")
+
+    def __init__(self, params: Sequence) -> None:
+        self._params = list(params)
+        total = sum(int(p.size) for p in self._params)
+        dtype = self._params[0].data.dtype
+        self.size = total
+        self.buffer = np.empty(total, dtype=dtype)
+        self.grad_buffer = np.zeros(total, dtype=dtype)
+        self._views: List[np.ndarray] = []
+        self._grad_views: List[np.ndarray] = []
+        offset = 0
+        for param in self._params:
+            span = int(param.size)
+            view = self.buffer[offset : offset + span].reshape(param.shape)
+            view[...] = param.data
+            param.data = view
+            grad_view = self.grad_buffer[offset : offset + span].reshape(param.shape)
+            if param.grad is not None:
+                grad_view[...] = param.grad
+                param.grad = grad_view
+            param._grad_view = grad_view
+            self._views.append(view)
+            self._grad_views.append(grad_view)
+            offset += span
+
+    @classmethod
+    def build(cls, params: Sequence) -> Optional["FlatParameterArena"]:
+        """Construct an arena, or ``None`` if ``params`` cannot be backed."""
+        params = list(params)
+        if not params:
+            return None
+        dtype = params[0].data.dtype
+        if any(p.data.dtype != dtype for p in params):
+            return None
+        return cls(params)
+
+    # ------------------------------------------------------------------
+    def owns(self, params: Sequence) -> bool:
+        """Whether this arena still backs exactly ``params`` (cheap check)."""
+        if len(params) != len(self._params):
+            return False
+        for param, known, view in zip(params, self._params, self._views):
+            if param is not known or param.data is not view:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Flat-vector operations (all single-buffer, no per-parameter allocation)
+    # ------------------------------------------------------------------
+    def parameters_vector(self) -> np.ndarray:
+        """Copy of the flat parameter buffer."""
+        return self.buffer.copy()
+
+    def load_vector(self, vector: np.ndarray) -> None:
+        """Overwrite all parameters from a flat vector (one ``np.copyto``)."""
+        np.copyto(self.buffer, np.asarray(vector).reshape(-1))
+
+    def gradient_vector(self) -> np.ndarray:
+        """Copy of the flat gradient buffer (zeros where grads are unset).
+
+        Backward passes accumulate straight into ``grad_buffer`` through the
+        per-parameter views, so the usual case is zero fix-up work; chunks
+        are only written here when a grad is unset (stale buffer content
+        must read as zero) or was rebound to a foreign array by a caller.
+        """
+        for param, grad_view in zip(self._params, self._grad_views):
+            if param.grad is None:
+                grad_view[...] = 0.0
+            elif param.grad is not grad_view:
+                grad_view[...] = param.grad
+        return self.grad_buffer.copy()
+
+    def add_to_gradients(self, vector: np.ndarray) -> None:
+        """Accumulate a flat vector into per-parameter grads without allocating."""
+        vector = np.asarray(vector).reshape(-1)
+        offset = 0
+        for param, grad_view in zip(self._params, self._grad_views):
+            span = int(param.size)
+            chunk = vector[offset : offset + span].reshape(param.shape)
+            if param.grad is None:
+                np.copyto(grad_view, chunk)
+                param.grad = grad_view
+            else:
+                param.grad += chunk
+            offset += span

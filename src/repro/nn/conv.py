@@ -23,7 +23,7 @@ class Conv2d(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or init.shared_fallback_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

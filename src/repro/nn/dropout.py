@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from . import init
 from .module import Module
 
 
@@ -19,7 +20,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or init.shared_fallback_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, is_grad_enabled
+from . import init
 from .module import Module, Parameter
 
 
@@ -18,7 +19,7 @@ class Embedding(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or init.shared_fallback_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(rng.normal(scale=0.1, size=(num_embeddings, embedding_dim)))

@@ -13,6 +13,25 @@ from typing import Tuple
 
 import numpy as np
 
+#: Process-wide fallback generator for layers built without an explicit rng.
+#: A *shared* stream (rather than a fresh ``default_rng(0)`` per layer) means
+#: sibling layers constructed back to back draw different values — two
+#: ``Linear(4, 4)`` built without seeds no longer get identical weights.
+#: Models that need determinism pass an explicit rng, which every in-tree
+#: model does.
+_SHARED_FALLBACK_RNG = np.random.default_rng(0)
+
+
+def shared_fallback_rng() -> np.random.Generator:
+    """The shared fallback generator used when no explicit rng is given."""
+    return _SHARED_FALLBACK_RNG
+
+
+def reset_shared_fallback_rng(seed: int = 0) -> None:
+    """Re-seed the shared fallback stream (test isolation hook)."""
+    global _SHARED_FALLBACK_RNG
+    _SHARED_FALLBACK_RNG = np.random.default_rng(seed)
+
 
 def kaiming_uniform(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
     """He-uniform initialisation (gain for ReLU), as used by torch defaults."""

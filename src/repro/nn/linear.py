@@ -19,8 +19,10 @@ class Linear(Module):
     bias:
         Whether to include the additive bias term.
     rng:
-        Generator used for weight initialisation; defaults to a fixed seed so
-        that two models built with the same arguments are identical.
+        Generator used for weight initialisation; defaults to the shared
+        process-wide fallback stream, so sibling layers built without an
+        explicit rng draw *different* weights.  Pass an explicit generator
+        for reproducible construction (all in-tree models do).
     """
 
     def __init__(
@@ -31,7 +33,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or init.shared_fallback_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(

@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 from ..autograd import Tensor
+from .arena import FlatParameterArena
 
 #: Profiling tap (see :mod:`repro.telemetry.profiler`).  When installed it
 #: replaces the plain ``forward`` dispatch in :meth:`Module.__call__` so
@@ -23,12 +24,46 @@ from ..autograd import Tensor
 #: and a branch per call.
 _FORWARD_CALL_HOOK = None
 
+#: Global switch for the flat-parameter arena fast path.  On by default;
+#: disabled only by tests that prove the arena and legacy per-parameter
+#: paths are byte-identical (see tests/nn/test_arena.py).
+_ARENA_ENABLED = True
+
+
+def set_arena_enabled(enabled: bool) -> None:
+    """Enable/disable the flat-parameter arena fast path globally."""
+    global _ARENA_ENABLED
+    _ARENA_ENABLED = bool(enabled)
+
+
+def arena_enabled() -> bool:
+    """Whether modules currently use the flat-parameter arena fast path."""
+    return _ARENA_ENABLED
+
 
 class Parameter(Tensor):
-    """A trainable tensor registered on a :class:`Module`."""
+    """A trainable tensor registered on a :class:`Module`.
+
+    When the owning module has a :class:`FlatParameterArena`, ``_grad_view``
+    aliases this parameter's slice of the arena's gradient buffer and the
+    first backward-pass accumulation writes straight into it, so
+    ``Module.gradient_vector`` needs no per-parameter concatenation.
+    """
+
+    __slots__ = ("_grad_view",)
 
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
+        self._grad_view = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        view = self._grad_view
+        if view is not None and self.grad is None:
+            np.copyto(view, grad)
+            self.grad = view
+        else:
+            # Covers grad-is-view (in-place +=) and non-arena parameters.
+            super()._accumulate(grad)
 
 
 class Module:
@@ -43,6 +78,7 @@ class Module:
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_flat_arena", None)
 
     # ------------------------------------------------------------------
     # Registration
@@ -112,27 +148,54 @@ class Module:
     # ------------------------------------------------------------------
     # Flat-vector view (the FL boundary)
     # ------------------------------------------------------------------
+    def _arena(self):
+        """Return a valid :class:`FlatParameterArena` for this module, or ``None``.
+
+        The cached arena is revalidated with an identity check per call;
+        any parameter rebinding or registration change invalidates it and
+        triggers a transparent rebuild from the current parameter values.
+        """
+        if not _ARENA_ENABLED:
+            return None
+        params = self.parameters()
+        arena = self._flat_arena
+        if arena is not None and arena.owns(params):
+            return arena
+        arena = FlatParameterArena.build(params)
+        object.__setattr__(self, "_flat_arena", arena)
+        return arena
+
     def parameters_vector(self) -> np.ndarray:
-        """Concatenate all parameters into a single float64 vector."""
+        """Concatenate all parameters into a single flat vector."""
+        arena = self._arena()
+        if arena is not None:
+            return arena.parameters_vector()
         if not self.parameters():
             return np.zeros(0)
         return np.concatenate([param.data.reshape(-1) for param in self.parameters()])
 
     def gradient_vector(self) -> np.ndarray:
         """Concatenate all parameter gradients (zeros where unset)."""
+        arena = self._arena()
+        if arena is not None:
+            return arena.gradient_vector()
         chunks = []
         for param in self.parameters():
             if param.grad is None:
-                chunks.append(np.zeros(param.size))
+                chunks.append(np.zeros(param.size, dtype=param.data.dtype))
             else:
                 chunks.append(param.grad.reshape(-1))
         return np.concatenate(chunks) if chunks else np.zeros(0)
 
     def load_vector(self, vector: np.ndarray) -> None:
         """Load a flat parameter vector back into the structured parameters."""
-        expected = self.num_parameters()
+        arena = self._arena()
+        expected = arena.size if arena is not None else self.num_parameters()
         if vector.size != expected:
             raise ValueError(f"vector has {vector.size} entries, model needs {expected}")
+        if arena is not None:
+            arena.load_vector(vector)
+            return
         offset = 0
         for param in self.parameters():
             span = param.size
@@ -141,9 +204,13 @@ class Module:
 
     def add_to_gradients(self, vector: np.ndarray) -> None:
         """Add a flat vector into the per-parameter gradients (creates them)."""
-        expected = self.num_parameters()
+        arena = self._arena()
+        expected = arena.size if arena is not None else self.num_parameters()
         if vector.size != expected:
             raise ValueError(f"vector has {vector.size} entries, model needs {expected}")
+        if arena is not None:
+            arena.add_to_gradients(vector)
+            return
         offset = 0
         for param in self.parameters():
             span = param.size

@@ -1,0 +1,158 @@
+"""Parity suite: production kernels vs the naive reference oracles.
+
+Pooling is checked for *bit-identical* forward and backward values — the
+vectorized rewrites preserve the naive implementations' comparison order
+(strictly-greater updates keep first-occurrence argmax ties) and scatter
+addend order, so any drift at all is a regression.  Convolution and the
+fused LSTM step route the same contractions through different BLAS entry
+points (one collapsed dgemm vs per-batch GEMMs; closed-form vs chained
+backward), which can move the last bit or two, so they are compared at
+near-machine tolerance instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, avg_pool2d, conv2d, max_pool2d
+from repro.nn import LSTMCell
+
+from tests.reference_kernels import (
+    naive_avg_pool2d,
+    naive_conv2d,
+    naive_lstm_cell_forward,
+    naive_max_pool2d,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def _forward_backward(fn, *tensors):
+    out = fn(*tensors)
+    loss = (out * out).sum()
+    loss.backward()
+    grads = [t.grad.copy() for t in tensors]
+    for t in tensors:
+        t.zero_grad()
+    return out.data.copy(), grads
+
+
+class TestConvParity:
+    @pytest.mark.parametrize(
+        "shape,out_c,kernel,stride,padding",
+        [
+            ((2, 1, 8, 8), 4, 3, 1, 0),
+            ((3, 2, 7, 7), 5, 3, 2, 1),
+            ((1, 3, 10, 10), 2, 5, 1, 2),
+            ((2, 4, 6, 6), 4, 2, 2, 0),
+        ],
+    )
+    def test_matches_to_ulp(self, rng, shape, out_c, kernel, stride, padding):
+        in_c = shape[1]
+        x_data = rng.normal(size=shape)
+        w_data = rng.normal(size=(out_c, in_c, kernel, kernel))
+        b_data = rng.normal(size=out_c)
+
+        x1 = Tensor(x_data.copy(), requires_grad=True)
+        w1 = Tensor(w_data.copy(), requires_grad=True)
+        b1 = Tensor(b_data.copy(), requires_grad=True)
+        fast_out, fast_grads = _forward_backward(
+            lambda x, w, b: conv2d(x, w, b, stride=stride, padding=padding), x1, w1, b1
+        )
+
+        x2 = Tensor(x_data.copy(), requires_grad=True)
+        w2 = Tensor(w_data.copy(), requires_grad=True)
+        b2 = Tensor(b_data.copy(), requires_grad=True)
+        ref_out, ref_grads = _forward_backward(
+            lambda x, w, b: naive_conv2d(x, w, b, stride=stride, padding=padding), x2, w2, b2
+        )
+
+        # The production forward collapses the batched product into one
+        # dgemm (tensordot) while the naive reference runs per-batch GEMMs;
+        # BLAS may dispatch different kernels for the two shapes, so allow a
+        # couple of ULP of drift — but nothing visible beyond that.  The
+        # gradients inherit the forward's drift through the loss.
+        np.testing.assert_allclose(fast_out, ref_out, rtol=1e-13, atol=1e-13)
+        np.testing.assert_allclose(fast_grads[0], ref_grads[0], rtol=1e-12, atol=1e-13)
+        np.testing.assert_allclose(fast_grads[1], ref_grads[1], rtol=1e-12, atol=1e-13)
+        np.testing.assert_allclose(fast_grads[2], ref_grads[2], rtol=1e-12, atol=1e-13)
+
+
+class TestMaxPoolParity:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride",
+        [
+            ((2, 3, 8, 8), 2, None),   # tiling fast path
+            ((2, 3, 9, 9), 2, None),   # ragged edge dropped
+            ((1, 2, 7, 7), 3, 2),      # overlapping windows
+            ((3, 1, 5, 5), 5, None),   # whole-image window
+        ],
+    )
+    def test_bit_identical(self, rng, shape, kernel, stride):
+        x_data = rng.normal(size=shape)
+        x1 = Tensor(x_data.copy(), requires_grad=True)
+        fast_out, (fast_grad,) = _forward_backward(lambda x: max_pool2d(x, kernel, stride), x1)
+        x2 = Tensor(x_data.copy(), requires_grad=True)
+        ref_out, (ref_grad,) = _forward_backward(lambda x: naive_max_pool2d(x, kernel, stride), x2)
+        assert fast_out.tobytes() == ref_out.tobytes()
+        assert fast_grad.tobytes() == ref_grad.tobytes()
+
+    def test_tie_breaks_match(self):
+        # Equal values in a window: both paths must pick the same (first,
+        # row-major) argmax or gradients land on different pixels.
+        x_data = np.zeros((1, 1, 4, 4))
+        x1 = Tensor(x_data.copy(), requires_grad=True)
+        _, (fast_grad,) = _forward_backward(lambda x: max_pool2d(x, 2), x1)
+        x2 = Tensor(x_data.copy(), requires_grad=True)
+        _, (ref_grad,) = _forward_backward(lambda x: naive_max_pool2d(x, 2), x2)
+        assert fast_grad.tobytes() == ref_grad.tobytes()
+
+
+class TestAvgPoolParity:
+    @pytest.mark.parametrize("shape,kernel", [((2, 3, 8, 8), 2), ((1, 2, 9, 9), 3)])
+    def test_tiling_bit_identical(self, rng, shape, kernel):
+        x_data = rng.normal(size=shape)
+        x1 = Tensor(x_data.copy(), requires_grad=True)
+        fast_out, (fast_grad,) = _forward_backward(lambda x: avg_pool2d(x, kernel), x1)
+        x2 = Tensor(x_data.copy(), requires_grad=True)
+        ref_out, (ref_grad,) = _forward_backward(lambda x: naive_avg_pool2d(x, kernel), x2)
+        assert fast_out.tobytes() == ref_out.tobytes()
+        assert fast_grad.tobytes() == ref_grad.tobytes()
+
+
+class TestLSTMParity:
+    def test_fused_step_matches_unfused_graph(self, rng):
+        batch, input_size, hidden = 4, 6, 8
+        cell = LSTMCell(input_size, hidden, rng=np.random.default_rng(7))
+        x_data = rng.normal(size=(batch, input_size))
+        h_data = rng.normal(size=(batch, hidden))
+        c_data = rng.normal(size=(batch, hidden))
+
+        def run(step_fn):
+            cell.zero_grad()
+            x = Tensor(x_data.copy(), requires_grad=True)
+            h = Tensor(h_data.copy(), requires_grad=True)
+            c = Tensor(c_data.copy(), requires_grad=True)
+            h_next, c_next = step_fn(x, h, c)
+            ((h_next * h_next).sum() + (c_next * c_next).sum()).backward()
+            return (
+                h_next.data.copy(),
+                c_next.data.copy(),
+                [t.grad.copy() for t in (x, h, c)],
+                [p.grad.copy() for p in cell.parameters()],
+            )
+
+        h_fast, c_fast, in_fast, p_fast = run(cell.forward)
+        h_ref, c_ref, in_ref, p_ref = run(lambda x, h, c: naive_lstm_cell_forward(cell, x, h, c))
+
+        # Forward: identical operation order → bit-identical states.
+        assert h_fast.tobytes() == h_ref.tobytes()
+        assert c_fast.tobytes() == c_ref.tobytes()
+        # Backward: the fused closed form regroups a few products, so allow
+        # last-bit drift but nothing more.
+        for fast, ref in zip(in_fast + p_fast, in_ref + p_ref):
+            np.testing.assert_allclose(fast, ref, rtol=1e-12, atol=1e-14)

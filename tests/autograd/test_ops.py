@@ -82,10 +82,29 @@ class TestPooling:
         y = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
         assert check_gradients(lambda y: (avg_pool2d(y, 2) ** 2).sum(), [y], atol=1e-3)
 
-    def test_avg_pool_rejects_non_tiling(self, rng):
-        x = Tensor(rng.normal(size=(1, 1, 5, 5)))
+    def test_avg_pool_non_tiling_input(self, rng):
+        # 5x5 with kernel 2 no longer errors: the strided path drops the
+        # ragged edge, exactly like max_pool2d / torch with default stride.
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)), requires_grad=True)
+        out = avg_pool2d(x, 2)
+        assert out.shape == (1, 1, 2, 2)
+        np.testing.assert_allclose(
+            out.data[0, 0, 0, 0], x.data[0, 0, :2, :2].mean()
+        )
+        assert check_gradients(lambda x: (avg_pool2d(x, 2) ** 2).sum(), [x], atol=1e-3)
+
+    def test_avg_pool_overlapping_stride(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 5, 5)), requires_grad=True)
+        out = avg_pool2d(x, 3, stride=2)
+        assert out.shape == (2, 3, 2, 2)
+        assert check_gradients(lambda x: (avg_pool2d(x, 3, 2) ** 2).sum(), [x], atol=1e-3)
+
+    def test_pool_rejects_kernel_larger_than_input(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 3)))
         with pytest.raises(ValueError):
-            avg_pool2d(x, 2)
+            max_pool2d(x, 4)
+        with pytest.raises(ValueError):
+            avg_pool2d(x, 4)
 
 
 class TestSoftmaxLosses:

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from repro.autograd import default_dtype, get_default_dtype
 from repro.experiments import run_algorithm
 from repro.experiments.runner import _RESULT_CACHE
 
@@ -26,7 +27,17 @@ class TestResultCache:
         run_algorithm(tiny_config, "fedavg")
         strategy = FedAvg(local_lr=tiny_config.local_lr, local_steps=tiny_config.local_steps)
         custom = run_algorithm(tiny_config, "fedavg", strategy=strategy)
-        assert custom is not _RESULT_CACHE[(tiny_config, "fedavg")]
+        cache_key = (tiny_config, "fedavg", get_default_dtype().name)
+        assert custom is not _RESULT_CACHE[cache_key]
+
+    def test_dtype_keys_are_distinct(self, tiny_config):
+        # float32 and float64 runs of the same config must not share entries.
+        _RESULT_CACHE.clear()
+        run_algorithm(tiny_config, "fedavg")
+        with default_dtype("float32"):
+            run_algorithm(tiny_config, "fedavg")
+        assert (tiny_config, "fedavg", "float64") in _RESULT_CACHE
+        assert (tiny_config, "fedavg", "float32") in _RESULT_CACHE
 
     def test_different_config_is_distinct(self, tiny_config):
         _RESULT_CACHE.clear()

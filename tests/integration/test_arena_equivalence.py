@@ -1,0 +1,47 @@
+"""Acceptance: the arena fast path is byte-equal to the legacy vector path.
+
+Two fixed-seed fedavg runs — one with the flat-parameter arena enabled, one
+with it globally disabled — must produce byte-identical final parameter
+vectors.  This is the end-to-end guarantee that the arena is purely a memory
+layout change: every load/grad round trip in every local step of every round
+goes through it, so a single ULP of drift anywhere would surface here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_algorithm
+from repro.experiments.runner import _RESULT_CACHE
+from repro.nn import arena_enabled, set_arena_enabled
+
+
+@pytest.fixture
+def fresh_cache_and_switch():
+    """Isolate the memoised-run cache and restore the arena switch."""
+    previous = arena_enabled()
+    saved = dict(_RESULT_CACHE)
+    _RESULT_CACHE.clear()
+    yield
+    set_arena_enabled(previous)
+    _RESULT_CACHE.clear()
+    _RESULT_CACHE.update(saved)
+
+
+class TestArenaEquivalence:
+    @pytest.mark.parametrize("algorithm", ["fedavg", "taco"])
+    def test_two_round_run_byte_equal(self, tiny_config, fresh_cache_and_switch, algorithm):
+        config = tiny_config.with_overrides(rounds=2)
+
+        set_arena_enabled(True)
+        with_arena = run_algorithm(config, algorithm)
+        _RESULT_CACHE.clear()
+
+        set_arena_enabled(False)
+        without_arena = run_algorithm(config, algorithm)
+
+        assert (
+            with_arena.final_params.tobytes() == without_arena.final_params.tobytes()
+        )
+        np.testing.assert_array_equal(
+            with_arena.history.accuracies, without_arena.history.accuracies
+        )

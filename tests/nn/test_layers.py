@@ -35,6 +35,22 @@ class TestLinear:
         b = Linear(4, 4, rng=np.random.default_rng(7))
         np.testing.assert_allclose(a.parameters_vector(), b.parameters_vector())
 
+    def test_sibling_layers_without_rng_differ(self):
+        # Regression: the fallback used to be a fresh default_rng(0) per
+        # layer, silently giving sibling layers identical weights.  The
+        # shared fallback stream means consecutive draws differ.
+        a = Linear(4, 4)
+        b = Linear(4, 4)
+        assert not np.array_equal(a.parameters_vector(), b.parameters_vector())
+        from repro.nn import Conv2d, Embedding
+
+        c = Conv2d(2, 2, kernel_size=3)
+        d = Conv2d(2, 2, kernel_size=3)
+        assert not np.array_equal(c.parameters_vector(), d.parameters_vector())
+        e = Embedding(5, 4)
+        f = Embedding(5, 4)
+        assert not np.array_equal(e.weight.data, f.weight.data)
+
     def test_gradcheck(self, rng):
         layer = Linear(3, 2, rng=rng)
         x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
