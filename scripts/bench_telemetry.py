@@ -2,9 +2,10 @@
 
 Runs a small seeded config through fedavg / scaffold / stem / taco three
 ways — telemetry off (the no-op default), telemetry on with an in-memory
-exporter, and telemetry off again — and writes ``BENCH_telemetry.json`` at
-the repo root with per-round wall-time statistics plus the measured
-overhead of the enabled instrumentation.
+exporter, and algorithm introspection on (``repro.introspect``) — and
+writes ``BENCH_telemetry.json`` at the repo root with per-round wall-time
+statistics plus the measured overhead of the enabled instrumentation and
+whether each mode left the trained parameters bit-identical.
 
 Usage::
 
@@ -24,6 +25,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments import ExperimentConfig, run_algorithm
 from repro.experiments.runner import make_experiment_strategy
+from repro.introspect import introspection_session
 from repro.telemetry import InMemoryExporter, telemetry_session
 
 ALGORITHMS = ("fedavg", "scaffold", "stem", "taco")
@@ -58,8 +60,20 @@ def _round_stats(history) -> dict:
     }
 
 
+def _overhead_pct(base_history, instrumented_history) -> float:
+    """Overhead of instrumentation, from median per-round wall time.
+
+    Medians (not totals) so one slow outlier round — page faults, GC — does
+    not swamp a sub-millisecond per-round signal.
+    """
+    base = float(np.median(base_history.wall_times))
+    instrumented = float(np.median(instrumented_history.wall_times))
+    return 100.0 * (instrumented / base - 1.0) if base > 0 else 0.0
+
+
 def bench_algorithm(name: str) -> dict:
-    """Time ``name`` with telemetry off and on; report per-round stats."""
+    """Time ``name`` with telemetry off/on and introspection on."""
+    _fresh_run(name)  # warm-up: page in code paths before any timed run
     off = _fresh_run(name)
 
     exporter = InMemoryExporter()
@@ -67,14 +81,23 @@ def bench_algorithm(name: str) -> dict:
         on = _fresh_run(name)
     span_events = sum(1 for e in exporter.events if e.get("type") == "span")
 
-    off_total = float(off.history.wall_times.sum())
-    on_total = float(on.history.wall_times.sum())
+    with introspection_session():
+        intro = _fresh_run(name)
+
     return {
         "telemetry_off": _round_stats(off.history),
         "telemetry_on": {**_round_stats(on.history), "span_events": span_events},
-        "overhead_pct": 100.0 * (on_total / off_total - 1.0) if off_total > 0 else 0.0,
+        "introspection_on": {
+            **_round_stats(intro.history),
+            "diagnostic_rounds": len(intro.diagnostics),
+        },
+        "overhead_pct": _overhead_pct(off.history, on.history),
+        "introspection_overhead_pct": _overhead_pct(off.history, intro.history),
         "final_accuracy": off.final_accuracy,
         "bit_identical": bool(np.array_equal(off.final_params, on.final_params)),
+        "introspection_bit_identical": bool(
+            np.array_equal(off.final_params, intro.final_params)
+        ),
     }
 
 
@@ -103,10 +126,14 @@ def main(argv: list[str]) -> int:
         print(
             f"    median wall/round {row['telemetry_off']['wall_seconds_per_round_median']:.4f}s"
             f"  telemetry overhead {row['overhead_pct']:+.1f}%"
-            f"  bit-identical={row['bit_identical']}"
+            f"  introspection overhead {row['introspection_overhead_pct']:+.1f}%"
+            f"  bit-identical={row['bit_identical']}/{row['introspection_bit_identical']}"
         )
         if not row["bit_identical"]:
             print("    ERROR: telemetry changed training numerics", file=sys.stderr)
+            return 1
+        if not row["introspection_bit_identical"]:
+            print("    ERROR: introspection changed training numerics", file=sys.stderr)
             return 1
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")

@@ -53,6 +53,19 @@ assert not missing, f"trace missing metrics: {missing}"
 print(f"telemetry smoke ok: {len(events)} events, {len(names)} metric names")
 PY
 
+echo "==> introspection + run-record smoke (report + self-diff)"
+python -m repro.cli run \
+    --dataset adult --algorithm taco --clients 6 --rounds 2 \
+    --train-size 200 --test-size 80 \
+    --introspect --record-dir out/runs --json > /dev/null
+python -m repro.cli report out/runs/*/runrecord.json --out out/report.html
+python -m repro.cli report out/runs/*/runrecord.json --ascii > /dev/null
+RECORD="$(ls out/runs/*/runrecord.json | head -n 1)"
+python -m repro.cli diff "$RECORD" "$RECORD"
+
+echo "==> BENCH floor regression gate (kernels + telemetry/introspection)"
+python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json
+
 echo "==> guard chaos smoke (stealth-NaN + hot lr, quarantine off)"
 CHAOS_ARGS=(
     --dataset adult --algorithm fedavg --clients 6 --rounds 3

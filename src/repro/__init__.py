@@ -28,6 +28,12 @@ Subpackages:
 - :mod:`repro.guard` — self-healing training: anomaly detection, automatic
   rollback to known-good snapshots, and adaptive recovery.
 - :mod:`repro.theory` — Theorem 1 / Corollary 1-2 quantities.
+- :mod:`repro.introspect` — per-round algorithm diagnostics (alpha_i, drift
+  cosines, live Y_t) behind a zero-overhead no-op default.
+- :mod:`repro.runrecord` — versioned, schema-validated ``runrecord.json``
+  artifacts written by simulations and experiments.
+- :mod:`repro.report` — HTML/ASCII run reports and cross-run regression
+  diffing (``repro report`` / ``repro diff``).
 - :mod:`repro.experiments` — one module per paper table/figure.
 """
 
@@ -43,8 +49,11 @@ from . import (
     faults,
     fl,
     guard,
+    introspect,
     nn,
     optim,
+    report,
+    runrecord,
     theory,
 )
 
@@ -58,8 +67,11 @@ __all__ = [
     "faults",
     "fl",
     "guard",
+    "introspect",
     "nn",
     "optim",
+    "report",
+    "runrecord",
     "theory",
     "__version__",
 ]

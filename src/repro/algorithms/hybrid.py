@@ -23,9 +23,17 @@ from typing import Any, Dict, Mapping, Sequence
 import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState
+from ..introspect import get_introspector
 from .fedprox import FedProx
 from .scaffold import Scaffold
 from .taco import INITIAL_ALPHA, TACO
+
+
+def _publish_tailored_alphas(alphas: Mapping[int, float]) -> None:
+    """Expose a hybrid's Eq. 7 coefficients to the introspection layer."""
+    introspector = get_introspector()
+    if introspector.enabled and alphas:
+        introspector.per_client("taco.alpha", dict(alphas))
 
 
 def _tailored_scales(alphas: Mapping[int, float]) -> Dict[int, float]:
@@ -65,6 +73,7 @@ class TailoredFedProx(FedProx):
         alphas = TACO.compute_alphas(updates)
         self.last_alphas = dict(alphas)
         self._scales = _tailored_scales(alphas)
+        _publish_tailored_alphas(self.last_alphas)
 
 
 class TailoredScaffold(Scaffold):
@@ -109,3 +118,4 @@ class TailoredScaffold(Scaffold):
         alphas = TACO.compute_alphas(updates)
         self.last_alphas = dict(alphas)
         self._scales = _tailored_scales(alphas)
+        _publish_tailored_alphas(self.last_alphas)

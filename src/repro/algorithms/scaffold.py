@@ -20,6 +20,7 @@ import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState
 from ..fl.timing import ComputeProfile
+from ..introspect import get_introspector
 from ..telemetry import get_telemetry
 from .base import GradFn, Strategy
 
@@ -105,6 +106,19 @@ class Scaffold(Strategy):
         if telemetry.enabled:  # norm computed only when someone listens
             telemetry.gauge("scaffold.server_control_norm").set(
                 float(np.linalg.norm(self._server_control))
+            )
+        introspector = get_introspector()
+        if introspector.enabled:
+            introspector.scalar(
+                "scaffold.server_control_norm",
+                float(np.linalg.norm(self._server_control)),
+            )
+            introspector.per_client(
+                "scaffold.client_control_norm",
+                {
+                    u.client_id: float(np.linalg.norm(self._client_controls[u.client_id]))
+                    for u in updates
+                },
             )
 
     def compute_profile(self) -> ComputeProfile:

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState
 from ..fl.timing import ComputeProfile
+from ..introspect import get_introspector
 from ..telemetry import get_telemetry
 from .base import GradFn, Strategy
 
@@ -78,6 +79,15 @@ class STEM(Strategy):
     def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
         if not updates:
             raise ValueError("cannot aggregate zero updates")
+        introspector = get_introspector()
+        if introspector.enabled:
+            introspector.per_client(
+                "stem.momentum_norm",
+                {
+                    u.client_id: float(np.linalg.norm(u.extras["final_momentum"]))
+                    for u in updates
+                },
+            )
         total = np.zeros_like(updates[0].delta)
         for update in updates:
             total += update.delta + self.local_lr * update.extras["final_momentum"]

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..fl.state import ClientUpdate, ServerState, cosine_similarity
 from ..fl.timing import ComputeProfile
+from ..introspect import get_introspector
 from ..telemetry import get_telemetry
 from .base import GradFn, Strategy
 
@@ -177,6 +178,23 @@ class TACO(Strategy):
             for client_id, alpha in self._alphas.items():
                 telemetry.gauge("taco.alpha", client=client_id).set(alpha)
             telemetry.gauge("taco.mean_alpha").set(self.mean_alpha())
+        introspector = get_introspector()
+        if introspector.enabled:
+            # Eq. 7's two ingredients per client: correction-vector norms
+            # and drift cosines against the round's mean update.
+            mean_delta = np.zeros_like(updates[0].delta)
+            for update in updates:
+                mean_delta += update.delta / len(updates)
+            introspector.per_client("taco.alpha", self._alphas)
+            introspector.per_client(
+                "taco.update_norm",
+                {u.client_id: float(np.linalg.norm(u.delta)) for u in updates},
+            )
+            introspector.per_client(
+                "taco.drift_cosine",
+                {u.client_id: cosine_similarity(u.delta, mean_delta) for u in updates},
+            )
+            introspector.scalar("taco.mean_alpha", self.mean_alpha())
 
         if self.use_tailored_aggregation:
             weights = [self._alphas[u.client_id] for u in updates]
@@ -205,14 +223,29 @@ class TACO(Strategy):
             # against lambda = T/5; at reduced scale it must be excluded.)
             return
         telemetry = get_telemetry()
+        threshold_hits = 0
+        expelled_now = 0
         for update in updates:
             if self._alphas.get(update.client_id, 0.0) >= self.kappa:
+                threshold_hits += 1
                 strikes = self._strikes.get(update.client_id, 0) + 1
                 self._strikes[update.client_id] = strikes
                 telemetry.counter("taco.strikes").add(1)
                 if strikes >= self.expulsion_limit:
                     self._expelled.add(update.client_id)
+                    expelled_now += 1
                     telemetry.counter("taco.expelled").add(1)
+        introspector = get_introspector()
+        if introspector.enabled:
+            # Eq. 10's freeloader scoreboard: how many alphas crossed kappa
+            # this round, the accumulated strike counts, and expulsions.
+            introspector.scalar("taco.threshold_hits", float(threshold_hits))
+            introspector.scalar("taco.expelled_this_round", float(expelled_now))
+            introspector.scalar("taco.expelled_total", float(len(self._expelled)))
+            if self._strikes:
+                introspector.per_client(
+                    "taco.strikes", {cid: float(n) for cid, n in self._strikes.items()}
+                )
 
     def active_clients(self, state: ServerState, all_clients: Sequence[int]) -> List[int]:
         return [cid for cid in all_clients if cid not in self._expelled]

@@ -22,6 +22,17 @@ from .overcorrection import (
     diagnose_corrections,
     instability_comparison,
 )
+from .runrecords import (
+    accuracy_series,
+    diagnostic_names,
+    flatten_final_fields,
+    load_records,
+    loss_series,
+    per_client_envelope,
+    record_label,
+    scalar_series,
+    sim_time_series,
+)
 from .tables import render_mean_std, render_table
 
 __all__ = [
@@ -46,4 +57,13 @@ __all__ = [
     "accuracy_drop_events",
     "render_table",
     "render_mean_std",
+    "load_records",
+    "record_label",
+    "accuracy_series",
+    "loss_series",
+    "sim_time_series",
+    "scalar_series",
+    "per_client_envelope",
+    "diagnostic_names",
+    "flatten_final_fields",
 ]

@@ -1,8 +1,12 @@
 """ASCII line charts for figure-style outputs (no matplotlib offline).
 
-The figure benchmarks render their series through :func:`plot_series` so
-curve *shapes* (who converges faster, who diverges) are visible directly in
-the benchmark output.
+The figure benchmarks and ``repro report --ascii`` render their series
+through :func:`plot_series`, so curve *shapes* (who converges faster, who
+diverges) are visible directly in terminal output.  Multiple named series
+share the x axis (the sample index) and get one mark each, listed in a
+legend line; cells where two *different* series land are drawn with the
+reserved overlap mark ``#`` so crossings aren't silently hidden by
+whichever series was drawn last.
 """
 
 from __future__ import annotations
@@ -11,7 +15,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-_MARKS = "ox+*#@%&"
+_MARKS = "ox+*@%&="
+_OVERLAP = "#"
 
 
 def plot_series(
@@ -39,14 +44,23 @@ def plot_series(
     x_max = max(len(vals) for vals in cleaned.values())
 
     grid = [[" "] * width for _ in range(height)]
+    owner = [[-1] * width for _ in range(height)]  # series index per cell
     legend = []
+    overlapped = False
     for index, (name, vals) in enumerate(sorted(cleaned.items())):
         mark = _MARKS[index % len(_MARKS)]
         legend.append(f"{mark}={name}")
         for i, value in enumerate(vals):
             col = int(i / max(x_max - 1, 1) * (width - 1))
-            row = int((value - y_min) / (y_max - y_min) * (height - 1))
-            grid[height - 1 - row][col] = mark
+            row = height - 1 - int((value - y_min) / (y_max - y_min) * (height - 1))
+            if owner[row][col] not in (-1, index):
+                grid[row][col] = _OVERLAP
+                overlapped = True
+            else:
+                grid[row][col] = mark
+            owner[row][col] = index
+    if overlapped and len(cleaned) > 1:
+        legend.append(f"{_OVERLAP}=overlap")
 
     lines = []
     if title:

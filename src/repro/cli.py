@@ -9,6 +9,10 @@ Examples::
     python -m repro.cli run --algorithm taco --checkpoint-dir ckpt --resume
     python -m repro.cli compare --dataset adult --algorithms fedavg taco
     python -m repro.cli experiment table5 --datasets adult fmnist
+    python -m repro.cli run --algorithm taco --introspect --record-dir out/runs
+    python -m repro.cli report out/runs/adult-taco-s0/runrecord.json --out out/report.html
+    python -m repro.cli diff out/runs/a/runrecord.json out/runs/b/runrecord.json
+    python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json
     python -m repro.cli list
 """
 
@@ -34,6 +38,8 @@ from .experiments import (
 from .faults import CORRUPTION_MODES, FaultPlan
 from .fl.degradation import DegradationPolicy
 from .guard import GuardPolicy
+from .introspect import introspection_session
+from .runrecord import RunRecordError, recording_session
 from .telemetry import OpProfiler, make_exporter, telemetry_session
 
 
@@ -136,6 +142,16 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--track-traffic", action="store_true",
         help="route uploads through an identity Transport to count bytes",
+    )
+    group.add_argument(
+        "--introspect", action="store_true",
+        help="collect per-round algorithm diagnostics (alpha_i, drift "
+        "cosines, live Y_t) into the run record",
+    )
+    group.add_argument(
+        "--record-dir", default=None, metavar="DIR",
+        help="write a schema-versioned runrecord.json per run under DIR "
+        "(DIR/<dataset>-<algorithm>-s<seed>/runrecord.json)",
     )
 
 
@@ -252,6 +268,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                 stack.enter_context(telemetry_session(exporters))
             if profiler is not None:
                 stack.enter_context(profiler)
+            if args.introspect:
+                stack.enter_context(introspection_session())
+            if args.record_dir:
+                stack.enter_context(recording_session(args.record_dir))
             result = run_algorithm(
                 config,
                 args.algorithm,
@@ -378,6 +398,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if module is None:
         print(f"unknown experiment {args.name!r}; known: {sorted(modules)}", file=sys.stderr)
         return 2
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "introspect", False):
+            stack.enter_context(introspection_session())
+        if getattr(args, "record_dir", None):
+            stack.enter_context(recording_session(args.record_dir))
+        return _dispatch_experiment(module, args)
+
+
+def _dispatch_experiment(module, args: argparse.Namespace) -> int:
+    """Invoke one experiment module with the arguments it expects."""
     if args.name in ("table3", "fig1"):
         result = module.run()
     elif args.name in ("table5",):
@@ -399,6 +429,81 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         config = default_config_for(args.datasets[0] if args.datasets else "fmnist")
         result = module.run(config)
     print(result.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report`` — render run records to an HTML dashboard or ASCII."""
+    from pathlib import Path
+
+    from .analysis.runrecords import load_records
+    from .report import render_ascii, render_html
+
+    try:
+        records = load_records(args.records)
+    except (OSError, RunRecordError, json.JSONDecodeError) as error:
+        print(f"cannot load run records: {error}", file=sys.stderr)
+        return 2
+    if args.ascii:
+        print(render_ascii(records, title=args.title))
+        return 0
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_html(records, title=args.title), encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``repro diff`` — compare two run records or gate ``BENCH_*.json`` floors.
+
+    Exits 0 when nothing regressed, 1 on a regression, 2 on usage errors.
+    """
+    from .report import check_bench, diff_records, has_regressions, render_deltas
+
+    if args.bench:
+        failed = False
+        for path in args.bench:
+            try:
+                rows, failures = check_bench(path)
+            except (OSError, ValueError, json.JSONDecodeError) as error:
+                print(f"cannot check {path}: {error}", file=sys.stderr)
+                return 2
+            print(
+                render_table(
+                    ["name", "metric", "value", "floor/ceiling", "status"],
+                    rows,
+                    title=path,
+                )
+            )
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+                failed = True
+        return 1 if failed else 0
+    if not (args.baseline and args.candidate):
+        print("diff needs two run records, or --bench BENCH_*.json files", file=sys.stderr)
+        return 2
+    from .analysis.runrecords import load_records
+
+    try:
+        baseline, candidate = load_records([args.baseline, args.candidate])
+    except (OSError, RunRecordError, json.JSONDecodeError) as error:
+        print(f"cannot load run records: {error}", file=sys.stderr)
+        return 2
+    deltas = diff_records(
+        baseline,
+        candidate,
+        accuracy_tolerance=args.acc_tolerance,
+        time_tolerance=args.time_tolerance,
+        check_performance=not args.no_perf,
+    )
+    print(render_deltas(deltas, title=f"{args.baseline} vs {args.candidate}"))
+    if has_regressions(deltas):
+        for delta in deltas:
+            if delta.regression:
+                print(f"REGRESSION: {delta.field}: {delta.note}", file=sys.stderr)
+        return 1
+    print("no regressions detected")
     return 0
 
 
@@ -439,7 +544,48 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", help="experiment id, e.g. table5 or fig2")
     exp_p.add_argument("--datasets", nargs="*", default=None)
+    exp_p.add_argument(
+        "--introspect", action="store_true",
+        help="collect per-round algorithm diagnostics into the run records",
+    )
+    exp_p.add_argument(
+        "--record-dir", default=None, metavar="DIR",
+        help="write a runrecord.json per simulated run under DIR",
+    )
     exp_p.set_defaults(func=cmd_experiment)
+
+    report_p = sub.add_parser("report", help="render run records to an HTML/ASCII report")
+    report_p.add_argument("records", nargs="+", help="runrecord.json paths")
+    report_p.add_argument("--out", default="out/report.html", help="HTML output path")
+    report_p.add_argument(
+        "--ascii", action="store_true",
+        help="print an ASCII report to stdout instead of writing HTML",
+    )
+    report_p.add_argument("--title", default="repro run report")
+    report_p.set_defaults(func=cmd_report)
+
+    diff_p = sub.add_parser(
+        "diff", help="compare two run records, or gate BENCH_*.json floors"
+    )
+    diff_p.add_argument("baseline", nargs="?", default=None, help="baseline runrecord.json")
+    diff_p.add_argument("candidate", nargs="?", default=None, help="candidate runrecord.json")
+    diff_p.add_argument(
+        "--bench", nargs="+", default=None, metavar="BENCH_JSON",
+        help="validate committed BENCH_*.json artifacts against fixed floors",
+    )
+    diff_p.add_argument(
+        "--acc-tolerance", type=float, default=0.02, metavar="FRAC",
+        help="allowed final-accuracy drop before failing (default: 0.02)",
+    )
+    diff_p.add_argument(
+        "--time-tolerance", type=float, default=0.5, metavar="FRAC",
+        help="allowed fractional wall-time growth (default: 0.5)",
+    )
+    diff_p.add_argument(
+        "--no-perf", action="store_true",
+        help="skip the wall-time comparison (records from different machines)",
+    )
+    diff_p.set_defaults(func=cmd_diff)
 
     list_p = sub.add_parser("list", help="list datasets, algorithms and experiments")
     list_p.set_defaults(func=cmd_list)

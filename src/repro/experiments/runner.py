@@ -22,6 +22,7 @@ from ..attacks import ALIEClient, FreeloaderClient, GaussianNoiseClient, SignFli
 from ..data.dataset import TensorDataset
 from ..data.registry import FederatedDataBundle, load_dataset
 from ..fl import Client, CostModel, FederatedSimulation, SimulationResult, sample_speed_factors
+from ..runrecord import active_record_dir, build_run_record, run_slug, write_run_record
 from .config import ExperimentConfig
 
 
@@ -208,7 +209,12 @@ def run_algorithm(
     # served from (or poison) the float64 cache.
     cache_key = (config, name, get_default_dtype().name)
     if cacheable and cache_key in _RESULT_CACHE:
-        return _RESULT_CACHE[cache_key]
+        result = _RESULT_CACHE[cache_key]
+        # A cache hit still honours an active recording session — the
+        # result carries its own diagnostics, so the record is identical
+        # to what the uncached run would have written.
+        _emit_run_record(config, name, result)
+        return result
     env = build_environment(config)
     model = env.bundle.spec.make_model(
         rng=np.random.default_rng(config.seed), width_multiplier=config.width_multiplier
@@ -236,7 +242,21 @@ def run_algorithm(
     )
     if cacheable:
         _RESULT_CACHE[cache_key] = result
+    _emit_run_record(config, name, result)
     return result
+
+
+def _emit_run_record(config: ExperimentConfig, name: str, result: SimulationResult) -> None:
+    """Write ``runrecord.json`` when a recording session is active.
+
+    The output lands at ``<record_dir>/<dataset>-<algorithm>-s<seed>/
+    runrecord.json``; see :func:`repro.runrecord.recording_session`.
+    """
+    record_dir = active_record_dir()
+    if record_dir is None:
+        return
+    record = build_run_record(result, algorithm=name, config=config)
+    write_run_record(record, record_dir / run_slug(config, name) / "runrecord.json")
 
 
 def run_suite(

@@ -25,13 +25,14 @@ and restart bit-exact with ``resume_from=...``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..data.dataset import TensorDataset
+from ..introspect import get_introspector, live_theory_scalars
 from ..nn.module import Module
 from ..telemetry import get_telemetry
 from .client import Client
@@ -55,6 +56,9 @@ class SimulationResult:
     output_accuracy: float
     diverged: bool
     elapsed_seconds: float = 0.0  # measured wall-clock for the whole run
+    #: Per-round AlgoDiagnostics collected by repro.introspect (empty when
+    #: introspection was disabled for the run).
+    diagnostics: list = field(default_factory=list)
 
 
 class FederatedSimulation:
@@ -163,6 +167,7 @@ class FederatedSimulation:
         checkpoint_every: int = 0,
         checkpoint_dir: str | Path | None = None,
         resume_from: str | Path | None = None,
+        record_path: str | Path | None = None,
     ) -> SimulationResult:
         """Train for ``rounds`` communication rounds.
 
@@ -170,7 +175,8 @@ class FederatedSimulation:
         state (model, server, strategy, RNG streams, history) every N
         rounds; ``resume_from`` restores such a checkpoint and continues —
         bit-exact with the uninterrupted run — until ``rounds`` total
-        rounds are done.
+        rounds are done.  ``record_path`` writes a schema-versioned
+        ``runrecord.json`` (see :mod:`repro.runrecord`) when the run ends.
         """
         from . import checkpoint  # deferred: checkpoint imports history/model only
 
@@ -196,6 +202,7 @@ class FederatedSimulation:
             # accumulating the previous run's events (already-streamed
             # exporter output, e.g. JSONL lines, is untouched).
             get_telemetry().reset()
+            get_introspector().reset()
             if self.recovery is not None:
                 # Seed the rollback ring buffer with w_0 so even a round-0
                 # anomaly has a known-good state to rewind to.
@@ -235,7 +242,8 @@ class FederatedSimulation:
         else:
             output_accuracy = 0.0
         self.model.load_vector(final_params)
-        return SimulationResult(
+        introspector = get_introspector()
+        result = SimulationResult(
             history=self.history,
             final_params=final_params,
             output_params=output_params,
@@ -243,7 +251,16 @@ class FederatedSimulation:
             output_accuracy=output_accuracy,
             diverged=diverged,
             elapsed_seconds=time.perf_counter() - run_started,
+            diagnostics=list(introspector.records) if introspector.enabled else [],
         )
+        if record_path is not None:
+            from ..runrecord import build_run_record, write_run_record
+
+            write_run_record(
+                build_run_record(result, algorithm=getattr(self.strategy, "name", "unknown")),
+                record_path,
+            )
+        return result
 
     def _guard_intervene(self, record: RoundRecord) -> str:
         """Run the round through the guard; returns the action taken."""
@@ -289,6 +306,11 @@ class FederatedSimulation:
         round_started = time.perf_counter()
         round_index = state.round
         telemetry = get_telemetry()
+        introspector = get_introspector()
+        if introspector.enabled:
+            introspector.begin_round(
+                round_index, getattr(self.strategy, "name", type(self.strategy).__name__)
+            )
 
         with telemetry.span("round", round=round_index):
             previously_active = self.strategy.active_clients(state, sorted(self.clients))
@@ -403,7 +425,38 @@ class FederatedSimulation:
         )
         self.history.append(record)
         self._record_round_metrics(telemetry, record, round_sim)
+        if introspector.enabled:
+            self._record_round_diagnostics(introspector, record, updates, skipped)
+            introspector.end_round()
         return record
+
+    def _record_round_diagnostics(self, introspector, record, updates, skipped) -> None:
+        """Publish server-side diagnostics (and the live theory proxies).
+
+        Runs only when introspection is enabled, so the default path does no
+        extra arithmetic.  The theory proxies need a coefficient assignment,
+        so they are published only for strategies exposing ``last_alphas``
+        (TACO and its Fig. 6 hybrids).
+        """
+        introspector.scalar("server.test_accuracy", record.test_accuracy)
+        introspector.scalar("server.test_loss", record.test_loss)
+        introspector.scalar("server.aggregated", float(record.aggregated))
+        introspector.per_client("server.update_norm", dict(record.update_norms))
+        delta = self.server.state.global_delta
+        if delta is not None and not skipped:
+            introspector.scalar(
+                "server.global_delta_norm", float(np.linalg.norm(delta))
+            )
+        alphas = dict(getattr(self.strategy, "last_alphas", {}) or {})
+        if alphas and updates and not skipped:
+            for name, value in live_theory_scalars(
+                alphas,
+                updates,
+                local_steps=self.strategy.local_steps,
+                local_lr=self.strategy.local_lr,
+                smoothness=getattr(introspector, "smoothness", 1.0),
+            ).items():
+                introspector.scalar(name, value)
 
     def _record_round_metrics(self, telemetry, record: RoundRecord, round_sim: float) -> None:
         """Publish one round's headline numbers to the metric registry."""

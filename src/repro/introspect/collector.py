@@ -1,0 +1,165 @@
+"""The introspection hub: a no-op default mirroring :mod:`repro.telemetry`.
+
+Strategies and the simulation driver call :func:`get_introspector` and
+publish against whatever is installed.  The default is :data:`NOOP_INTROSPECTOR`
+— every publish is a single call + branch, numerics stay bit-identical, and
+nothing is retained.  Enable collection for a scope with
+:func:`introspection_session`::
+
+    from repro.introspect import introspection_session
+
+    with introspection_session() as introspector:
+        result = simulation.run(rounds=10)
+    for diag in introspector.records:
+        print(diag.round, diag.scalars.get("taco.mean_alpha"))
+
+Publishes are only accepted between :meth:`Introspector.begin_round` and
+:meth:`Introspector.end_round` (both driven by the simulation loop); calls
+outside an open round are silently dropped, so strategy methods invoked
+standalone (e.g. by the theory experiments) stay safe.  ``end_round`` also
+forwards the finished record through the telemetry hub as an
+``algo.diagnostics`` event, so introspection data lands in the same JSONL
+traces as spans and metrics when both layers are on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional
+
+from ..telemetry import get_telemetry
+from .diagnostics import AlgoDiagnostics
+
+
+class Introspector:
+    """Live collector: accumulates one :class:`AlgoDiagnostics` per round.
+
+    Parameters
+    ----------
+    smoothness:
+        The Assumption-1 constant L used by the live Theorem-1 proxy
+        (``theory.y_t``); 1.0 scales the term without changing its
+        round-over-round shape.
+    """
+
+    enabled = True
+
+    def __init__(self, smoothness: float = 1.0) -> None:
+        if smoothness <= 0:
+            raise ValueError(f"smoothness must be positive, got {smoothness}")
+        self.smoothness = smoothness
+        self.records: List[AlgoDiagnostics] = []
+        self._current: Optional[AlgoDiagnostics] = None
+
+    # ------------------------------------------------------------------
+    # Round lifecycle (driven by the simulation loop)
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int, algorithm: str) -> None:
+        """Open the collection window for one communication round."""
+        self._current = AlgoDiagnostics(round=round_index, algorithm=algorithm)
+
+    def end_round(self) -> None:
+        """Close the window, retain the record, and mirror it to telemetry."""
+        if self._current is None:
+            return
+        record = self._current
+        self._current = None
+        self.records.append(record)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.event(
+                "algo.diagnostics",
+                round=record.round,
+                algorithm=record.algorithm,
+                scalars=dict(record.scalars),
+                per_client_channels=sorted(record.per_client),
+            )
+
+    # ------------------------------------------------------------------
+    # Publishing API (called from strategies / the server loop)
+    # ------------------------------------------------------------------
+    def scalar(self, name: str, value: float) -> None:
+        """Publish one scalar into the current round (dropped when closed)."""
+        if self._current is not None:
+            self._current.merge_scalar(name, value)
+
+    def per_client(self, name: str, values: Dict[int, float]) -> None:
+        """Publish a per-client map into the current round."""
+        if self._current is not None:
+            self._current.merge_per_client(name, values)
+
+    def client_value(self, name: str, client_id: int, value: float) -> None:
+        """Publish a single client's value into the current round."""
+        if self._current is not None:
+            self._current.merge_per_client(name, {client_id: value})
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all records (a fresh simulation start calls this)."""
+        self.records = []
+        self._current = None
+
+
+class NoopIntrospector:
+    """Disabled introspection: every publish is discarded unconditionally.
+
+    Hot paths that would *compute* something purely for introspection (a
+    norm, a cosine) must guard on :attr:`enabled` so the disabled path does
+    no extra work and numerics stay bit-identical.
+    """
+
+    enabled = False
+
+    #: Always-empty record list, so readers need no branching.
+    records: List[AlgoDiagnostics] = []
+
+    def begin_round(self, round_index: int, algorithm: str) -> None:
+        """Discard the round open."""
+
+    def end_round(self) -> None:
+        """Discard the round close."""
+
+    def scalar(self, name: str, value: float) -> None:
+        """Discard the scalar."""
+
+    def per_client(self, name: str, values: Dict[int, float]) -> None:
+        """Discard the map."""
+
+    def client_value(self, name: str, client_id: int, value: float) -> None:
+        """Discard the value."""
+
+    def reset(self) -> None:
+        """Nothing to clear."""
+
+
+#: The process-wide disabled default.
+NOOP_INTROSPECTOR = NoopIntrospector()
+
+_active = NOOP_INTROSPECTOR
+
+
+def get_introspector():
+    """The currently installed introspector (the no-op default when disabled)."""
+    return _active
+
+
+def set_introspector(introspector) -> object:
+    """Install ``introspector`` globally; returns the previous instance."""
+    global _active
+    previous = _active
+    _active = introspector if introspector is not None else NOOP_INTROSPECTOR
+    return previous
+
+
+@contextlib.contextmanager
+def introspection_session(
+    introspector: Optional[Introspector] = None,
+    smoothness: float = 1.0,
+) -> Iterator[Introspector]:
+    """Install a live :class:`Introspector` for a scope, restoring on exit."""
+    session = introspector if introspector is not None else Introspector(smoothness=smoothness)
+    previous = set_introspector(session)
+    try:
+        yield session
+    finally:
+        set_introspector(previous)

@@ -1,0 +1,33 @@
+"""Run-record rendering and regression detection (``repro report`` / ``repro diff``).
+
+- :mod:`repro.report.html` — self-contained HTML dashboard with per-round
+  diagnostic charts (α spread, drift cosines, Y_t, freeloader scores, ...);
+- :mod:`repro.report.text` — ASCII fallback built on
+  :func:`repro.analysis.plot_series`;
+- :mod:`repro.report.diff` — field-by-field record comparison with
+  tolerances, plus ``BENCH_*.json`` floor gating for CI.
+"""
+
+from .diff import (
+    KERNEL_SPEEDUP_FLOORS,
+    OVERHEAD_CEILING_PCT,
+    FieldDelta,
+    check_bench,
+    diff_records,
+    has_regressions,
+    render_deltas,
+)
+from .html import render_html
+from .text import render_ascii
+
+__all__ = [
+    "render_html",
+    "render_ascii",
+    "FieldDelta",
+    "diff_records",
+    "render_deltas",
+    "has_regressions",
+    "check_bench",
+    "KERNEL_SPEEDUP_FLOORS",
+    "OVERHEAD_CEILING_PCT",
+]

@@ -1,0 +1,206 @@
+"""Run-record comparison and BENCH-floor regression gating (``repro diff``).
+
+Two modes:
+
+- :func:`diff_records` — field-by-field comparison of two run records
+  (candidate vs baseline).  Accuracy fields regress when the candidate
+  drops more than ``accuracy_tolerance`` below the baseline; wall time
+  regresses when it grows more than ``time_tolerance`` (fractional);
+  a candidate that diverged where the baseline did not always regresses.
+  Everything else (traffic, fault totals, guard actions) is reported
+  informationally — deterministic runs should match exactly, so any delta
+  is visible in the table without failing the gate.
+
+- :func:`check_bench` — validates committed ``BENCH_*.json`` artifacts
+  against fixed floors: kernel speedups (``BENCH_kernels.json``) must stay
+  at or above the same floors ``scripts/bench_kernels.py --smoke`` enforces,
+  and telemetry/introspection overhead (``BENCH_telemetry.json``) must stay
+  under 10% with ``bit_identical`` true for every algorithm.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from ..analysis.runrecords import flatten_final_fields
+from ..analysis.tables import render_table
+
+#: Same floors scripts/bench_kernels.py --smoke enforces on a live run.
+KERNEL_SPEEDUP_FLOORS: Dict[str, float] = {"max_pool2d": 5.0, "cnn_round": 2.0}
+
+#: Acceptance ceiling for telemetry/introspection overhead (percent).
+OVERHEAD_CEILING_PCT = 10.0
+
+
+@dataclass
+class FieldDelta:
+    """One compared field: baseline value, candidate value, verdict."""
+
+    field: str
+    baseline: Any
+    candidate: Any
+    regression: bool
+    note: str = ""
+
+    @property
+    def delta(self) -> str:
+        """Human-readable candidate-minus-baseline delta."""
+        if isinstance(self.baseline, bool) or isinstance(self.candidate, bool):
+            return "" if self.baseline == self.candidate else "changed"
+        try:
+            return f"{float(self.candidate) - float(self.baseline):+.6g}"
+        except (TypeError, ValueError):
+            return ""
+
+
+def diff_records(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    accuracy_tolerance: float = 0.02,
+    time_tolerance: float = 0.5,
+    check_performance: bool = True,
+) -> List[FieldDelta]:
+    """Compare two validated run records field by field (see module doc)."""
+    base_flat = flatten_final_fields(baseline)
+    cand_flat = flatten_final_fields(candidate)
+    deltas: List[FieldDelta] = []
+    for field in sorted(set(base_flat) | set(cand_flat)):
+        base_value = base_flat.get(field)
+        cand_value = cand_flat.get(field)
+        regression = False
+        note = ""
+        if base_value is None or cand_value is None:
+            note = "only in one record"
+        elif field == "final.diverged":
+            regression = bool(cand_value) and not bool(base_value)
+            if regression:
+                note = "candidate diverged"
+        elif field in (
+            "final.final_accuracy",
+            "final.output_accuracy",
+            "final.best_accuracy",
+        ):
+            drop = float(base_value) - float(cand_value)
+            regression = drop > accuracy_tolerance
+            if regression:
+                note = f"accuracy dropped {drop:.4f} > tol {accuracy_tolerance}"
+        elif field == "timing.elapsed_seconds":
+            if check_performance and float(base_value) > 0:
+                growth = float(cand_value) / float(base_value) - 1.0
+                regression = growth > time_tolerance
+                if regression:
+                    note = f"wall time grew {growth:.0%} > tol {time_tolerance:.0%}"
+        deltas.append(
+            FieldDelta(
+                field=field,
+                baseline=base_value,
+                candidate=cand_value,
+                regression=regression,
+                note=note,
+            )
+        )
+    return deltas
+
+
+def render_deltas(deltas: List[FieldDelta], title: str = "run-record diff") -> str:
+    """The per-field delta table ``repro diff`` prints."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    rows = [
+        [
+            d.field,
+            fmt(d.baseline),
+            fmt(d.candidate),
+            d.delta,
+            "REGRESSION" if d.regression else ("" if not d.note else d.note),
+        ]
+        for d in deltas
+    ]
+    table = render_table(["field", "baseline", "candidate", "delta", "status"], rows, title=title)
+    notes = [f"  {d.field}: {d.note}" for d in deltas if d.regression and d.note]
+    return table + ("\n" + "\n".join(notes) if notes else "")
+
+
+def has_regressions(deltas: List[FieldDelta]) -> bool:
+    """True when any compared field regressed beyond tolerance."""
+    return any(d.regression for d in deltas)
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json floor gating
+# ----------------------------------------------------------------------
+def check_bench(path: str | Path) -> Tuple[List[List[str]], List[str]]:
+    """Validate one BENCH artifact against its floors.
+
+    Returns ``(rows, failures)``: table rows describing every checked
+    quantity, and the list of floor violations (empty = pass).  The file
+    kind is detected from its layout — ``benchmarks`` (kernels) vs
+    ``algorithms`` (telemetry).
+    """
+    target = Path(path)
+    data = json.loads(target.read_text(encoding="utf-8"))
+    if "benchmarks" in data:
+        return _check_kernel_bench(target.name, data)
+    if "algorithms" in data:
+        return _check_telemetry_bench(target.name, data)
+    raise ValueError(
+        f"{target}: unrecognised BENCH layout (expected 'benchmarks' or 'algorithms')"
+    )
+
+
+def _check_kernel_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[str]], List[str]]:
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    benchmarks = data["benchmarks"]
+    for bench, floor in KERNEL_SPEEDUP_FLOORS.items():
+        entry = benchmarks.get(bench)
+        if entry is None or "speedup" not in entry:
+            failures.append(f"{name}: missing speedup for {bench!r}")
+            rows.append([bench, "speedup", "?", f">= {floor}x", "MISSING"])
+            continue
+        speedup = float(entry["speedup"])
+        ok = speedup >= floor
+        rows.append([bench, "speedup", f"{speedup:.2f}x", f">= {floor}x", "ok" if ok else "FAIL"])
+        if not ok:
+            failures.append(f"{name}: {bench} speedup {speedup:.2f}x below floor {floor}x")
+    return rows, failures
+
+
+def _check_telemetry_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[str]], List[str]]:
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    for algorithm, entry in sorted(data["algorithms"].items()):
+        overhead_keys = [key for key in entry if key.endswith("overhead_pct")]
+        for key in sorted(overhead_keys):
+            overhead = float(entry[key])
+            ok = overhead <= OVERHEAD_CEILING_PCT
+            rows.append(
+                [
+                    algorithm,
+                    key,
+                    f"{overhead:.2f}%",
+                    f"<= {OVERHEAD_CEILING_PCT:.0f}%",
+                    "ok" if ok else "FAIL",
+                ]
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: {algorithm} {key} {overhead:.2f}% over ceiling"
+                    f" {OVERHEAD_CEILING_PCT:.0f}%"
+                )
+        identical_keys = [key for key in entry if key.endswith("bit_identical")]
+        for key in sorted(identical_keys):
+            ok = bool(entry[key])
+            rows.append([algorithm, key, str(bool(entry[key])), "True", "ok" if ok else "FAIL"])
+            if not ok:
+                failures.append(f"{name}: {algorithm} {key} is False")
+    return rows, failures

@@ -24,6 +24,8 @@ from .exporters import (
     InMemoryExporter,
     JsonlExporter,
     PrometheusExporter,
+    escape_label_value,
+    load_registry_jsonl,
     make_exporter,
     prometheus_name,
     render_prometheus,
@@ -36,7 +38,7 @@ from .hub import (
     set_telemetry,
     telemetry_session,
 )
-from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .metrics import Counter, Gauge, Histogram, MetricRegistry, registry_from_snapshot
 from .profiler import LayerStats, OpProfiler
 from .spans import SpanRecord, Tracer
 
@@ -57,6 +59,9 @@ __all__ = [
     "make_exporter",
     "prometheus_name",
     "render_prometheus",
+    "escape_label_value",
+    "load_registry_jsonl",
+    "registry_from_snapshot",
     "Telemetry",
     "NoopTelemetry",
     "NOOP",

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, TextIO
 
 import numpy as np
 
-from .metrics import MetricRegistry
+from .metrics import MetricRegistry, registry_from_snapshot
 
 
 def _json_default(value: Any) -> Any:
@@ -98,6 +98,15 @@ def prometheus_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the format
+    requires escaping inside a quoted label value.
+    """
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
 def render_prometheus(registry: MetricRegistry) -> str:
     """Render the registry in the Prometheus text exposition format.
 
@@ -110,7 +119,8 @@ def render_prometheus(registry: MetricRegistry) -> str:
         base = prometheus_name(instrument.name)
         if instrument.labels:
             labels = "{" + ",".join(
-                f'{prometheus_name(k)}="{v}"' for k, v in instrument.labels
+                f'{prometheus_name(k)}="{escape_label_value(v)}"'
+                for k, v in instrument.labels
             ) + "}"
         else:
             labels = ""
@@ -201,6 +211,28 @@ class ConsoleExporter(Exporter):
                         write(f"  {instrument.name}{label_text}: count=0\n")
                 else:
                     write(f"  {instrument.name}{label_text}: {instrument.value:g}\n")
+
+
+def load_registry_jsonl(path: str | Path) -> MetricRegistry:
+    """Rebuild the metric registry from a :class:`JsonlExporter` trace file.
+
+    Reads the last ``{"type": "metrics", ...}`` line (the flush-time
+    snapshot) and reconstructs it with
+    :func:`repro.telemetry.metrics.registry_from_snapshot` — the lossless
+    inverse of the JSONL export.
+    """
+    last: Optional[Dict[str, Any]] = None
+    with Path(path).open(encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("type") == "metrics":
+                last = event["metrics"]
+    if last is None:
+        raise ValueError(f"{path}: no 'metrics' event found in JSONL trace")
+    return registry_from_snapshot(last)
 
 
 def make_exporter(spec: str) -> Exporter:

@@ -101,7 +101,11 @@ class Histogram:
         return float(np.quantile(self.observations, q))
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe summary: count, sum, min/max and p50/p95."""
+        """JSON-safe summary: count, sum, min/max, p50/p95 and raw observations.
+
+        The raw observations ride along so an exported snapshot can be
+        re-loaded losslessly (:func:`registry_from_snapshot`).
+        """
         if not self.observations:
             return {"count": 0, "sum": 0.0}
         return {
@@ -111,6 +115,7 @@ class Histogram:
             "max": float(max(self.observations)),
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "observations": list(self.observations),
         }
 
 
@@ -184,3 +189,30 @@ class MetricRegistry:
         """
         self._instruments = {}
         self._kind_of = {}
+
+
+def registry_from_snapshot(snapshot: Dict[str, Any]) -> MetricRegistry:
+    """Rebuild a registry from a :meth:`MetricRegistry.snapshot` dump.
+
+    The inverse of ``snapshot()``: counters and gauges restore their value,
+    histograms re-observe the retained raw observations, so
+    ``registry_from_snapshot(r.snapshot()).snapshot() == r.snapshot()``.
+    (Label values come back as strings — the identity ``snapshot`` already
+    stored, so the round-trip is exact at the registry level.)
+    """
+    registry = MetricRegistry()
+    for name, entry in snapshot.items():
+        kind = entry["kind"]
+        for series in entry["series"]:
+            labels = series.get("labels", {})
+            if kind == "counter":
+                registry.counter(name, **labels).add(float(series["value"]))
+            elif kind == "gauge":
+                registry.gauge(name, **labels).set(float(series["value"]))
+            elif kind == "histogram":
+                histogram = registry.histogram(name, **labels)
+                for value in series.get("observations", []):
+                    histogram.observe(float(value))
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} for metric {name!r}")
+    return registry

@@ -1,0 +1,199 @@
+"""Introspection layer: collector lifecycle, live theory proxy, strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_algorithm
+from repro.experiments.runner import _RESULT_CACHE, make_experiment_strategy
+from repro.fl.state import ClientUpdate
+from repro.introspect import (
+    AlgoDiagnostics,
+    Introspector,
+    NOOP_INTROSPECTOR,
+    get_introspector,
+    introspection_session,
+    live_theory_scalars,
+)
+from repro.telemetry import InMemoryExporter, telemetry_session
+
+
+def _update(client_id: int, delta: np.ndarray) -> ClientUpdate:
+    return ClientUpdate(
+        client_id=client_id,
+        delta=np.asarray(delta, dtype=float),
+        num_samples=10,
+        num_steps=3,
+        sim_time=1.0,
+    )
+
+
+class TestCollector:
+    def test_default_is_noop(self):
+        assert get_introspector() is NOOP_INTROSPECTOR
+        assert not get_introspector().enabled
+        assert get_introspector().records == []
+
+    def test_session_installs_and_restores(self):
+        with introspection_session() as introspector:
+            assert get_introspector() is introspector
+            assert introspector.enabled
+        assert get_introspector() is NOOP_INTROSPECTOR
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with introspection_session():
+                raise RuntimeError("boom")
+        assert get_introspector() is NOOP_INTROSPECTOR
+
+    def test_round_lifecycle_collects_one_record_per_round(self):
+        introspector = Introspector()
+        introspector.begin_round(0, "taco")
+        introspector.scalar("taco.mean_alpha", 0.5)
+        introspector.per_client("taco.alpha", {1: 0.4, 0: 0.6})
+        introspector.client_value("taco.strikes", 1, 2.0)
+        introspector.end_round()
+        assert len(introspector.records) == 1
+        record = introspector.records[0]
+        assert record.round == 0
+        assert record.algorithm == "taco"
+        assert record.scalars == {"taco.mean_alpha": 0.5}
+        assert record.per_client["taco.alpha"] == {0: 0.6, 1: 0.4}
+        assert record.per_client["taco.strikes"] == {1: 2.0}
+
+    def test_publishes_outside_a_round_are_dropped(self):
+        introspector = Introspector()
+        introspector.scalar("x", 1.0)
+        introspector.per_client("y", {0: 1.0})
+        introspector.client_value("z", 0, 1.0)
+        introspector.end_round()  # no open round: no-op
+        assert introspector.records == []
+
+    def test_reset_drops_records_and_open_round(self):
+        introspector = Introspector()
+        introspector.begin_round(0, "fedavg")
+        introspector.scalar("x", 1.0)
+        introspector.end_round()
+        introspector.begin_round(1, "fedavg")
+        introspector.reset()
+        assert introspector.records == []
+        introspector.scalar("x", 1.0)  # dropped: reset closed the round
+        introspector.end_round()
+        assert introspector.records == []
+
+    def test_rejects_nonpositive_smoothness(self):
+        with pytest.raises(ValueError):
+            Introspector(smoothness=0.0)
+
+    def test_end_round_mirrors_record_to_telemetry(self):
+        exporter = InMemoryExporter()
+        with telemetry_session([exporter]):
+            introspector = Introspector()
+            introspector.begin_round(4, "taco")
+            introspector.scalar("taco.mean_alpha", 0.25)
+            introspector.per_client("taco.alpha", {0: 0.25})
+            introspector.end_round()
+        events = [e for e in exporter.events if e.get("name") == "algo.diagnostics"]
+        assert len(events) == 1
+        fields = events[0]["fields"]
+        assert fields["round"] == 4
+        assert fields["algorithm"] == "taco"
+        assert fields["scalars"] == {"taco.mean_alpha": 0.25}
+        assert fields["per_client_channels"] == ["taco.alpha"]
+
+    def test_diagnostics_round_trip_through_dict(self):
+        diag = AlgoDiagnostics(round=2, algorithm="taco")
+        diag.merge_scalar("a", 1.5)
+        diag.merge_per_client("b", {3: 0.1, 1: 0.2})
+        restored = AlgoDiagnostics.from_dict(diag.to_dict())
+        assert restored.round == 2
+        assert restored.algorithm == "taco"
+        assert restored.scalars == diag.scalars
+        assert restored.per_client == diag.per_client
+
+
+class TestLiveTheory:
+    def test_returns_theory_scalars_on_heterogeneous_round(self):
+        rng = np.random.default_rng(0)
+        updates = [_update(i, rng.normal(size=8) + i) for i in range(4)]
+        alphas = {0: 0.9, 1: 0.6, 2: 0.4, 3: 0.2}
+        scalars = live_theory_scalars(alphas, updates, local_steps=3, local_lr=0.1)
+        assert scalars["theory.y_t"] >= 0.0
+        assert scalars["theory.corollary2_gap"] >= 0.0
+        assert scalars["theory.mean_drift_ratio"] > 0.0
+
+    def test_empty_inputs_yield_empty_dict(self):
+        assert live_theory_scalars({}, [], local_steps=3, local_lr=0.1) == {}
+        updates = [_update(7, np.ones(4))]
+        assert live_theory_scalars({0: 0.5}, updates, local_steps=3, local_lr=0.1) == {}
+
+    def test_degenerate_zero_mean_round_yields_empty_dict(self):
+        updates = [_update(0, np.zeros(4)), _update(1, np.zeros(4))]
+        alphas = {0: 0.5, 1: 0.5}
+        assert live_theory_scalars(alphas, updates, local_steps=3, local_lr=0.1) == {}
+
+
+@pytest.fixture
+def fresh_cache():
+    saved = dict(_RESULT_CACHE)
+    _RESULT_CACHE.clear()
+    yield
+    _RESULT_CACHE.clear()
+    _RESULT_CACHE.update(saved)
+
+
+class TestStrategiesPublish:
+    def _run(self, config, name):
+        with introspection_session() as introspector:
+            result = run_algorithm(
+                config, name, strategy=make_experiment_strategy(config, name)
+            )
+        return introspector, result
+
+    def test_taco_publishes_alphas_drift_and_theory(self, tiny_config, fresh_cache):
+        config = tiny_config.with_overrides(rounds=2)
+        introspector, result = self._run(config, "taco")
+        assert len(introspector.records) == config.rounds
+        assert result.diagnostics == introspector.records
+        record = introspector.records[-1]
+        assert set(record.per_client["taco.alpha"]) <= set(range(config.num_clients))
+        assert record.per_client["taco.alpha"]
+        assert "taco.drift_cosine" in record.per_client
+        assert "taco.update_norm" in record.per_client
+        assert "taco.mean_alpha" in record.scalars
+        assert "server.test_accuracy" in record.scalars
+        assert "theory.y_t" in record.scalars
+        assert "theory.corollary2_gap" in record.scalars
+
+    def test_taco_freeloader_scoreboard(self, tiny_config, fresh_cache):
+        # Detection (Eq. 10) only runs when freeloaders are configured, and
+        # round 0 is excluded — so look at the last of three rounds.
+        config = tiny_config.with_overrides(rounds=3, num_freeloaders=2)
+        introspector, _ = self._run(config, "taco")
+        record = introspector.records[-1]
+        assert "taco.threshold_hits" in record.scalars
+        assert "taco.expelled_this_round" in record.scalars
+        assert "taco.expelled_total" in record.scalars
+
+    def test_scaffold_publishes_control_norms(self, tiny_config, fresh_cache):
+        config = tiny_config.with_overrides(rounds=2)
+        introspector, _ = self._run(config, "scaffold")
+        record = introspector.records[-1]
+        assert "scaffold.server_control_norm" in record.scalars
+        assert "scaffold.client_control_norm" in record.per_client
+
+    def test_stem_publishes_momentum_norms(self, tiny_config, fresh_cache):
+        config = tiny_config.with_overrides(rounds=2)
+        introspector, _ = self._run(config, "stem")
+        record = introspector.records[-1]
+        assert "stem.momentum_norm" in record.per_client
+
+    def test_disabled_introspection_leaves_result_diagnostics_empty(
+        self, tiny_config, fresh_cache
+    ):
+        config = tiny_config.with_overrides(rounds=2)
+        result = run_algorithm(
+            config, "taco", strategy=make_experiment_strategy(config, "taco")
+        )
+        assert result.diagnostics == []

@@ -15,8 +15,12 @@ from repro.telemetry import (
     NOOP,
     PrometheusExporter,
     Telemetry,
+    escape_label_value,
     get_telemetry,
+    load_registry_jsonl,
     make_exporter,
+    registry_from_snapshot,
+    render_prometheus,
     telemetry_session,
 )
 from repro.telemetry.exporters import _json_default
@@ -98,6 +102,49 @@ def test_session_restores_on_error():
         with telemetry_session([InMemoryExporter()]):
             raise RuntimeError("boom")
     assert get_telemetry() is NOOP
+
+
+def test_jsonl_metrics_reload_losslessly(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with telemetry_session([JsonlExporter(path)], clock=FakeClock(tick=1.0)) as telemetry:
+        telemetry.counter("transport.uplink_bytes").add(1200)
+        telemetry.counter("agg.quarantined", reason="nan").add(2)
+        telemetry.gauge("taco.alpha", client=3).set(0.75)
+        for value in (3.0, 1.0, 2.0, 8.0):
+            telemetry.histogram("round.wall_seconds").observe(value)
+        original = telemetry.registry.snapshot()
+
+    reloaded = load_registry_jsonl(path)
+    assert reloaded.snapshot() == json.loads(
+        json.dumps(original, default=_json_default)
+    )
+    # The rebuilt instruments are live, not just summaries.
+    assert reloaded.counter("transport.uplink_bytes").value == 1200
+    assert reloaded.gauge("taco.alpha", client=3).value == 0.75
+    histogram = reloaded.histogram("round.wall_seconds")
+    assert histogram.observations == [3.0, 1.0, 2.0, 8.0]
+    assert histogram.quantile(0.5) == 2.5
+
+
+def test_load_registry_jsonl_requires_metrics_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(json.dumps({"type": "event", "name": "ping"}) + "\n")
+    with pytest.raises(ValueError, match="no 'metrics' event"):
+        load_registry_jsonl(path)
+
+
+def test_registry_from_snapshot_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown instrument kind"):
+        registry_from_snapshot({"m": {"kind": "meter", "series": [{"labels": {}}]}})
+
+
+def test_prometheus_escapes_label_values():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    with telemetry_session([InMemoryExporter()]) as telemetry:
+        telemetry.counter("faults.injected", mode='say "hi"\nback\\slash').add(1)
+        text = render_prometheus(telemetry.registry)
+    assert 'mode="say \\"hi\\"\\nback\\\\slash"' in text
+    assert "\n" not in text.splitlines()[1]  # the value stays on one line
 
 
 def test_numpy_values_serialise_in_events(tmp_path):

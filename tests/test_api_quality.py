@@ -29,6 +29,8 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.telemetry",
+    "repro.introspect",
+    "repro.report",
 ]
 
 
