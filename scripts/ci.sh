@@ -63,6 +63,23 @@ python -m repro.cli report out/runs/*/runrecord.json --ascii > /dev/null
 RECORD="$(ls out/runs/*/runrecord.json | head -n 1)"
 python -m repro.cli diff "$RECORD" "$RECORD"
 
+echo "==> scenario matrix smoke (2 attacks x 2 defences x 1 seed)"
+python -m repro.cli scenarios --smoke \
+    --attacks ipm adaptive --defences none geomedian --seeds 0 \
+    --out out/matrix.json --report out/matrix.html > /dev/null
+python - <<'PY'
+from repro.scenarios import load_matrix
+
+matrix = load_matrix("out/matrix.json")
+assert len(matrix["cells"]) == 6, f"expected 6 cells, got {len(matrix['cells'])}"
+verdicts = {v["attack"]: v for v in matrix["verdicts"]}
+for attack, verdict in verdicts.items():
+    assert verdict["degrades"], f"{attack} did not degrade undefended fedavg"
+    assert verdict["contained_by"], f"no defence contained {attack}"
+print("scenario smoke ok:",
+      {a: v["contained_by"] for a, v in sorted(verdicts.items())})
+PY
+
 echo "==> BENCH floor regression gate (kernels + telemetry/introspection)"
 python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json
 

@@ -7,9 +7,17 @@ from .fedavg import FedAvg
 from .fedprox import FedProx
 from .foolsgold import FoolsGold
 from .hybrid import TailoredFedProx, TailoredScaffold
-from .registry import ALL_ALGORITHMS, BASELINES, algorithm_names, make_strategy
+from .registry import (
+    ALL_ALGORITHMS,
+    BASELINES,
+    ROBUST_AGGREGATORS,
+    algorithm_names,
+    make_strategy,
+)
 from .robust import (
+    CenteredClippingAggregation,
     CoordinateMedianAggregation,
+    GeometricMedianAggregation,
     KrumAggregation,
     NormClippingAggregation,
     TrimmedMeanAggregation,
@@ -37,8 +45,11 @@ __all__ = [
     "CoordinateMedianAggregation",
     "TrimmedMeanAggregation",
     "NormClippingAggregation",
+    "GeometricMedianAggregation",
+    "CenteredClippingAggregation",
     "make_strategy",
     "algorithm_names",
     "BASELINES",
     "ALL_ALGORITHMS",
+    "ROBUST_AGGREGATORS",
 ]

@@ -17,7 +17,9 @@ from .fedprox import FedProx
 from .foolsgold import FoolsGold
 from .hybrid import TailoredFedProx, TailoredScaffold
 from .robust import (
+    CenteredClippingAggregation,
     CoordinateMedianAggregation,
+    GeometricMedianAggregation,
     KrumAggregation,
     NormClippingAggregation,
     TrimmedMeanAggregation,
@@ -48,7 +50,19 @@ _FACTORIES: Dict[str, Factory] = {
     "median": CoordinateMedianAggregation,
     "trimmed-mean": TrimmedMeanAggregation,
     "norm-clip": NormClippingAggregation,
+    "geomedian": GeometricMedianAggregation,
+    "centered-clip": CenteredClippingAggregation,
 }
+
+#: The registered Byzantine-robust aggregation rules, in presentation order.
+ROBUST_AGGREGATORS = (
+    "krum",
+    "median",
+    "trimmed-mean",
+    "norm-clip",
+    "geomedian",
+    "centered-clip",
+)
 
 #: The six baselines the paper compares against, in its presentation order.
 BASELINES = ("fedavg", "fedprox", "foolsgold", "scaffold", "stem", "fedacg")

@@ -12,15 +12,21 @@ freeloader/attack experiments can be compared against them:
   b largest and smallest values per coordinate;
 - :class:`NormClippingAggregation` — mean of updates clipped to a bounded
   multiple of the round's median norm (centered-clip style), which caps any
-  single client's influence without discarding honest heavy hitters.
+  single client's influence without discarding honest heavy hitters;
+- :class:`GeometricMedianAggregation` — the smoothed Weiszfeld iteration
+  for the geometric median (Pillutla et al., 2022);
+- :class:`CenteredClippingAggregation` — true iterative centered clipping
+  (Karimireddy et al., 2021): multi-step, centered on a momentum of the
+  previous rounds' aggregates.  ``norm-clip`` above is the single-step,
+  origin-centered special case.
 
-All three keep FedAvg's plain local update (no local correction) and scale
+All of them keep FedAvg's plain local update (no local correction) and scale
 the robust estimate by 1/(K eta_l), matching Eq. (6)'s units.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -64,14 +70,30 @@ class KrumAggregation(Strategy):
         if not updates:
             raise ValueError("cannot aggregate zero updates")
         n = len(updates)
-        neighbours = max(1, n - self.byzantine_count - 2)
+        # Krum's selection is meaningful only when n >= f + 3: each update
+        # needs at least one *honest* nearest neighbour (n - f - 2 >= 1).
+        # Silently flooring the neighbour count here used to turn Krum into
+        # an arbitrary nearest-point pick; fail loudly instead.
+        if n <= self.byzantine_count + 2:
+            raise ValueError(
+                f"Krum needs more than byzantine_count + 2 = {self.byzantine_count + 2} "
+                f"updates to score neighbours, got {n}; lower byzantine_count or "
+                "aggregate a larger cohort"
+            )
+        if self.multi > n - self.byzantine_count:
+            raise ValueError(
+                f"multi-Krum cannot average multi={self.multi} updates when only "
+                f"n - byzantine_count = {n - self.byzantine_count} of {n} are assumed "
+                "honest; lower multi or byzantine_count"
+            )
+        neighbours = n - self.byzantine_count - 2
         deltas = np.stack([u.delta for u in updates])
         distances = ((deltas[:, None, :] - deltas[None, :, :]) ** 2).sum(axis=2)
         scores = np.empty(n)
         for i in range(n):
             others = np.delete(distances[i], i)
             scores[i] = np.sort(others)[:neighbours].sum()
-        chosen = np.argsort(scores)[: min(self.multi, n)]
+        chosen = np.argsort(scores)[: self.multi]
         self.last_selected = [updates[i].client_id for i in chosen]
         selected = deltas[chosen].mean(axis=0)
         return selected / (self.local_steps * self.local_lr)
@@ -146,3 +168,146 @@ class NormClippingAggregation(Strategy):
             scales = np.minimum(1.0, tau / np.maximum(norms, 1e-12))
             deltas = deltas * scales[:, None]
         return deltas.mean(axis=0) / (self.local_steps * self.local_lr)
+
+
+class GeometricMedianAggregation(Strategy):
+    """Geometric median of the client updates via the Weiszfeld iteration.
+
+    The geometric median minimises ``sum_i ||v - Delta_i||`` — the (1/2)-
+    breakdown robust location estimate.  The smoothed Weiszfeld fixed point
+    (Pillutla et al., 2022) iterates
+
+        v <- sum_i (Delta_i / max(||Delta_i - v||, nu)) /
+             sum_i (1 / max(||Delta_i - v||, nu))
+
+    from the coordinate-wise mean until the step falls below ``tol`` (or
+    ``max_iters`` is reached).  The smoothing floor ``nu`` keeps the
+    weights finite when the iterate lands exactly on an update.
+    """
+
+    name = "geomedian"
+    has_aggregation_correction = True
+
+    def __init__(
+        self,
+        local_lr: float = 0.01,
+        local_steps: int = 10,
+        tol: float = 1e-8,
+        max_iters: int = 100,
+        smoothing: float = 1e-12,
+    ) -> None:
+        super().__init__(local_lr, local_steps)
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        if max_iters < 1:
+            raise ValueError(f"max_iters must be at least 1, got {max_iters}")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {smoothing}")
+        self.tol = tol
+        self.max_iters = max_iters
+        self.smoothing = smoothing
+        self.last_iterations = 0
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        deltas = np.stack([u.delta for u in updates])
+        median = self._weiszfeld(deltas)
+        return median / (self.local_steps * self.local_lr)
+
+    def _weiszfeld(self, deltas: np.ndarray) -> np.ndarray:
+        estimate = deltas.mean(axis=0)
+        self.last_iterations = 0
+        for _ in range(self.max_iters):
+            self.last_iterations += 1
+            distances = np.linalg.norm(deltas - estimate[None, :], axis=1)
+            weights = 1.0 / np.maximum(distances, self.smoothing)
+            refined = (weights[:, None] * deltas).sum(axis=0) / weights.sum()
+            shift = float(np.linalg.norm(refined - estimate))
+            estimate = refined
+            if shift <= self.tol:
+                break
+        return estimate
+
+
+class CenteredClippingAggregation(Strategy):
+    """Iterative centered clipping (Karimireddy et al., 2021).
+
+    Starting from a momentum-carried center ``v`` (the previous rounds'
+    aggregate, decayed by ``momentum``), each of ``iters`` steps moves the
+    center by the mean of the *clipped residuals*:
+
+        v <- v + (1/n) sum_i clip(Delta_i - v, tau)
+
+    with ``tau = clip_factor * median_i ||Delta_i - v||`` recomputed per
+    step (data-driven, like ``norm-clip``; pass ``clip_radius`` to fix it).
+    Because residuals are measured from a trusted center rather than the
+    origin, an attacker cannot exploit a large honest norm: only the
+    *disagreement* with the center is clipped.  ``norm-clip`` is exactly
+    ``iters=1, momentum=0.0`` with a fixed origin center.
+
+    The carried center is per-run state: it is reset by :meth:`reset` and
+    checkpointed via :meth:`state_dict`, so guarded rollbacks and resumes
+    stay bit-exact.
+    """
+
+    name = "centered-clip"
+    has_aggregation_correction = True
+
+    def __init__(
+        self,
+        local_lr: float = 0.01,
+        local_steps: int = 10,
+        clip_factor: float = 2.0,
+        clip_radius: Optional[float] = None,
+        iters: int = 3,
+        momentum: float = 0.9,
+    ) -> None:
+        super().__init__(local_lr, local_steps)
+        if clip_factor <= 0:
+            raise ValueError(f"clip_factor must be positive, got {clip_factor}")
+        if clip_radius is not None and clip_radius <= 0:
+            raise ValueError(f"clip_radius must be positive, got {clip_radius}")
+        if iters < 1:
+            raise ValueError(f"iters must be at least 1, got {iters}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.clip_factor = clip_factor
+        self.clip_radius = clip_radius
+        self.iters = iters
+        self.momentum = momentum
+        self._center: Optional[np.ndarray] = None
+
+    def aggregate(self, state: ServerState, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        deltas = np.stack([u.delta for u in updates])
+        if self._center is None:
+            center = np.zeros_like(deltas[0])
+        else:
+            center = self.momentum * self._center
+        for _ in range(self.iters):
+            residuals = deltas - center[None, :]
+            norms = np.linalg.norm(residuals, axis=1)
+            if self.clip_radius is not None:
+                tau = self.clip_radius
+            else:
+                tau = self.clip_factor * float(np.median(norms))
+            if tau > 0.0:
+                scales = np.minimum(1.0, tau / np.maximum(norms, 1e-12))
+                residuals = residuals * scales[:, None]
+            center = center + residuals.mean(axis=0)
+        self._center = center.copy()
+        return center / (self.local_steps * self.local_lr)
+
+    def reset(self) -> None:
+        self._center = None
+
+    def state_dict(self) -> Dict[str, Any]:
+        if self._center is None:
+            return {}
+        return {"center": self._center.copy()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        center = state.get("center")
+        self._center = None if center is None else np.asarray(center, dtype=float).copy()

@@ -1,14 +1,31 @@
-"""Attacks (freeloaders, poisoning) and detection metrics."""
+"""Attacks (freeloaders, poisoning), the attack registry and detection metrics."""
 
 from .detection import DetectionReport, evaluate_detection
 from .freeloader import FreeloaderClient
-from .poisoning import ALIEClient, GaussianNoiseClient, SignFlipClient
+from .poisoning import (
+    ALIEClient,
+    AdaptiveAttackClient,
+    GaussianNoiseClient,
+    IPMClient,
+    LabelFlipClient,
+    MimicClient,
+    SignFlipClient,
+)
+from .registry import ATTACK_CLIENTS, attack_class, attack_names, make_attack_client
 
 __all__ = [
     "FreeloaderClient",
     "SignFlipClient",
     "GaussianNoiseClient",
     "ALIEClient",
+    "IPMClient",
+    "MimicClient",
+    "LabelFlipClient",
+    "AdaptiveAttackClient",
+    "ATTACK_CLIENTS",
+    "attack_class",
+    "attack_names",
+    "make_attack_client",
     "DetectionReport",
     "evaluate_detection",
 ]

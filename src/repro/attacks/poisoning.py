@@ -10,12 +10,27 @@ poisoning behaviours the Byzantine-robust aggregators in
   plausible update;
 - :class:`ALIEClient` — "a little is enough" (Baruch et al., 2019): a
   small, statistics-matched perturbation that stays inside the benign
-  update distribution, evading norm-based quarantine gates.
+  update distribution, evading norm-based quarantine gates;
+- :class:`IPMClient` — inner-product manipulation (Xie et al., 2020): a
+  small upload pointed against the estimated benign mean, flipping the
+  sign of ``<mean update, aggregate>`` without a detectable norm;
+- :class:`MimicClient` — replays an honest victim's data distribution
+  (Karimireddy et al., 2022), amplifying one client's skew under
+  heterogeneity while looking perfectly benign;
+- :class:`LabelFlipClient` — data poisoning: trains honestly but on
+  permuted labels, so the gradient itself is wrong;
+- :class:`AdaptiveAttackClient` — an omniscient attacker that knows the
+  defence's acceptance region and scales its malicious update to sit just
+  inside it.
+
+Every attack class sets ``is_malicious = True`` so experiment plumbing and
+detection metrics can identify ground truth; the registry sweep in
+``tests/attacks/test_attack_determinism.py`` enforces the convention.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -114,4 +129,162 @@ class ALIEClient(Client):
         mu = float(delta.mean())
         sigma = float(delta.std())
         update.delta = np.full_like(delta, mu) - self.z_max * sigma * np.sign(delta)
+        return update
+
+
+class IPMClient(Client):
+    """Inner-product manipulation (Xie et al., 2020), single-upload form.
+
+    The classic IPM uploads ``-epsilon * mean(benign updates)``: for small
+    ``epsilon`` the poisoned aggregate keeps a *negative* inner product with
+    the true mean — the server ascends instead of descends — while the
+    upload's norm is a fraction of an honest one, so no norm or distance
+    gate ever fires.
+
+    A simulation client cannot read its peers' uploads, but it does observe
+    every broadcast: ``w_{t-1} - w_t`` is exactly the server's previous
+    aggregate step, i.e. the best available estimate of the benign mean
+    direction.  The attacker remembers the previous broadcast, uploads
+    ``-epsilon``-scaled times that direction (norm-matched to ``epsilon``
+    of its own honest update), and falls back to its negated own update in
+    round 0 when no history exists yet.
+    """
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        epsilon: float = 0.5,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+        self._prev_broadcast: Optional[np.ndarray] = None
+
+    def local_round(self, model, strategy, global_params, payload: Dict[str, Any], cost_model: CostModel) -> ClientUpdate:
+        update = super().local_round(model, strategy, global_params, payload, cost_model)
+        honest_norm = float(np.linalg.norm(update.delta))
+        direction = None
+        if self._prev_broadcast is not None:
+            step = self._prev_broadcast - global_params  # eta_g * Delta_{t-1}
+            step_norm = float(np.linalg.norm(step))
+            if step_norm > 1e-12:
+                direction = step / step_norm
+        self._prev_broadcast = global_params.copy()
+        if direction is None:
+            # Round 0 (or a stalled server): negate the only mean estimate
+            # the attacker has — its own honest update.
+            if honest_norm > 1e-12:
+                direction = update.delta / honest_norm
+            else:
+                return update
+        update.delta = -self.epsilon * honest_norm * direction
+        return update
+
+
+class MimicClient(Client):
+    """Mimic attack (Karimireddy et al., 2022): impersonate an honest victim.
+
+    Every mimic trains honestly — but on the *victim's* data shard, with a
+    mini-batch stream seeded identically to the victim's.  All mimics (and
+    the victim itself) therefore upload byte-identical deltas, multiplying
+    one client's data distribution by the attacker count.  Under non-IID
+    partitions this silently drags the global model toward the victim's
+    skew; every upload is indistinguishable from an honest one, so it
+    defeats outlier-based defences by construction (the attack *reduces*
+    apparent variance).
+
+    ``repro.experiments.runner.make_clients`` wires the victim's dataset
+    and RNG stream automatically; constructed standalone, the client simply
+    trains on whatever shard it is given.
+    """
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        victim_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        self.victim_id = victim_id
+
+
+class LabelFlipClient(Client):
+    """Static label-flipping data poisoning: train on permuted labels.
+
+    The shard's labels are remapped ``y -> (C - 1) - y`` at construction
+    (the standard "flip" permutation; an involution, so it is its own
+    inverse).  Local training is otherwise completely honest — honest
+    norms, honest timing — but the gradient optimises the wrong objective,
+    which no upload-level gate can see.  Defence has to come from
+    aggregation geometry or from detection of the resulting drift.
+    """
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        num_classes: Optional[int] = None,
+    ) -> None:
+        classes = num_classes if num_classes is not None else dataset.num_classes
+        if classes < 2:
+            raise ValueError(f"label flipping needs >= 2 classes, got {classes}")
+        flipped = TensorDataset(dataset.features, (classes - 1) - dataset.labels)
+        super().__init__(client_id, flipped, batch_size, rng, speed_factor)
+        self.num_classes = classes
+
+
+class AdaptiveAttackClient(Client):
+    """Omniscient adaptive attacker: maximal poison inside the acceptance gate.
+
+    Models the strongest norm-constrained adversary: it *knows* the
+    defence's acceptance region (the degradation quarantine flags uploads
+    beyond ``norm_outlier_factor`` x the round-median norm; norm-clipping
+    caps at ``clip_factor`` x median) and uploads the most damaging vector
+    that still passes — the negated honest direction scaled to ``margin *
+    acceptance_factor`` times its own honest norm (the attacker's proxy for
+    the round median).  With the default ×25 quarantine gate this is a
+    ~22x-amplified sign flip that sails through every per-upload check;
+    only robust aggregation or the guard's trend detectors contain it.
+    """
+
+    is_malicious = True
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: TensorDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        speed_factor: float = 1.0,
+        acceptance_factor: float = 25.0,
+        margin: float = 0.9,
+    ) -> None:
+        super().__init__(client_id, dataset, batch_size, rng, speed_factor)
+        if acceptance_factor <= 0:
+            raise ValueError(f"acceptance_factor must be positive, got {acceptance_factor}")
+        if not 0.0 < margin < 1.0:
+            raise ValueError(f"margin must be in (0, 1), got {margin}")
+        self.acceptance_factor = acceptance_factor
+        self.margin = margin
+
+    def local_round(self, model, strategy, global_params, payload: Dict[str, Any], cost_model: CostModel) -> ClientUpdate:
+        update = super().local_round(model, strategy, global_params, payload, cost_model)
+        update.delta = -(self.margin * self.acceptance_factor) * update.delta
         return update

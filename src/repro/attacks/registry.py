@@ -1,0 +1,67 @@
+"""Attack registry: named poisoning-client factories.
+
+One place maps attack kind names to client classes, so the experiment
+config, the client factory and the scenario grid all agree on what exists —
+and an unknown name fails with the full list of registered kinds instead of
+a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from ..data.dataset import TensorDataset
+from ..fl.client import Client
+from .poisoning import (
+    ALIEClient,
+    AdaptiveAttackClient,
+    GaussianNoiseClient,
+    IPMClient,
+    LabelFlipClient,
+    MimicClient,
+    SignFlipClient,
+)
+
+#: Attack kind -> client class.  Keys are the names accepted by
+#: ``ExperimentConfig(attack=...)`` and ``repro scenarios --attacks``.
+ATTACK_CLIENTS: Dict[str, Type[Client]] = {
+    "sign-flip": SignFlipClient,
+    "gaussian": GaussianNoiseClient,
+    "alie": ALIEClient,
+    "ipm": IPMClient,
+    "mimic": MimicClient,
+    "label-flip": LabelFlipClient,
+    "adaptive": AdaptiveAttackClient,
+}
+
+
+def attack_names() -> tuple[str, ...]:
+    """All registered attack kinds, sorted."""
+    return tuple(sorted(ATTACK_CLIENTS))
+
+
+def attack_class(kind: str) -> Type[Client]:
+    """Look up an attack client class; unknown kinds list what exists."""
+    try:
+        return ATTACK_CLIENTS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown attack {kind!r}; registered attacks: {', '.join(attack_names())}"
+        ) from None
+
+
+def make_attack_client(
+    kind: str,
+    client_id: int,
+    dataset: TensorDataset,
+    batch_size: int,
+    rng: np.random.Generator,
+    speed_factor: float = 1.0,
+    **kwargs,
+) -> Client:
+    """Instantiate one attack client by kind name."""
+    return attack_class(kind)(
+        client_id, dataset, batch_size, rng, speed_factor=speed_factor, **kwargs
+    )

@@ -9,6 +9,8 @@ Examples::
     python -m repro.cli run --algorithm taco --checkpoint-dir ckpt --resume
     python -m repro.cli compare --dataset adult --algorithms fedavg taco
     python -m repro.cli experiment table5 --datasets adult fmnist
+    python -m repro.cli scenarios --smoke --out out/matrix.json
+    python -m repro.cli scenarios --attacks ipm adaptive --defences none geomedian guard
     python -m repro.cli run --algorithm taco --introspect --record-dir out/runs
     python -m repro.cli report out/runs/adult-taco-s0/runrecord.json --out out/report.html
     python -m repro.cli diff out/runs/a/runrecord.json out/runs/b/runrecord.json
@@ -373,6 +375,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         table6_ablation,
         table7_scalability,
         table8_freeloader_sensitivity,
+        table9_attack_matrix,
         theory_overcorrection,
     )
 
@@ -389,6 +392,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "table6": table6_ablation,
         "table7": table7_scalability,
         "table8": table8_freeloader_sensitivity,
+        "table9": table9_attack_matrix,
         "fig7": fig7_gamma_sensitivity,
         "theory": theory_overcorrection,
         "faults": fault_tolerance,
@@ -420,6 +424,9 @@ def _dispatch_experiment(module, args: argparse.Namespace) -> int:
     elif args.name == "chaos":
         config = default_config_for(args.datasets[0]) if args.datasets else None
         result = module.run_chaos(config)
+    elif args.name == "table9":
+        config = default_config_for(args.datasets[0]) if args.datasets else None
+        result = module.run(config)
     elif args.name in ("table2", "table8"):
         config = default_config_for(args.datasets[0] if args.datasets else "fmnist").with_overrides(
             num_freeloaders=4
@@ -433,24 +440,100 @@ def _dispatch_experiment(module, args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """``repro report`` — render run records to an HTML dashboard or ASCII."""
+    """``repro report`` — render run records (and scenario matrices) to HTML/ASCII."""
     from pathlib import Path
 
     from .analysis.runrecords import load_records
-    from .report import render_ascii, render_html
+    from .report import render_ascii, render_html, render_matrix_ascii
+    from .scenarios import MATRIX_KIND, MatrixError, validate_matrix
 
+    record_paths: List[str] = []
+    matrices = []
+    for path in args.records:
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot load {path}: {error}", file=sys.stderr)
+            return 2
+        if isinstance(raw, dict) and raw.get("kind") == MATRIX_KIND:
+            try:
+                matrices.append(validate_matrix(raw))
+            except MatrixError as error:
+                print(f"cannot load scenario matrix {path}: {error}", file=sys.stderr)
+                return 2
+        else:
+            record_paths.append(path)
     try:
-        records = load_records(args.records)
+        records = load_records(record_paths)
     except (OSError, RunRecordError, json.JSONDecodeError) as error:
         print(f"cannot load run records: {error}", file=sys.stderr)
         return 2
+    if not records and not matrices:
+        print("no run records or scenario matrices to render", file=sys.stderr)
+        return 2
     if args.ascii:
-        print(render_ascii(records, title=args.title))
+        chunks = [render_ascii(records, title=args.title)] if records else []
+        chunks.extend(render_matrix_ascii(matrix) for matrix in matrices)
+        print("\n\n".join(chunks))
         return 0
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(render_html(records, title=args.title), encoding="utf-8")
+    out.write_text(
+        render_html(records, title=args.title, matrices=matrices), encoding="utf-8"
+    )
     print(f"wrote {out}")
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """``repro scenarios`` — run the attack × defence × algorithm grid."""
+    import dataclasses
+    from pathlib import Path
+
+    from .report import render_matrix_ascii, render_html
+    from .scenarios import MatrixSpec, run_matrix, smoke_spec, write_matrix
+
+    try:
+        if args.smoke:
+            spec = smoke_spec(seed=args.seeds[0] if args.seeds else 0)
+            overrides = {}
+            if args.attacks:
+                overrides["attacks"] = tuple(args.attacks)
+            if args.defences:
+                overrides["defences"] = tuple(args.defences)
+            if args.algorithms:
+                overrides["algorithms"] = tuple(args.algorithms)
+            if args.seeds:
+                overrides["seeds"] = tuple(args.seeds)
+            if overrides:
+                spec = dataclasses.replace(spec, **overrides)
+        else:
+            spec = MatrixSpec(
+                attacks=tuple(args.attacks or MatrixSpec.attacks),
+                defences=tuple(args.defences or MatrixSpec.defences),
+                algorithms=tuple(args.algorithms or MatrixSpec.algorithms),
+                phis=tuple(args.phis) if args.phis else MatrixSpec.phis,
+                seeds=tuple(args.seeds) if args.seeds else MatrixSpec.seeds,
+                num_attackers=args.attackers,
+                base=_config_from_args(args),
+            )
+    except ValueError as error:
+        print(f"invalid scenario grid: {error}", file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        if args.record_dir:
+            stack.enter_context(recording_session(args.record_dir))
+        matrix = run_matrix(spec)
+    out = write_matrix(matrix, args.out)
+    print(render_matrix_ascii(matrix))
+    print(f"wrote {out}")
+    if args.report:
+        report = Path(args.report)
+        report.parent.mkdir(parents=True, exist_ok=True)
+        report.write_text(
+            render_html([], title=args.title, matrices=[matrix]), encoding="utf-8"
+        )
+        print(f"wrote {report}")
     return 0
 
 
@@ -508,12 +591,17 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    """``repro list`` — show datasets, algorithms and experiment ids."""
+    """``repro list`` — show datasets, algorithms, attacks, defences and experiments."""
+    from .attacks import attack_names
+    from .scenarios import defence_names
+
     print("datasets:  ", " ".join(sorted(dataset_names())))
     print("algorithms:", " ".join(sorted(algorithm_names())))
+    print("attacks:   ", " ".join(attack_names()))
+    print("defences:  ", " ".join(defence_names()))
     print(
         "experiments:",
-        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 fig7 theory faults chaos",
+        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 table9 fig7 theory faults chaos",
     )
     return 0
 
@@ -553,6 +641,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a runrecord.json per simulated run under DIR",
     )
     exp_p.set_defaults(func=cmd_experiment)
+
+    scen_p = sub.add_parser(
+        "scenarios", help="run the attack × defence × algorithm grid"
+    )
+    from .attacks import attack_names as _attack_names
+    from .scenarios.defences import defence_names as _defence_names
+
+    scen_p.add_argument(
+        "--smoke", action="store_true",
+        help="run the tiny deterministic CI grid (4 attacks × 3 defences on "
+        "small adult, one seed); other axis flags override its axes",
+    )
+    scen_p.add_argument(
+        "--attacks", nargs="+", default=None, choices=sorted(_attack_names()),
+        metavar="ATTACK", help=f"attack axis; registered: {', '.join(_attack_names())}",
+    )
+    scen_p.add_argument(
+        "--defences", nargs="+", default=None, choices=list(_defence_names()),
+        metavar="DEFENCE", help=f"defence axis; registered: {', '.join(_defence_names())}",
+    )
+    scen_p.add_argument(
+        "--algorithms", nargs="+", default=None, choices=sorted(algorithm_names()),
+        metavar="ALGO", help="algorithm axis",
+    )
+    scen_p.add_argument(
+        "--phis", nargs="+", type=float, default=None, metavar="PHI",
+        help="Dirichlet non-IID levels (default: 0.5)",
+    )
+    scen_p.add_argument(
+        "--seeds", nargs="+", type=int, default=None, metavar="SEED",
+        help="seeds averaged per cell (default: 0 1)",
+    )
+    scen_p.add_argument(
+        "--attackers", type=int, default=2,
+        help="clients replaced by attack clients in poisoned cells (default: 2)",
+    )
+    scen_p.add_argument("--out", default="out/matrix.json", help="matrix JSON output path")
+    scen_p.add_argument(
+        "--report", default=None, metavar="HTML",
+        help="also render the heat-grid HTML report to this path",
+    )
+    scen_p.add_argument("--title", default="repro scenario matrix")
+    scen_p.add_argument(
+        "--record-dir", default=None, metavar="DIR",
+        help="write a runrecord.json per cell run under DIR",
+    )
+    _add_config_arguments(scen_p)
+    scen_p.set_defaults(func=cmd_scenarios)
 
     report_p = sub.add_parser("report", help="render run records to an HTML/ASCII report")
     report_p.add_argument("records", nargs="+", help="runrecord.json paths")

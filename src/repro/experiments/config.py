@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..attacks.registry import attack_names
 from ..data.registry import get_spec
 
-#: Poisoning-attack client kinds (see :mod:`repro.attacks.poisoning`).
-ATTACK_KINDS = ("sign-flip", "gaussian", "alie")
+#: Poisoning-attack client kinds (see :mod:`repro.attacks.registry`).
+ATTACK_KINDS = attack_names()
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,10 @@ class ExperimentConfig:
         if self.rounds <= 0 or self.local_steps <= 0 or self.batch_size <= 0:
             raise ValueError("rounds, local_steps and batch_size must be positive")
         if self.attack is not None and self.attack not in ATTACK_KINDS:
-            raise ValueError(f"unknown attack {self.attack!r}; known: {ATTACK_KINDS}")
+            raise ValueError(
+                f"unknown attack {self.attack!r}; registered attacks: "
+                f"{', '.join(ATTACK_KINDS)}"
+            )
         if self.num_attackers < 0 or self.num_attackers >= self.num_clients:
             raise ValueError(
                 f"num_attackers must be in [0, num_clients), got {self.num_attackers}"

@@ -18,7 +18,7 @@ import numpy as np
 from ..algorithms import make_strategy
 from ..algorithms.base import Strategy
 from ..autograd import get_default_dtype
-from ..attacks import ALIEClient, FreeloaderClient, GaussianNoiseClient, SignFlipClient
+from ..attacks import FreeloaderClient, make_attack_client
 from ..data.dataset import TensorDataset
 from ..data.registry import FederatedDataBundle, load_dataset
 from ..fl import Client, CostModel, FederatedSimulation, SimulationResult, sample_speed_factors
@@ -95,12 +95,25 @@ def _build_environment(config: ExperimentConfig) -> Environment:
     )
 
 
-#: config.attack value -> poisoning client class.
-_ATTACK_CLIENTS = {
-    "sign-flip": SignFlipClient,
-    "gaussian": GaussianNoiseClient,
-    "alie": ALIEClient,
-}
+def _attack_kwargs(env: Environment, cid: int) -> dict:
+    """Attack-specific constructor extras for one attacker client.
+
+    Mimic attackers replicate a victim's shard and RNG stream so their
+    uploads stay byte-identical to the victim's; label-flip needs the task's
+    class count to build the permuted shard.
+    """
+    config = env.config
+    if config.attack == "mimic":
+        benign = env.benign_ids
+        victim = benign[0] if benign else next(c for c in range(config.num_clients) if c != cid)
+        return {
+            "victim_id": victim,
+            "dataset": env.client_datasets[victim],
+            "rng": np.random.default_rng(config.seed * 10_000 + victim),
+        }
+    if config.attack == "label-flip":
+        return {"num_classes": env.bundle.train.num_classes}
+    return {}
 
 
 def make_clients(env: Environment) -> List[Client]:
@@ -110,14 +123,16 @@ def make_clients(env: Environment) -> List[Client]:
     for cid in range(config.num_clients):
         client_rng = np.random.default_rng(config.seed * 10_000 + cid)
         if cid in env.attacker_ids:
-            attack_cls = _ATTACK_CLIENTS[config.attack]
+            kwargs = _attack_kwargs(env, cid)
             clients.append(
-                attack_cls(
+                make_attack_client(
+                    config.attack,
                     cid,
-                    env.client_datasets[cid],
+                    kwargs.pop("dataset", env.client_datasets[cid]),
                     config.batch_size,
-                    client_rng,
+                    kwargs.pop("rng", client_rng),
                     speed_factor=float(env.speed_factors[cid]),
+                    **kwargs,
                 )
             )
         elif cid in env.freeloader_ids:

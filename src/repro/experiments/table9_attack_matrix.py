@@ -1,0 +1,77 @@
+"""Table IX analogue — the adversarial scenario matrix.
+
+Not a table from the paper: this grid extends the paper's robustness story
+(freeloaders, Table VIII) to active poisoning.  It crosses the ByzFL-grade
+attack suite (:mod:`repro.attacks.poisoning`) with the server defences
+(:mod:`repro.scenarios.defences`) over the algorithm axis the paper
+evaluates, and reports per-cell mean accuracy ± 95% CI plus breakdown
+verdicts: which attacks break the undefended algorithm, and which defences
+contain them.
+
+The full default grid is deliberately heavier than the other experiment
+modules (hundreds of small runs); ``repro scenarios --smoke`` is the
+seconds-scale subset used by CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..report import render_matrix_ascii
+from ..scenarios import MatrixSpec, run_matrix
+from .config import ExperimentConfig
+
+
+@dataclass
+class AttackMatrixResult:
+    """The scenario-matrix artifact plus its ASCII rendering."""
+
+    matrix: Dict[str, Any]
+
+    @property
+    def verdicts(self) -> list:
+        return self.matrix["verdicts"]
+
+    @property
+    def cells(self) -> list:
+        return self.matrix["cells"]
+
+    def render(self) -> str:
+        return render_matrix_ascii(self.matrix)
+
+
+def default_spec(config: Optional[ExperimentConfig] = None) -> MatrixSpec:
+    """The default Table IX grid over a small adult config."""
+    base = config or ExperimentConfig(
+        dataset="adult",
+        num_clients=8,
+        rounds=12,
+        local_steps=5,
+        batch_size=16,
+        train_size=240,
+        test_size=80,
+    )
+    return MatrixSpec(
+        attacks=("sign-flip", "ipm", "mimic", "label-flip", "adaptive"),
+        defences=("none", "median", "geomedian", "guard"),
+        algorithms=("fedavg", "taco", "scaffold", "foolsgold"),
+        phis=(0.1,),
+        seeds=(0, 1),
+        num_attackers=2,
+        base=base,
+    )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    spec: Optional[MatrixSpec] = None,
+) -> AttackMatrixResult:
+    """Run the attack × defence × algorithm grid.
+
+    Pass ``spec`` for full control of the axes; otherwise ``config`` (or
+    the small adult default) becomes the base of :func:`default_spec`.
+    """
+    if spec is None:
+        spec = default_spec(config)
+    return AttackMatrixResult(matrix=run_matrix(spec))

@@ -40,6 +40,8 @@ class Client:
     """
 
     is_freeloader = False
+    #: Ground-truth adversary flag; attack subclasses (repro.attacks) set it.
+    is_malicious = False
 
     def __init__(
         self,

@@ -18,11 +18,14 @@ from .diff import (
     render_deltas,
 )
 from .html import render_html
+from .matrix import render_matrix_ascii, render_matrix_html
 from .text import render_ascii
 
 __all__ = [
     "render_html",
     "render_ascii",
+    "render_matrix_html",
+    "render_matrix_ascii",
     "FieldDelta",
     "diff_records",
     "render_deltas",

@@ -83,6 +83,10 @@ th { color: var(--ink-3); font-weight: 500; border-bottom: 1px solid var(--grid)
 td:first-child, th:first-child { text-align: left; }
 .config-table td, .config-table th { font-size: 12px; }
 .section-note { color: var(--ink-3); font-size: 12px; margin: 18px 0 8px; }
+.matrix-panel { margin-top: 16px; }
+.matrix-table { width: 100%; }
+.matrix-table td { text-align: center; padding: 4px 8px; border-radius: 3px; }
+.matrix-table td:first-child { text-align: left; }
 """
 
 
@@ -302,10 +306,17 @@ def _config_section(records: List[Dict[str, Any]]) -> str:
     )
 
 
-def render_html(records: List[Dict[str, Any]], title: str = "repro run report") -> str:
-    """Render validated run records into one self-contained HTML page."""
+def render_html(
+    records: List[Dict[str, Any]],
+    title: str = "repro run report",
+    matrices: Optional[List[Dict[str, Any]]] = None,
+) -> str:
+    """Render validated run records (and scenario matrices) into one page."""
+    matrices = matrices or []
+    if not records and not matrices:
+        raise ValueError("need at least one run record or scenario matrix")
     if not records:
-        raise ValueError("need at least one run record")
+        return _render_page(title, "scenario matrix", "", "", matrices)
     panels: List[str] = []
     panels.append(
         _panel(
@@ -399,6 +410,25 @@ def render_html(records: List[Dict[str, Any]], title: str = "repro run report") 
                 )
             )
     subtitle = " · ".join(record_label(r) for r in records)
+    return _render_page(
+        title,
+        subtitle,
+        _tiles(records) + f'<div class="grid">{"".join(panels)}</div>',
+        _config_section(records),
+        matrices,
+    )
+
+
+def _render_page(
+    title: str,
+    subtitle: str,
+    body: str,
+    footer: str,
+    matrices: List[Dict[str, Any]],
+) -> str:
+    from .matrix import render_matrix_html
+
+    matrix_sections = "".join(render_matrix_html(matrix) for matrix in matrices)
     return (
         "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
         f"<title>{_html.escape(title)}</title>"
@@ -406,8 +436,8 @@ def render_html(records: List[Dict[str, Any]], title: str = "repro run report") 
         '<body class="viz-root">'
         f"<h1>{_html.escape(title)}</h1>"
         f'<p class="subtitle">{_html.escape(subtitle)}</p>'
-        + _tiles(records)
-        + f'<div class="grid">{"".join(panels)}</div>'
-        + _config_section(records)
+        + body
+        + matrix_sections
+        + footer
         + "</body></html>\n"
     )

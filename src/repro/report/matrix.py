@@ -1,0 +1,159 @@
+"""Heat-grid rendering for scenario-matrix artifacts (``repro report``).
+
+One grid per (algorithm, phi) block: attacks down, defences across, each
+cell carrying mean accuracy ± the 95% CI over seeds.  Cell shading encodes
+accuracy through the palette's first series colour mixed against the
+surface (``color-mix``), but identity is never colour-alone — every cell
+prints its numbers, and the verdict column spells out degradation and
+containment in text.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis import render_table
+
+
+def _phi_label(phi: Optional[float]) -> str:
+    return "default partition" if phi is None else f"phi={phi:g}"
+
+
+def _cell_index(matrix: Dict[str, Any]) -> Dict[Tuple, Dict[str, Any]]:
+    return {
+        (c["attack"], c["defence"], c["algorithm"], c.get("phi")): c
+        for c in matrix["cells"]
+    }
+
+
+def _blocks(matrix: Dict[str, Any]) -> List[Tuple[str, Optional[float]]]:
+    spec = matrix["spec"]
+    return [(algorithm, phi) for phi in spec["phis"] for algorithm in spec["algorithms"]]
+
+
+def _fmt_cell(cell: Optional[Dict[str, Any]]) -> str:
+    if cell is None:
+        return ""
+    text = f"{cell['mean_accuracy']:.1%}"
+    if cell.get("ci95"):
+        text += f" ±{cell['ci95']:.1%}"
+    if cell.get("diverged"):
+        text += f" ({cell['diverged']}×div)"
+    return text
+
+
+def _heat_style(cell: Optional[Dict[str, Any]], lo: float, hi: float) -> str:
+    if cell is None:
+        return ""
+    span = max(hi - lo, 1e-9)
+    weight = (cell["mean_accuracy"] - lo) / span
+    percent = int(round(8 + 52 * max(0.0, min(1.0, weight))))
+    return (
+        f"background: color-mix(in srgb, var(--series-1) {percent}%, var(--surface-1));"
+    )
+
+
+def render_matrix_html(matrix: Dict[str, Any]) -> str:
+    """One report chapter: heat grids plus the verdict table."""
+    spec = matrix["spec"]
+    index = _cell_index(matrix)
+    attacks = ["clean"] + list(spec["attacks"])
+    defences = list(spec["defences"])
+    accuracies = [c["mean_accuracy"] for c in matrix["cells"]]
+    lo, hi = min(accuracies), max(accuracies)
+
+    sections: List[str] = [
+        '<p class="section-note">Attack × defence matrix — mean accuracy ± 95% CI '
+        f'over seeds {spec["seeds"]}, {spec["num_attackers"]} attackers</p>'
+    ]
+    for algorithm, phi in _blocks(matrix):
+        header = "".join(f"<th>{_html.escape(d)}</th>" for d in defences)
+        rows = []
+        for attack in attacks:
+            cells = []
+            for defence in defences:
+                cell = index.get((attack, defence, algorithm, phi))
+                style = _heat_style(cell, lo, hi)
+                cells.append(f'<td style="{style}">{_fmt_cell(cell)}</td>')
+            rows.append(f"<tr><td>{_html.escape(attack)}</td>{''.join(cells)}</tr>")
+        sections.append(
+            '<div class="panel matrix-panel">'
+            f"<h2>{_html.escape(algorithm)} — {_html.escape(_phi_label(phi))}</h2>"
+            '<p class="desc">rows: attacks (clean = unpoisoned baseline); '
+            "columns: defences; shading tracks mean accuracy</p>"
+            f'<table class="matrix-table"><tr><th>attack</th>{header}</tr>'
+            f"{''.join(rows)}</table></div>"
+        )
+
+    verdicts = matrix.get("verdicts", [])
+    if verdicts:
+        rows = []
+        for v in verdicts:
+            contained = ", ".join(v["contained_by"]) or "—"
+            rows.append(
+                "<tr>"
+                f"<td>{_html.escape(v['attack'])}</td>"
+                f"<td>{_html.escape(v['algorithm'])}</td>"
+                f"<td>{_html.escape(_phi_label(v.get('phi')))}</td>"
+                f"<td>{v['clean_accuracy']:.1%}</td>"
+                f"<td>{v['attacked_accuracy']:.1%}</td>"
+                f"<td>{'yes' if v['degrades'] else 'no'}</td>"
+                f"<td>{_html.escape(contained)}</td>"
+                "</tr>"
+            )
+        sections.append(
+            '<div class="panel matrix-panel"><h2>Breakdown verdicts</h2>'
+            '<p class="desc">degrades: undefended accuracy drop exceeds the '
+            "threshold; contained by: defences holding their clean accuracy "
+            "under this attack (or recovering most of the drop)</p>"
+            "<table><tr><th>attack</th><th>algorithm</th><th>partition</th>"
+            "<th>clean</th><th>attacked</th><th>degrades</th><th>contained by</th></tr>"
+            f"{''.join(rows)}</table></div>"
+        )
+    return "".join(sections)
+
+
+def render_matrix_ascii(matrix: Dict[str, Any]) -> str:
+    """ASCII fallback: one table per (algorithm, phi) block plus verdicts."""
+    spec = matrix["spec"]
+    index = _cell_index(matrix)
+    attacks = ["clean"] + list(spec["attacks"])
+    defences = list(spec["defences"])
+    sections: List[str] = []
+    for algorithm, phi in _blocks(matrix):
+        rows = []
+        for attack in attacks:
+            cells = [attack]
+            for defence in defences:
+                cells.append(_fmt_cell(index.get((attack, defence, algorithm, phi))))
+            rows.append(cells)
+        sections.append(
+            render_table(
+                ["attack"] + defences,
+                rows,
+                title=f"attack × defence — {algorithm}, {_phi_label(phi)}",
+            )
+        )
+    verdicts = matrix.get("verdicts", [])
+    if verdicts:
+        rows = [
+            [
+                v["attack"],
+                v["algorithm"],
+                _phi_label(v.get("phi")),
+                f"{v['clean_accuracy']:.1%}",
+                f"{v['attacked_accuracy']:.1%}",
+                "yes" if v["degrades"] else "no",
+                ", ".join(v["contained_by"]) or "-",
+            ]
+            for v in verdicts
+        ]
+        sections.append(
+            render_table(
+                ["attack", "algorithm", "partition", "clean", "attacked", "degrades", "contained by"],
+                rows,
+                title="breakdown verdicts",
+            )
+        )
+    return "\n\n".join(sections)

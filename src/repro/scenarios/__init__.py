@@ -1,0 +1,38 @@
+"""Adversarial scenario grids: attacks x defences x algorithms.
+
+:mod:`repro.scenarios.defences` defines the defence axis (robust-aggregator
+wrappers, the self-healing guard) and :mod:`repro.scenarios.matrix` the grid
+runner plus the deterministic ``scenario-matrix`` JSON artifact rendered by
+``repro report``.
+"""
+
+from .defences import AggregationDefence, ResolvedDefence, defence_names, resolve_defence
+from .matrix import (
+    CLEAN,
+    MATRIX_KIND,
+    MATRIX_SCHEMA_VERSION,
+    MatrixError,
+    MatrixSpec,
+    load_matrix,
+    run_matrix,
+    smoke_spec,
+    validate_matrix,
+    write_matrix,
+)
+
+__all__ = [
+    "AggregationDefence",
+    "ResolvedDefence",
+    "defence_names",
+    "resolve_defence",
+    "MatrixSpec",
+    "MatrixError",
+    "run_matrix",
+    "smoke_spec",
+    "validate_matrix",
+    "write_matrix",
+    "load_matrix",
+    "CLEAN",
+    "MATRIX_KIND",
+    "MATRIX_SCHEMA_VERSION",
+]

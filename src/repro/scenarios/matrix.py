@@ -1,0 +1,355 @@
+"""Attack x defence x algorithm grid harness (``repro scenarios``).
+
+:func:`run_matrix` crosses poisoning attacks, server defences, algorithms,
+non-IID levels and seeds over one base config, and emits a deterministic
+*scenario matrix* artifact: per-cell mean accuracy with a 95% confidence
+interval, plus breakdown verdicts — did the attack degrade the undefended
+run, and which defences contained it.
+
+Determinism contract mirrors ``runrecord.json``: the matrix is serialised
+with :func:`repro.runrecord.canonical_json` and every wall-clock-derived
+field lives under the single top-level ``timing`` key, so two runs of the
+same spec produce byte-identical files once ``timing`` is dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms import algorithm_names
+from ..attacks import attack_names, evaluate_detection
+from ..experiments import (
+    ExperimentConfig,
+    build_environment,
+    make_experiment_strategy,
+    run_algorithm,
+)
+from ..runrecord import canonical_json
+from .defences import defence_names, resolve_defence
+
+#: Schema version of the scenario-matrix artifact.
+MATRIX_SCHEMA_VERSION = 1
+
+#: Marker distinguishing matrix artifacts from run records.
+MATRIX_KIND = "scenario-matrix"
+
+#: Pseudo-attack name for the unpoisoned baseline cells.
+CLEAN = "clean"
+
+
+class MatrixError(ValueError):
+    """A scenario matrix failed validation."""
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One grid: which axes to cross over which base config.
+
+    ``phis`` entries are Dirichlet concentrations (``None`` keeps the base
+    config's partition); ``num_attackers`` clients are replaced by attack
+    clients in every poisoned cell.  A ``clean`` attack column is always
+    included — it anchors the degradation/containment verdicts.
+    """
+
+    attacks: Tuple[str, ...] = ("sign-flip", "ipm", "mimic", "label-flip", "adaptive")
+    defences: Tuple[str, ...] = ("none", "median", "geomedian", "guard")
+    algorithms: Tuple[str, ...] = ("fedavg", "taco", "scaffold", "foolsgold")
+    phis: Tuple[Optional[float], ...] = (0.5,)
+    seeds: Tuple[int, ...] = (0, 1)
+    num_attackers: int = 2
+    base: ExperimentConfig = field(default_factory=ExperimentConfig)
+    #: Absolute accuracy drop (vs the clean undefended run) that counts as
+    #: "degraded", and the recovered-drop fraction that counts as "contained".
+    degradation_threshold: float = 0.02
+    containment_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for attack in self.attacks:
+            if attack not in attack_names():
+                raise ValueError(
+                    f"unknown attack {attack!r}; registered attacks: "
+                    f"{', '.join(attack_names())}"
+                )
+        for defence in self.defences:
+            if defence not in defence_names():
+                raise ValueError(
+                    f"unknown defence {defence!r}; registered defences: "
+                    f"{', '.join(defence_names())}"
+                )
+        known = set(algorithm_names())
+        for algorithm in self.algorithms:
+            if algorithm not in known:
+                raise ValueError(
+                    f"unknown algorithm {algorithm!r}; known: {sorted(known)}"
+                )
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if self.num_attackers < 1 or self.num_attackers >= self.base.num_clients:
+            raise ValueError(
+                f"num_attackers must be in [1, num_clients), got {self.num_attackers}"
+            )
+        if not 0.0 < self.containment_fraction <= 1.0:
+            raise ValueError(
+                f"containment_fraction must be in (0, 1], got {self.containment_fraction}"
+            )
+
+
+def smoke_spec(seed: int = 0) -> MatrixSpec:
+    """The tiny deterministic grid behind ``repro scenarios --smoke``.
+
+    All four ByzFL-grade attacks against plain FedAvg on the small adult
+    split, with two robust aggregators and the guard as defences; one seed,
+    strongly non-IID shards (phi = 0.1) so mimic's victim over-representation
+    bites.  Eight clients keep the mimic mass (victim + 2 copies) below
+    half, where the geometric median still has breakdown headroom.
+    """
+    return MatrixSpec(
+        attacks=("ipm", "mimic", "label-flip", "adaptive"),
+        defences=("none", "geomedian", "median", "guard"),
+        algorithms=("fedavg",),
+        phis=(0.1,),
+        seeds=(seed,),
+        num_attackers=2,
+        base=ExperimentConfig(
+            dataset="adult",
+            num_clients=8,
+            rounds=12,
+            local_steps=5,
+            batch_size=16,
+            train_size=240,
+            test_size=80,
+        ),
+    )
+
+
+def _cell_config(
+    spec: MatrixSpec, attack: str, phi: Optional[float], seed: int
+) -> ExperimentConfig:
+    overrides: Dict[str, Any] = {"seed": seed}
+    if phi is not None:
+        overrides.update(partition="dirichlet", phi=phi)
+    if attack == CLEAN:
+        overrides.update(attack=None, num_attackers=0)
+    else:
+        overrides.update(attack=attack, num_attackers=spec.num_attackers)
+    return spec.base.with_overrides(**overrides)
+
+
+def _mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and 95% normal-approximation CI half-width over the seeds."""
+    array = np.asarray(values, dtype=float)
+    mean = float(array.mean())
+    if array.size < 2:
+        return mean, 0.0
+    half = 1.96 * float(array.std(ddof=1)) / float(np.sqrt(array.size))
+    return mean, half
+
+
+def _run_cell(
+    spec: MatrixSpec,
+    attack: str,
+    defence: str,
+    algorithm: str,
+    phi: Optional[float],
+) -> Dict[str, Any]:
+    """Run one cell over all seeds and summarise it."""
+    accuracies: List[float] = []
+    diverged = 0
+    expelled: List[List[int]] = []
+    detection: Optional[Dict[str, float]] = None
+    for seed in spec.seeds:
+        config = _cell_config(spec, attack, phi, seed)
+        strategy = make_experiment_strategy(config, algorithm)
+        resolved = resolve_defence(defence, config, strategy)
+        result = run_algorithm(
+            config,
+            algorithm,
+            strategy=resolved.strategy,
+            guard=resolved.guard,
+            degradation=resolved.degradation,
+        )
+        # A diverged run is a full breakdown: score it as zero accuracy so
+        # the verdicts register the collapse rather than the last finite
+        # evaluation before the blow-up.
+        accuracies.append(0.0 if result.diverged else float(result.final_accuracy))
+        diverged += int(result.diverged)
+        expelled.append(sorted(result.history.expelled_clients))
+        if attack != CLEAN and result.history.expelled_clients:
+            env = build_environment(config)
+            report = evaluate_detection(
+                result.history.expelled_clients,
+                env.attacker_ids,
+                list(range(config.num_clients)),
+            )
+            detection = {
+                "true_positive_rate": report.true_positive_rate,
+                "false_positive_rate": report.false_positive_rate,
+            }
+    mean, ci95 = _mean_ci(accuracies)
+    cell: Dict[str, Any] = {
+        "attack": attack,
+        "defence": defence,
+        "algorithm": algorithm,
+        "phi": phi,
+        "accuracies": accuracies,
+        "mean_accuracy": mean,
+        "ci95": ci95,
+        "diverged": diverged,
+    }
+    if any(expelled):
+        cell["expelled"] = expelled
+    if detection is not None:
+        cell["detection"] = detection
+    return cell
+
+
+def _verdicts(spec: MatrixSpec, cells: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Degradation/containment verdicts per (attack, algorithm, phi).
+
+    An attack *degrades* an algorithm when the undefended poisoned run loses
+    more than ``degradation_threshold`` mean accuracy against the clean
+    undefended run.  A defence *contains* it when the attacked-and-defended
+    run holds the defence's own clean accuracy (the attack does not
+    penetrate, regardless of the defence's intrinsic overhead), or recovers
+    at least ``containment_fraction`` of the undefended drop.
+    """
+    index = {
+        (c["attack"], c["defence"], c["algorithm"], c["phi"]): c for c in cells
+    }
+    verdicts: List[Dict[str, Any]] = []
+    for phi in spec.phis:
+        for algorithm in spec.algorithms:
+            clean = index.get((CLEAN, "none", algorithm, phi))
+            if clean is None:
+                continue
+            for attack in spec.attacks:
+                attacked = index.get((attack, "none", algorithm, phi))
+                if attacked is None:
+                    continue
+                drop = clean["mean_accuracy"] - attacked["mean_accuracy"]
+                degrades = drop > spec.degradation_threshold
+                contained_by: List[str] = []
+                for defence in spec.defences:
+                    if defence == "none":
+                        continue
+                    defended = index.get((attack, defence, algorithm, phi))
+                    if defended is None:
+                        continue
+                    recovered = defended["mean_accuracy"] - attacked["mean_accuracy"]
+                    defended_clean = index.get((CLEAN, defence, algorithm, phi))
+                    reference = (
+                        defended_clean["mean_accuracy"]
+                        if defended_clean is not None
+                        else clean["mean_accuracy"]
+                    )
+                    holds_clean = (
+                        defended["mean_accuracy"]
+                        >= reference - spec.degradation_threshold
+                    )
+                    if holds_clean or (
+                        drop > 0 and recovered >= spec.containment_fraction * drop
+                    ):
+                        contained_by.append(defence)
+                verdicts.append(
+                    {
+                        "attack": attack,
+                        "algorithm": algorithm,
+                        "phi": phi,
+                        "clean_accuracy": clean["mean_accuracy"],
+                        "attacked_accuracy": attacked["mean_accuracy"],
+                        "drop": drop,
+                        "degrades": degrades,
+                        "contained_by": contained_by,
+                        "contained": degrades and bool(contained_by),
+                    }
+                )
+    return verdicts
+
+
+def run_matrix(spec: MatrixSpec) -> Dict[str, Any]:
+    """Run the full grid and assemble the scenario-matrix artifact."""
+    start = time.time()
+    cells: List[Dict[str, Any]] = []
+    attacks = (CLEAN,) + tuple(spec.attacks)
+    for phi in spec.phis:
+        for algorithm in spec.algorithms:
+            for attack in attacks:
+                for defence in spec.defences:
+                    cells.append(_run_cell(spec, attack, defence, algorithm, phi))
+    matrix: Dict[str, Any] = {
+        "kind": MATRIX_KIND,
+        "schema_version": MATRIX_SCHEMA_VERSION,
+        "spec": {
+            "attacks": list(spec.attacks),
+            "defences": list(spec.defences),
+            "algorithms": list(spec.algorithms),
+            "phis": list(spec.phis),
+            "seeds": list(spec.seeds),
+            "num_attackers": spec.num_attackers,
+            "degradation_threshold": spec.degradation_threshold,
+            "containment_fraction": spec.containment_fraction,
+            "config": asdict(spec.base),
+        },
+        "cells": cells,
+        "verdicts": _verdicts(spec, cells),
+        "timing": {
+            "elapsed_seconds": time.time() - start,
+            "created_unix": time.time(),
+        },
+    }
+    return matrix
+
+
+def validate_matrix(matrix: Any) -> Dict[str, Any]:
+    """Validate a scenario-matrix artifact; returns it on success."""
+    if not isinstance(matrix, dict):
+        raise MatrixError(f"matrix must be an object, got {type(matrix).__name__}")
+    if matrix.get("kind") != MATRIX_KIND:
+        raise MatrixError(
+            f"not a scenario matrix (kind={matrix.get('kind')!r}, "
+            f"expected {MATRIX_KIND!r})"
+        )
+    version = matrix.get("schema_version")
+    if version != MATRIX_SCHEMA_VERSION:
+        raise MatrixError(
+            f"unsupported matrix schema version {version!r} "
+            f"(expected {MATRIX_SCHEMA_VERSION})"
+        )
+    for key in ("spec", "cells", "verdicts", "timing"):
+        if key not in matrix:
+            raise MatrixError(f"matrix is missing {key!r}")
+    if not isinstance(matrix["cells"], list):
+        raise MatrixError("'cells' must be a list")
+    for i, cell in enumerate(matrix["cells"]):
+        if not isinstance(cell, dict):
+            raise MatrixError(f"cells[{i}] is not an object")
+        for key in ("attack", "defence", "algorithm", "mean_accuracy", "ci95"):
+            if key not in cell:
+                raise MatrixError(f"cells[{i}] is missing {key!r}")
+    return matrix
+
+
+def write_matrix(matrix: Dict[str, Any], path: str | Path) -> Path:
+    """Validate and write the matrix to ``path`` (parents created)."""
+    validate_matrix(matrix)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(canonical_json(matrix), encoding="utf-8")
+    return target
+
+
+def load_matrix(path: str | Path) -> Dict[str, Any]:
+    """Load and validate a scenario-matrix JSON file."""
+    import json
+
+    target = Path(path)
+    try:
+        matrix = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise MatrixError(f"{target}: not valid JSON ({error})") from error
+    return validate_matrix(matrix)

@@ -1,0 +1,124 @@
+"""Property tests shared by every Byzantine-robust aggregation rule.
+
+Three families of invariants:
+
+- *permutation invariance* — the estimate cannot depend on upload order;
+- *mean equivalence* — with trimming disabled or an all-honest, in-gate
+  cohort each rule degenerates to the plain (scaled) mean;
+- *breakdown* — a single 1e6-amplified outlier moves the mean arbitrarily
+  far but leaves every robust estimate within the honest cluster's scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ROBUST_AGGREGATORS, FedAvg, make_strategy
+from repro.fl.state import ClientUpdate, ServerState
+
+LOCAL_LR = 0.1
+LOCAL_STEPS = 2
+SCALE = 1.0 / (LOCAL_STEPS * LOCAL_LR)
+
+
+def update(cid, delta):
+    return ClientUpdate(cid, np.asarray(delta, dtype=float), 10, 2, 0.1)
+
+
+def state(dim=3, n=6):
+    return ServerState(global_params=np.zeros(dim), num_clients=n)
+
+
+def make_aggregator(name, **overrides):
+    """Fresh instance per call: centered-clip carries a momentum center."""
+    params = {"local_lr": LOCAL_LR, "local_steps": LOCAL_STEPS}
+    if name == "krum":
+        params["byzantine_count"] = 1
+    if name == "trimmed-mean":
+        params["trim"] = 1
+    params.update(overrides)
+    return make_strategy(name, **params)
+
+
+@pytest.fixture
+def honest_updates(rng):
+    base = rng.normal(loc=1.0, scale=0.05, size=(5, 3))
+    return [update(i, row) for i, row in enumerate(base)]
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("name", ROBUST_AGGREGATORS)
+    def test_order_does_not_matter(self, name, honest_updates, rng):
+        updates = honest_updates + [update(9, [50.0, -50.0, 50.0])]
+        permuted = [updates[i] for i in rng.permutation(len(updates))]
+        forward = make_aggregator(name).aggregate(state(), updates)
+        shuffled = make_aggregator(name).aggregate(state(), permuted)
+        np.testing.assert_allclose(forward, shuffled, rtol=1e-9, atol=1e-12)
+
+
+class TestMeanEquivalence:
+    def fedavg_mean(self, updates, n):
+        return FedAvg(local_lr=LOCAL_LR, local_steps=LOCAL_STEPS).aggregate(
+            state(n=n), updates
+        )
+
+    def test_trim_zero_is_plain_mean(self, honest_updates):
+        aggregator = make_aggregator("trimmed-mean", trim=0)
+        robust = aggregator.aggregate(state(), honest_updates)
+        mean = np.stack([u.delta for u in honest_updates]).mean(axis=0) * SCALE
+        np.testing.assert_allclose(robust, mean, rtol=1e-12)
+        np.testing.assert_allclose(
+            robust, self.fedavg_mean(honest_updates, len(honest_updates)), rtol=1e-12
+        )
+
+    def test_norm_clip_passes_honest_cohort(self, honest_updates):
+        robust = make_aggregator("norm-clip").aggregate(state(), honest_updates)
+        mean = np.stack([u.delta for u in honest_updates]).mean(axis=0) * SCALE
+        np.testing.assert_allclose(robust, mean, rtol=1e-9)
+
+    def test_centered_clip_unclipped_is_mean(self, honest_updates):
+        aggregator = make_aggregator("centered-clip", clip_radius=1e9)
+        robust = aggregator.aggregate(state(), honest_updates)
+        mean = np.stack([u.delta for u in honest_updates]).mean(axis=0) * SCALE
+        np.testing.assert_allclose(robust, mean, rtol=1e-9)
+
+    def test_geomedian_of_identical_points(self):
+        updates = [update(i, [2.0, -1.0, 0.5]) for i in range(5)]
+        robust = make_aggregator("geomedian").aggregate(state(), updates)
+        np.testing.assert_allclose(robust, np.array([2.0, -1.0, 0.5]) * SCALE, rtol=1e-9)
+
+    def test_median_of_identical_points(self):
+        updates = [update(i, [2.0, -1.0, 0.5]) for i in range(5)]
+        robust = make_aggregator("median").aggregate(state(), updates)
+        np.testing.assert_allclose(robust, np.array([2.0, -1.0, 0.5]) * SCALE, rtol=1e-12)
+
+    @pytest.mark.parametrize("name", ROBUST_AGGREGATORS)
+    def test_all_honest_stays_near_mean(self, name, honest_updates):
+        """No rule may wander off an in-distribution cohort (sanity bound)."""
+        robust = make_aggregator(name).aggregate(state(), honest_updates)
+        mean = np.stack([u.delta for u in honest_updates]).mean(axis=0) * SCALE
+        assert np.linalg.norm(robust - mean) <= 0.5 * np.linalg.norm(mean)
+
+
+class TestBreakdown:
+    AMPLIFICATION = 1e6
+
+    def cohort(self, honest_updates):
+        outlier = self.AMPLIFICATION * honest_updates[0].delta
+        return honest_updates + [update(9, outlier)]
+
+    def test_plain_mean_is_broken(self, honest_updates):
+        updates = self.cohort(honest_updates)
+        mean = FedAvg(local_lr=LOCAL_LR, local_steps=LOCAL_STEPS).aggregate(
+            state(n=len(updates)), updates
+        )
+        honest_mean = np.stack([u.delta for u in honest_updates]).mean(axis=0) * SCALE
+        assert np.linalg.norm(mean) > 1e3 * np.linalg.norm(honest_mean)
+
+    @pytest.mark.parametrize("name", ROBUST_AGGREGATORS)
+    def test_robust_estimate_stays_bounded(self, name, honest_updates):
+        updates = self.cohort(honest_updates)
+        robust = make_aggregator(name).aggregate(state(), updates)
+        honest_mean = np.stack([u.delta for u in honest_updates]).mean(axis=0) * SCALE
+        # The outlier is 1e6x the honest scale; a bounded-influence rule must
+        # land within a small constant multiple of the honest cluster.
+        assert np.linalg.norm(robust - honest_mean) <= 5.0 * np.linalg.norm(honest_mean)

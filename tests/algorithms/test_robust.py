@@ -53,8 +53,8 @@ class TestKrum:
 
     def test_scaling_matches_eq6_units(self):
         krum = KrumAggregation(local_lr=0.1, local_steps=5)
-        updates = [update(0, [1.0, 0.0]), update(1, [1.0, 0.0]), update(2, [1.0, 0.0])]
-        delta = krum.aggregate(state(n=3), updates)
+        updates = [update(i, [1.0, 0.0]) for i in range(4)]
+        delta = krum.aggregate(state(n=4), updates)
         np.testing.assert_allclose(delta, [2.0, 0.0])  # 1 / (5 * 0.1)
 
     def test_invalid_args(self):
@@ -66,6 +66,21 @@ class TestKrum:
     def test_empty_updates(self):
         with pytest.raises(ValueError):
             KrumAggregation().aggregate(state(), [])
+
+    def test_too_few_updates_for_f_assumption_raises(self):
+        # n <= f + 2 used to silently floor the neighbour count at 1,
+        # turning Krum into an arbitrary nearest-point pick.
+        krum = KrumAggregation(local_lr=0.1, local_steps=2, byzantine_count=1)
+        updates = [update(i, d) for i, d in enumerate(HONEST[:3])]
+        with pytest.raises(ValueError, match="byzantine_count \\+ 2"):
+            krum.aggregate(state(n=3), updates)
+
+    def test_multi_exceeding_honest_count_raises(self):
+        # multi > n - f would average assumed-malicious updates back in.
+        krum = KrumAggregation(local_lr=0.1, local_steps=2, byzantine_count=2, multi=4)
+        updates = [update(i, d) for i, d in enumerate(HONEST)] + [update(9, POISON)]
+        with pytest.raises(ValueError, match="multi"):
+            krum.aggregate(state(n=5), updates)
 
     def test_selection_stays_inside_clean_cluster(self):
         # Two coordinated outliers on opposite sides of the honest cluster:

@@ -1,0 +1,168 @@
+"""Registry sweep and determinism contract for every attack client.
+
+Two invariants the scenario matrix leans on:
+
+- every registered attack class declares ``is_malicious = True`` (ground
+  truth for detection metrics and expulsion scoring);
+- identically-constructed attackers produce byte-identical deltas, so a
+  matrix cell is a pure function of (config, seed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg
+from repro.attacks import make_attack_client
+from repro.attacks.poisoning import AdaptiveAttackClient, IPMClient, LabelFlipClient
+from repro.attacks.registry import ATTACK_CLIENTS, attack_class, attack_names
+from repro.data import TensorDataset
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import build_environment, make_clients
+from repro.fl import Client, CostModel
+from repro.nn.models import MLP
+
+
+@pytest.fixture
+def dataset(rng):
+    return TensorDataset(rng.normal(size=(40, 5)), rng.integers(0, 2, 40))
+
+
+def fresh_model():
+    return MLP(5, 2, hidden=(4,), rng=np.random.default_rng(7))
+
+
+def _attack_kwargs(kind):
+    # Standalone-construction extras; the runner wires these from the env.
+    return {"num_classes": 2} if kind == "label-flip" else {}
+
+
+def _delta(kind, dataset, seed=3):
+    client = make_attack_client(
+        kind, 0, dataset, 8, np.random.default_rng(seed), **_attack_kwargs(kind)
+    )
+    model = fresh_model()
+    strategy = FedAvg(local_lr=0.05, local_steps=3)
+    params = model.parameters_vector()
+    return client.local_round(model, strategy, params, {}, CostModel()).delta
+
+
+class TestRegistrySweep:
+    def test_names_sorted_and_complete(self):
+        assert attack_names() == tuple(sorted(ATTACK_CLIENTS))
+        assert set(attack_names()) >= {
+            "sign-flip", "gaussian", "alie", "ipm", "mimic", "label-flip", "adaptive"
+        }
+
+    @pytest.mark.parametrize("kind", attack_names())
+    def test_every_attack_is_malicious(self, kind, dataset):
+        cls = attack_class(kind)
+        assert cls.is_malicious is True
+        client = make_attack_client(
+            kind, 0, dataset, 8, np.random.default_rng(0), **_attack_kwargs(kind)
+        )
+        assert isinstance(client, cls)
+        assert client.is_malicious is True
+
+    def test_unknown_kind_lists_registered(self, dataset):
+        with pytest.raises(ValueError) as excinfo:
+            attack_class("backdoor")
+        message = str(excinfo.value)
+        for name in attack_names():
+            assert name in message
+        with pytest.raises(ValueError, match="registered attacks"):
+            make_attack_client("backdoor", 0, dataset, 8, np.random.default_rng(0))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", attack_names())
+    def test_same_seed_byte_identical_delta(self, kind, dataset):
+        first = _delta(kind, dataset)
+        second = _delta(kind, dataset)
+        assert first.tobytes() == second.tobytes()
+
+    @pytest.mark.parametrize("kind", ["gaussian", "alie"])
+    def test_different_seed_differs(self, kind, dataset):
+        # Noise-driven attacks must actually consume their own RNG stream.
+        assert _delta(kind, dataset, seed=3).tobytes() != _delta(kind, dataset, seed=4).tobytes()
+
+
+class TestIPMBehaviour:
+    def test_round_zero_negates_own_update(self, dataset):
+        honest = Client(0, dataset, 8, np.random.default_rng(1))
+        attacker = IPMClient(0, dataset, 8, np.random.default_rng(1), epsilon=0.5)
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = fresh_model().parameters_vector()
+        honest_delta = honest.local_round(fresh_model(), strategy, params, {}, CostModel()).delta
+        poison_delta = attacker.local_round(fresh_model(), strategy, params, {}, CostModel()).delta
+        np.testing.assert_allclose(poison_delta, -0.5 * honest_delta, rtol=1e-10)
+
+    def test_later_rounds_point_against_server_step(self, dataset):
+        attacker = IPMClient(0, dataset, 8, np.random.default_rng(1), epsilon=0.5)
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = fresh_model().parameters_vector()
+        attacker.local_round(fresh_model(), strategy, params, {}, CostModel())
+        step = np.zeros_like(params)
+        step[0] = 1.0  # server moved along coordinate 0
+        update = attacker.local_round(fresh_model(), strategy, params - step, {}, CostModel())
+        # Upload is anti-parallel to the observed step w_{t-1} - w_t = +step.
+        direction = update.delta / np.linalg.norm(update.delta)
+        np.testing.assert_allclose(direction, -step / np.linalg.norm(step), atol=1e-10)
+
+
+class TestAdaptiveBehaviour:
+    def test_scaled_sign_flip_inside_gate(self, dataset):
+        honest = Client(0, dataset, 8, np.random.default_rng(1))
+        attacker = AdaptiveAttackClient(
+            0, dataset, 8, np.random.default_rng(1), acceptance_factor=25.0, margin=0.9
+        )
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        params = fresh_model().parameters_vector()
+        honest_delta = honest.local_round(fresh_model(), strategy, params, {}, CostModel()).delta
+        poison_delta = attacker.local_round(fresh_model(), strategy, params, {}, CostModel()).delta
+        np.testing.assert_allclose(poison_delta, -22.5 * honest_delta, rtol=1e-10)
+        # Just inside the default x25 norm-outlier quarantine.
+        assert np.linalg.norm(poison_delta) < 25.0 * np.linalg.norm(honest_delta)
+
+
+class TestLabelFlipBehaviour:
+    def test_flip_is_involution(self, dataset):
+        once = LabelFlipClient(0, dataset, 8, np.random.default_rng(1), num_classes=2)
+        twice = LabelFlipClient(0, once.dataset, 8, np.random.default_rng(1), num_classes=2)
+        assert not np.array_equal(once.dataset.labels, dataset.labels)
+        np.testing.assert_array_equal(twice.dataset.labels, dataset.labels)
+
+    def test_rejects_single_class(self, rng):
+        mono = TensorDataset(rng.normal(size=(10, 5)), np.zeros(10, dtype=int))
+        with pytest.raises(ValueError, match=">= 2 classes"):
+            LabelFlipClient(0, mono, 8, np.random.default_rng(0), num_classes=1)
+
+
+class TestMimicWiring:
+    def test_mimic_uploads_victims_exact_delta(self):
+        config = ExperimentConfig(
+            dataset="adult",
+            num_clients=6,
+            rounds=1,
+            local_steps=3,
+            batch_size=16,
+            train_size=180,
+            test_size=60,
+            attack="mimic",
+            num_attackers=2,
+            seed=0,
+        )
+        env = build_environment(config)
+        clients = make_clients(env)
+        victim = env.benign_ids[0]
+        attacker_id = env.attacker_ids[0]
+        assert clients[attacker_id].victim_id == victim
+        strategy = FedAvg(local_lr=0.05, local_steps=3)
+        dim = env.client_datasets[0].features.shape[1]
+
+        def model():
+            return MLP(dim, env.bundle.train.num_classes, hidden=(4,), rng=np.random.default_rng(7))
+
+        params = model().parameters_vector()
+        victim_delta = clients[victim].local_round(model(), strategy, params, {}, CostModel()).delta
+        mimic_delta = clients[attacker_id].local_round(model(), strategy, params, {}, CostModel()).delta
+        assert victim_delta.tobytes() == mimic_delta.tobytes()

@@ -21,6 +21,7 @@ from repro.experiments import (
     table6_ablation,
     table7_scalability,
     table8_freeloader_sensitivity,
+    table9_attack_matrix,
     theory_overcorrection,
 )
 
@@ -234,3 +235,30 @@ class TestTheory:
         assert result.gap_optimal == pytest.approx(0.0, abs=1e-8)
         assert result.rate_envelope_uniform >= result.rate_envelope_tailored
         assert "Theory" in result.render()
+
+
+class TestTable9:
+    def test_micro_grid_and_render(self, micro_config):
+        from repro.scenarios import MatrixSpec
+
+        spec = MatrixSpec(
+            attacks=("sign-flip",),
+            defences=("none", "median"),
+            algorithms=("fedavg",),
+            phis=(None,),
+            seeds=(0,),
+            num_attackers=1,
+            base=micro_config,
+        )
+        result = table9_attack_matrix.run(spec=spec)
+        assert len(result.cells) == 4
+        assert len(result.verdicts) == 1
+        rendered = result.render()
+        assert "attack × defence" in rendered
+        assert "breakdown verdicts" in rendered
+
+    def test_default_spec_covers_all_algorithms(self):
+        spec = table9_attack_matrix.default_spec()
+        assert set(spec.algorithms) == {"fedavg", "taco", "scaffold", "foolsgold"}
+        assert "adaptive" in spec.attacks
+        assert "guard" in spec.defences

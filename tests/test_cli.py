@@ -141,3 +141,58 @@ class TestCommands:
         main(["run", "--algorithm", "fedavg", "--json", *self.COMMON, "--seed", "2"])
         second = json.loads(capsys.readouterr().out)
         assert first["accuracies"] != second["accuracies"]
+
+
+class TestScenarios:
+    def test_parser_rejects_unknown_attack_and_defence(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--attacks", "backdoor"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--defences", "firewall"])
+
+    def test_list_shows_attacks_and_defences(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "attacks:" in out and "ipm" in out
+        assert "defences:" in out and "geomedian" in out
+        assert "table9" in out
+
+    def test_smoke_grid_end_to_end(self, capsys, tmp_path):
+        out = tmp_path / "matrix.json"
+        report = tmp_path / "matrix.html"
+        argv = [
+            "scenarios", "--smoke", "--attacks", "ipm",
+            "--defences", "none", "median", "--seeds", "0",
+            "--out", str(out), "--report", str(report),
+        ]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "attack × defence" in text
+        assert "breakdown verdicts" in text
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["kind"] == "scenario-matrix"
+        assert len(payload["cells"]) == 4  # (clean + ipm) x (none, median)
+        html = report.read_text(encoding="utf-8")
+        assert "matrix-table" in html and "Breakdown verdicts" in html
+
+        # Determinism contract: a second run differs only in `timing`.
+        rerun = tmp_path / "matrix2.json"
+        assert main(argv[:-4] + ["--out", str(rerun)]) == 0
+        capsys.readouterr()
+        second = json.loads(rerun.read_text(encoding="utf-8"))
+        payload.pop("timing"), second.pop("timing")
+        assert payload == second
+
+        # `repro report` accepts the matrix artifact in both modes.
+        assert main(["report", str(out), "--ascii"]) == 0
+        assert "attack × defence" in capsys.readouterr().out
+        html_out = tmp_path / "report.html"
+        assert main(["report", str(out), "--out", str(html_out)]) == 0
+        capsys.readouterr()
+        assert "matrix-table" in html_out.read_text(encoding="utf-8")
+
+    def test_invalid_grid_is_reported(self, capsys):
+        assert main(["scenarios", "--attackers", "99", "--attacks", "ipm",
+                     "--defences", "none", "--algorithms", "fedavg",
+                     "--clients", "4", "--rounds", "1"]) == 2
+        assert "invalid scenario grid" in capsys.readouterr().err
