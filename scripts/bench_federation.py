@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Population-scaling benchmark for the async federation subsystem.
+
+Runs the same cohort-20 semi-async workload (``repro.federation``) over
+populations of 1k, 100k, and 1M registered clients and records, per
+population: rounds/sec, tracemalloc peak, and the process peak RSS.  The
+registry's contract is that none of these grow with population size —
+the JSON reports the largest/smallest peak-memory ratio explicitly.
+
+Results go to ``BENCH_federation.json`` (layout key: ``populations``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_federation.py          # full run, writes JSON
+    PYTHONPATH=src python scripts/bench_federation.py --smoke  # asserts the 2x
+                                                               # memory-ratio floor,
+                                                               # no JSON
+
+``--smoke`` is wired into scripts/ci.sh: it fails the build if a
+1,000,000-client registry's peak traced memory exceeds 2x the
+1,000-client run's, or if a run slows below the rounds/sec floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.federation import FederateConfig, run_federation  # noqa: E402
+
+POPULATIONS = (1_000, 100_000, 1_000_000)
+COHORT = 20
+ROUNDS = 5
+
+#: CI floors (see also repro.report.diff.FEDERATION_MEMORY_RATIO_CEILING).
+MEMORY_RATIO_CEILING = 2.0
+ROUNDS_PER_SEC_FLOOR = 0.5
+
+
+def bench_population(population: int, seed: int = 0) -> dict:
+    """One measured coordinator run at a given population size."""
+    config = FederateConfig(
+        dataset="adult",
+        algorithm="fedavg",
+        population=population,
+        cohort_size=COHORT,
+        buffer_size=COHORT // 2,
+        rounds=ROUNDS,
+        local_steps=2,
+        samples_per_client=16,
+        batch_size=8,
+        test_size=80,
+        width_multiplier=0.5,
+        seed=seed,
+    )
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        coordinator, result = run_federation(config)
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "population": population,
+        "cohort_size": COHORT,
+        "buffer_size": COHORT // 2,
+        "rounds": ROUNDS,
+        "rounds_per_sec": ROUNDS / elapsed,
+        "elapsed_seconds": elapsed,
+        "peak_traced_mb": peak / 1e6,
+        "peak_rss_mb": rss_kb / 1024.0,  # linux ru_maxrss is in KiB
+        "final_accuracy": result.final_accuracy,
+        "diverged": result.diverged,
+        "virtual_time": coordinator.virtual_time,
+    }
+
+
+def run_bench() -> dict:
+    entries = {}
+    for population in POPULATIONS:
+        entry = bench_population(population)
+        entries[str(population)] = entry
+        print(
+            f"population {population:>9,}: {entry['rounds_per_sec']:.2f} rounds/s, "
+            f"peak {entry['peak_traced_mb']:.1f} MB traced "
+            f"(rss {entry['peak_rss_mb']:.0f} MB), acc {entry['final_accuracy']:.2%}"
+        )
+    smallest = entries[str(min(POPULATIONS))]["peak_traced_mb"]
+    largest = entries[str(max(POPULATIONS))]["peak_traced_mb"]
+    ratio = largest / smallest if smallest > 0 else 1.0
+    return {
+        "populations": entries,
+        "memory_ratio": {
+            "largest_population": max(POPULATIONS),
+            "smallest_population": min(POPULATIONS),
+            "peak_traced_ratio": ratio,
+            "ceiling": MEMORY_RATIO_CEILING,
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="assert the memory-ratio and rounds/sec floors; do not write JSON",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_federation.json"),
+        help="output path for the committed artifact",
+    )
+    args = parser.parse_args()
+
+    data = run_bench()
+    ratio = data["memory_ratio"]["peak_traced_ratio"]
+    print(f"peak-memory ratio ({max(POPULATIONS):,} vs {min(POPULATIONS):,} clients): {ratio:.2f}x")
+
+    if args.smoke:
+        ok = True
+        if ratio > MEMORY_RATIO_CEILING:
+            print(
+                f"FAIL: memory ratio {ratio:.2f}x exceeds ceiling {MEMORY_RATIO_CEILING}x",
+                file=sys.stderr,
+            )
+            ok = False
+        for population, entry in data["populations"].items():
+            if entry["rounds_per_sec"] < ROUNDS_PER_SEC_FLOOR:
+                print(
+                    f"FAIL: population {population} at {entry['rounds_per_sec']:.2f} "
+                    f"rounds/s, below floor {ROUNDS_PER_SEC_FLOOR}",
+                    file=sys.stderr,
+                )
+                ok = False
+            if entry["diverged"]:
+                print(f"FAIL: population {population} run diverged", file=sys.stderr)
+                ok = False
+        print("federation bench smoke:", "ok" if ok else "FAILED")
+        return 0 if ok else 1
+
+    out = Path(args.out)
+    out.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,8 +80,24 @@ print("scenario smoke ok:",
       {a: v["contained_by"] for a, v in sorted(verdicts.items())})
 PY
 
-echo "==> BENCH floor regression gate (kernels + telemetry/introspection)"
-python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json
+echo "==> federation smoke (1k-client registry, semi-async, end to end)"
+python -m repro.cli federate --smoke --json --record-dir out/federation \
+    | python -c '
+import json, sys
+out = json.load(sys.stdin)
+assert not out["diverged"], "federation smoke run diverged"
+assert out["population"] == 1000 and out["rounds"] == 3, out
+assert out["virtual_time"] > 0, "virtual clock never advanced"
+print("federation smoke ok:", {k: out[k] for k in
+      ("population", "cohort_size", "buffer_size", "mean_staleness")})
+'
+python -m repro.cli report out/federation/*/runrecord.json --ascii > /dev/null
+
+echo "==> federation scaling bench (1k vs 100k vs 1M clients, memory-ratio floor)"
+python scripts/bench_federation.py --smoke
+
+echo "==> BENCH floor regression gate (kernels + telemetry + federation)"
+python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json BENCH_federation.json
 
 echo "==> guard chaos smoke (stealth-NaN + hot lr, quarantine off)"
 CHAOS_ARGS=(

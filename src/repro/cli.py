@@ -339,6 +339,127 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federate(args: argparse.Namespace) -> int:
+    """``repro federate`` — semi-async training over a client registry.
+
+    Selects clients from a virtual population of ``--population``
+    descriptors, materializing only the ``--cohort`` in flight, and
+    aggregates every ``--buffer`` arrivals with staleness discounting
+    (see docs/SCALING.md).
+    """
+    from pathlib import Path
+
+    from .federation import SMOKE_CONFIG, FederateConfig, run_federation
+
+    base = SMOKE_CONFIG if args.smoke else FederateConfig()
+    mapping = {
+        "dataset": "dataset",
+        "algorithm": "algorithm",
+        "population": "population",
+        "cohort": "cohort_size",
+        "buffer": "buffer_size",
+        "rounds": "rounds",
+        "scheme": "scheme",
+        "local_steps": "local_steps",
+        "lr": "local_lr",
+        "global_lr": "global_lr",
+        "batch_size": "batch_size",
+        "samples_per_client": "samples_per_client",
+        "phi": "dirichlet_phi",
+        "test_size": "test_size",
+        "staleness_power": "staleness_power",
+        "round_deadline": "round_deadline",
+        "over_selection": "over_selection",
+        "min_quorum": "min_quorum",
+        "max_staleness": "max_staleness",
+        "eval_every": "eval_every",
+        "seed": "seed",
+    }
+    overrides = {
+        field: getattr(args, attr)
+        for attr, field in mapping.items()
+        if getattr(args, attr, None) is not None
+    }
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        config = base.with_overrides(**overrides)
+        exporters = [make_exporter(spec) for spec in (args.telemetry or [])]
+    except (TypeError, ValueError) as error:
+        print(f"invalid federate arguments: {error}", file=sys.stderr)
+        return 2
+    record_path = None
+    if args.record_dir:
+        record_path = (
+            Path(args.record_dir)
+            / f"{config.dataset}-{config.algorithm}-p{config.population}-s{config.seed}"
+            / "runrecord.json"
+        )
+    try:
+        with contextlib.ExitStack() as stack:
+            if exporters:
+                stack.enter_context(telemetry_session(exporters))
+            coordinator, result = run_federation(
+                config,
+                record_path=record_path,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                resume_from=args.checkpoint_dir if args.resume else None,
+            )
+    except FileNotFoundError as error:
+        print(f"cannot resume: no checkpoint at {args.checkpoint_dir} ({error})", file=sys.stderr)
+        return 2
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    staleness = [
+        tau for flush in coordinator.flush_log for tau in flush.staleness.values()
+    ]
+    summary = {
+        "algorithm": config.algorithm,
+        "dataset": config.dataset,
+        "population": config.population,
+        "cohort_size": config.cohort_size,
+        "buffer_size": coordinator.buffer_size,
+        "rounds": len(result.history.records),
+        "final_accuracy": result.final_accuracy,
+        "output_accuracy": result.output_accuracy,
+        "diverged": result.diverged,
+        "virtual_time": coordinator.virtual_time,
+        "mean_staleness": (sum(staleness) / len(staleness)) if staleness else 0.0,
+        "max_staleness": max(staleness, default=0),
+        "stragglers": sum(len(r.stragglers) for r in result.history.records),
+        "quarantined": sum(len(r.quarantined) for r in result.history.records),
+        "expelled_clients": result.history.expelled_clients,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(
+            render_table(
+                ["population", "cohort", "buffer", "rounds", "final acc", "staleness", "virtual time"],
+                [[
+                    f"{config.population:,}",
+                    str(config.cohort_size),
+                    str(coordinator.buffer_size),
+                    str(summary["rounds"]),
+                    "x" if result.diverged else f"{result.final_accuracy:.2%}",
+                    f"{summary['mean_staleness']:.2f}",
+                    f"{coordinator.virtual_time:.2f}s",
+                ]],
+                title=f"{config.dataset} — {config.algorithm} semi-async ({config.scheme} sampling)",
+            )
+        )
+    if record_path is not None:
+        print(f"wrote {record_path}", file=sys.stderr)
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare`` — run several algorithms under identical conditions."""
     config = _config_from_args(args)
@@ -376,6 +497,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         table7_scalability,
         table8_freeloader_sensitivity,
         table9_attack_matrix,
+        table10_federation,
         theory_overcorrection,
     )
 
@@ -393,6 +515,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "table7": table7_scalability,
         "table8": table8_freeloader_sensitivity,
         "table9": table9_attack_matrix,
+        "table10": table10_federation,
         "fig7": fig7_gamma_sensitivity,
         "theory": theory_overcorrection,
         "faults": fault_tolerance,
@@ -416,7 +539,7 @@ def _dispatch_experiment(module, args: argparse.Namespace) -> int:
         result = module.run()
     elif args.name in ("table5",):
         result = module.run(datasets=tuple(args.datasets) if args.datasets else ("adult", "fmnist"))
-    elif args.name in ("table6", "table7", "fig7"):
+    elif args.name in ("table6", "table7", "table10", "fig7"):
         result = module.run()
     elif args.name == "faults":
         config = default_config_for(args.datasets[0] if args.datasets else "fmnist")
@@ -595,13 +718,16 @@ def cmd_list(args: argparse.Namespace) -> int:
     from .attacks import attack_names
     from .scenarios import defence_names
 
+    from .fl.sampling import participation_names
+
     print("datasets:  ", " ".join(sorted(dataset_names())))
     print("algorithms:", " ".join(sorted(algorithm_names())))
     print("attacks:   ", " ".join(attack_names()))
     print("defences:  ", " ".join(defence_names()))
+    print("schemes:   ", " ".join(participation_names()))
     print(
         "experiments:",
-        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 table9 fig7 theory faults chaos",
+        "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 table9 table10 fig7 theory faults chaos",
     )
     return 0
 
@@ -620,6 +746,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(run_p)
     _add_checkpoint_arguments(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    fed_p = sub.add_parser(
+        "federate", help="semi-async training over a population-scale client registry"
+    )
+    from .fl.sampling import participation_names as _participation_names
+
+    fed_p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized end-to-end run (1k population, cohort 8, buffer 4, 3 rounds)",
+    )
+    fed_p.add_argument("--dataset", default=None, choices=sorted(dataset_names()))
+    fed_p.add_argument("--algorithm", default=None, choices=sorted(algorithm_names()))
+    fed_p.add_argument("--population", type=int, default=None, help="registered clients")
+    fed_p.add_argument("--cohort", type=int, default=None, help="clients in flight")
+    fed_p.add_argument(
+        "--buffer", type=int, default=None,
+        help="aggregate every B arrivals (default: cohort, the sync-equivalent setting)",
+    )
+    fed_p.add_argument("--rounds", type=int, default=None, help="buffered aggregations")
+    fed_p.add_argument(
+        "--scheme", default=None, choices=list(_participation_names()),
+        help="participation scheme over the registry (default: reservoir)",
+    )
+    fed_p.add_argument("--local-steps", type=int, default=None, help="local updates K")
+    fed_p.add_argument("--lr", type=float, default=None, help="local learning rate eta_l")
+    fed_p.add_argument("--global-lr", type=float, default=None, help="server learning rate eta_g")
+    fed_p.add_argument("--batch-size", type=int, default=None, help="mini-batch size s")
+    fed_p.add_argument(
+        "--samples-per-client", type=int, default=None,
+        help="mean local shard size (actual sizes vary per client)",
+    )
+    fed_p.add_argument("--phi", type=float, default=None, help="Dirichlet label-skew concentration")
+    fed_p.add_argument("--test-size", type=int, default=None)
+    fed_p.add_argument(
+        "--staleness-power", type=float, default=None, metavar="A",
+        help="staleness discount exponent: weight = (1+tau)^-A (default: 0.5)",
+    )
+    fed_p.add_argument(
+        "--round-deadline", type=float, default=None,
+        help="abandon dispatched clients slower than this many sim-seconds",
+    )
+    fed_p.add_argument("--over-selection", type=_rate, default=None, help="extra dispatch fraction")
+    fed_p.add_argument("--min-quorum", type=int, default=None, help="min surviving updates per flush")
+    fed_p.add_argument(
+        "--max-staleness", type=int, default=None,
+        help="drop arrivals staler than this many server versions",
+    )
+    fed_p.add_argument("--eval-every", type=int, default=None, help="evaluate every N flushes")
+    fed_p.add_argument("--seed", type=int, default=None)
+    fed_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    fed_p.add_argument(
+        "--telemetry", action="append", default=None, metavar="SPEC",
+        help="exporter spec (repeatable): jsonl:PATH, prom:PATH or console",
+    )
+    fed_p.add_argument(
+        "--record-dir", default=None, metavar="DIR",
+        help="write runrecord.json under DIR/<dataset>-<algo>-p<population>-s<seed>/",
+    )
+    _add_checkpoint_arguments(fed_p)
+    fed_p.set_defaults(func=cmd_federate)
 
     cmp_p = sub.add_parser("compare", help="run several algorithms under identical conditions")
     cmp_p.add_argument(

@@ -1,0 +1,130 @@
+"""Table X (new) — population-scale federation scalability.
+
+Extends Table VII past what instantiated clients can express: the client
+registry + async coordinator (:mod:`repro.federation`) run the same
+20-clients-per-round workload over populations of 1k, 100k, and 1M
+registered clients, at several buffer sizes.  The claim under test is the
+subsystem's memory contract — per-round cost and peak memory are a
+function of the cohort/buffer, **flat** in population size — plus the
+accuracy cost of buffered semi-async aggregation (smaller buffers
+aggregate staler updates).
+
+Peak memory is measured with :mod:`tracemalloc` around the whole run, so
+it captures registry bookkeeping, materialized shards, and in-flight
+updates alike.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis import render_table
+from ..federation import FederateConfig, run_federation
+
+DEFAULT_POPULATIONS = (1_000, 100_000, 1_000_000)
+DEFAULT_BUFFERS = (4, 8)  # of an 8-client cohort: semi-async and sync-equivalent
+
+
+@dataclass
+class FederationCell:
+    population: int
+    buffer_size: int
+    final_accuracy: float
+    peak_mb: float
+    virtual_time: float
+    mean_staleness: float
+
+
+@dataclass
+class FederationScalingResult:
+    algorithm: str
+    cohort_size: int
+    rounds: int
+    cells: List[FederationCell]
+
+    def peak_ratio(self, buffer_size: int) -> float:
+        """Largest-over-smallest-population peak memory at one buffer size."""
+        column = [c for c in self.cells if c.buffer_size == buffer_size]
+        column.sort(key=lambda c: c.population)
+        if len(column) < 2 or column[0].peak_mb <= 0:
+            return 1.0
+        return column[-1].peak_mb / column[0].peak_mb
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{cell.population:,}",
+                str(cell.buffer_size),
+                f"{cell.final_accuracy:.2%}",
+                f"{cell.peak_mb:.1f} MB",
+                f"{cell.mean_staleness:.2f}",
+                f"{cell.virtual_time:.2f}s",
+            ]
+            for cell in self.cells
+        ]
+        buffers = sorted({c.buffer_size for c in self.cells})
+        ratios = ", ".join(
+            f"B={b}: {self.peak_ratio(b):.2f}x" for b in buffers
+        )
+        table = render_table(
+            ["population", "buffer", "final acc", "peak mem", "mean staleness", "virtual time"],
+            rows,
+            title=(
+                f"Table X analogue — {self.algorithm}, cohort {self.cohort_size}, "
+                f"{self.rounds} buffered rounds"
+            ),
+        )
+        return f"{table}\npeak-memory growth largest/smallest population: {ratios}"
+
+
+def _mean_staleness(coordinator) -> float:
+    taus = [t for flush in coordinator.flush_log for t in flush.staleness.values()]
+    return sum(taus) / len(taus) if taus else 0.0
+
+
+def run(
+    populations: Sequence[int] = DEFAULT_POPULATIONS,
+    buffers: Sequence[int] = DEFAULT_BUFFERS,
+    algorithm: str = "fedavg",
+    cohort_size: int = 8,
+    rounds: int = 5,
+    seed: int = 0,
+) -> FederationScalingResult:
+    """Sweep population × buffer size through the async coordinator."""
+    cells: List[FederationCell] = []
+    for population in populations:
+        for buffer_size in buffers:
+            config = FederateConfig(
+                algorithm=algorithm,
+                population=population,
+                cohort_size=cohort_size,
+                buffer_size=buffer_size,
+                rounds=rounds,
+                local_steps=2,
+                samples_per_client=16,
+                batch_size=8,
+                test_size=80,
+                width_multiplier=0.5,
+                seed=seed,
+            )
+            tracemalloc.start()
+            try:
+                coordinator, result = run_federation(config)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            cells.append(
+                FederationCell(
+                    population=population,
+                    buffer_size=buffer_size,
+                    final_accuracy=result.final_accuracy,
+                    peak_mb=peak / 1e6,
+                    virtual_time=coordinator.virtual_time,
+                    mean_staleness=_mean_staleness(coordinator),
+                )
+            )
+    return FederationScalingResult(
+        algorithm=algorithm, cohort_size=cohort_size, rounds=rounds, cells=cells
+    )

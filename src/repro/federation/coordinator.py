@@ -1,0 +1,522 @@
+"""Event-driven semi-asynchronous federation coordinator.
+
+:class:`AsyncCoordinator` runs FedBuff-style buffered aggregation over a
+:class:`~repro.federation.registry.ClientRegistry` on a deterministic
+*virtual-time* event loop:
+
+1. **Dispatch** — keep a cohort of clients in flight: select from the
+   active population (any :class:`~repro.fl.sampling.ParticipationScheme`,
+   by default streaming reservoir sampling), materialize each selected
+   client, run its K local steps against the *current* server version,
+   release it, and schedule its upload to arrive ``sim_time`` virtual
+   seconds later (drawn from the client's speed tier via the cost model).
+   Local training is executed eagerly at dispatch because it depends only
+   on the dispatch-version parameters, which
+   :meth:`~repro.fl.state.ServerState.advance` never mutates in place.
+2. **Arrive** — pop the earliest upload off the event heap (ties broken
+   by dispatch sequence, so the order is a pure function of the seed) and
+   append it to the server buffer.
+3. **Flush** — every ``buffer_size`` arrivals, discount each buffered
+   update by its staleness — ``weight = (1 + τ)^(-staleness_power)``
+   where τ = server versions elapsed since dispatch — run the shared
+   degradation gate (:func:`~repro.fl.degradation.validate_updates`,
+   ``max_staleness``, ``min_quorum``), and apply the strategy's usual
+   :meth:`~repro.algorithms.base.Strategy.aggregate` /
+   :meth:`~repro.algorithms.base.Strategy.post_round` step.  One flush is
+   one server round/version.
+
+Determinism contract (tested): same registry + seed ⇒ byte-identical
+event order, staleness weights, final parameters, and runrecord (modulo
+the isolated ``timing`` key).  With ``buffer_size == cohort_size`` every
+dispatched client arrives before its version's flush, all staleness
+weights are exactly 1.0, and the coordinator is **bit-identical** to the
+synchronous :class:`~repro.fl.simulation.FederatedSimulation` oracle.
+
+Memory contract (tested): per-flush cost is O(cohort + buffer), never
+O(population) — see docs/SCALING.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.base import Strategy
+from ..data.dataset import TensorDataset
+from ..fl.degradation import (
+    REASON_STALE,
+    DegradationPolicy,
+    validate_updates,
+)
+from ..fl.history import RoundRecord, TrainingHistory
+from ..fl.metrics import evaluate
+from ..fl.sampling import ParticipationScheme, ReservoirSampling
+from ..fl.server import Server
+from ..fl.simulation import SimulationResult
+from ..fl.state import ClientUpdate
+from ..fl.timing import CostModel
+from ..introspect import get_introspector
+from ..telemetry import get_telemetry
+from .registry import ClientRegistry
+
+
+@dataclass
+class PendingUpload:
+    """One dispatched client's upload travelling through virtual time."""
+
+    client_id: int
+    dispatch_version: int  # server round the client trained against
+    dispatch_time: float  # virtual seconds when local work started
+    arrival_time: float  # virtual seconds when the upload lands
+    update: ClientUpdate  # computed eagerly at dispatch
+
+
+@dataclass
+class FlushEvent:
+    """Audit record of one buffered aggregation (for determinism tests)."""
+
+    version: int  # server version the flush produced
+    virtual_time: float
+    arrivals: List[int]  # client ids in flushed order
+    staleness: Dict[int, int]  # client -> τ
+    weights: Dict[int, float]  # client -> staleness discount
+    stale_dropped: List[int] = field(default_factory=list)
+
+
+class AsyncCoordinator:
+    """Buffered semi-async federated training over a client registry.
+
+    Parameters
+    ----------
+    registry:
+        The virtual client population.
+    strategy:
+        Any :class:`~repro.algorithms.base.Strategy` (TACO / Scaffold /
+        STEM client hooks and aggregation run unchanged).
+    test_set:
+        Held-out evaluation shard (``registry.test_set(n)``).
+    cohort_size:
+        Target number of clients concurrently in flight.
+    buffer_size:
+        Aggregate after this many arrivals (defaults to ``cohort_size``,
+        the synchronous-equivalent setting).
+    participation:
+        Selection scheme over the active population; defaults to
+        streaming reservoir sampling of ``cohort_size``.
+    staleness_power:
+        Exponent ``a`` of the ``(1 + τ)^(-a)`` staleness discount.
+    degradation:
+        Shared degradation policy: ``round_deadline`` abandons stragglers
+        at dispatch, ``max_staleness`` drops over-stale arrivals at flush,
+        ``over_selection``/``min_quorum``/quarantine as in the sync loop.
+    """
+
+    def __init__(
+        self,
+        registry: ClientRegistry,
+        strategy: Strategy,
+        test_set: TensorDataset,
+        cohort_size: int = 20,
+        buffer_size: Optional[int] = None,
+        participation: Optional[ParticipationScheme] = None,
+        global_lr: Optional[float] = None,
+        cost_model: Optional[CostModel] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        staleness_power: float = 0.5,
+        eval_every: int = 1,
+        seed: int = 0,
+        model=None,
+    ) -> None:
+        if cohort_size < 1:
+            raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        if staleness_power < 0:
+            raise ValueError(f"staleness_power must be >= 0, got {staleness_power}")
+        self.registry = registry
+        self.strategy = strategy
+        self.test_set = test_set
+        self.cohort_size = int(cohort_size)
+        self.buffer_size = int(buffer_size) if buffer_size is not None else int(cohort_size)
+        self.participation = participation or ReservoirSampling(self.cohort_size)
+        self.global_lr = (
+            global_lr if global_lr is not None else strategy.local_steps * strategy.local_lr
+        )
+        self.cost_model = cost_model or CostModel()
+        self.degradation = degradation
+        self.staleness_power = float(staleness_power)
+        self.eval_every = max(1, eval_every)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        self.model = model if model is not None else registry.make_model()
+
+        self.server = Server(self.model.parameters_vector(), self.global_lr, len(registry))
+        self.history = TrainingHistory()
+        self.flush_log: List[FlushEvent] = []
+
+        # Virtual-time event loop state.
+        self._events: List[Tuple[float, int, PendingUpload]] = []  # heap
+        self._buffer: List[PendingUpload] = []
+        self._pending_ids: set = set()  # in flight or buffered
+        self._clock = 0.0
+        self._seq = 0  # dispatch sequence; the deterministic heap tie-break
+        self._last_flush_clock = 0.0
+        self._abandoned_since_flush: List[int] = []
+        self._expelled_seen: set = set()
+        self._cumulative_sim_time = 0.0
+        self._last_evaluated_round = -1
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _active_ids(self) -> Sequence[int]:
+        """Active population, O(1) when the strategy has no expulsions.
+
+        The base :class:`Strategy` returns all clients; detecting that the
+        method was never overridden lets the registry's ``range`` pass
+        through unmaterialized.  Strategies that do override (TACO's
+        expulsion) pay O(population) here — documented in SCALING.md.
+        """
+        if type(self.strategy).active_clients is Strategy.active_clients:
+            return self.registry.ids()
+        return self.strategy.active_clients(self.server.state, self.registry.ids())
+
+    def _select(self, active: Sequence[int], want: int) -> List[int]:
+        """Pick up to ``want`` non-pending clients from ``active``."""
+        telemetry = get_telemetry()
+        with telemetry.span("federation.select", round=self.server.state.round, want=want):
+            chosen = self.participation.select(active, self.server.state.round, self.rng)
+        fresh = [cid for cid in chosen if cid not in self._pending_ids]
+        collisions = len(chosen) - len(fresh)
+        if collisions:
+            telemetry.counter("federation.collisions").add(collisions)
+        return fresh[:want]
+
+    def _dispatch(self) -> int:
+        """Top the in-flight pool back up to the cohort target.
+
+        Selected clients run their K local steps *now*, against the
+        current server version; only the upload's arrival is deferred.
+        Returns the number of clients actually enqueued.
+        """
+        target = self.cohort_size
+        if self.degradation is not None:
+            target += self.degradation.extra_selections(self.cohort_size)
+        want = target - len(self._pending_ids)
+        if want <= 0:
+            return 0
+
+        telemetry = get_telemetry()
+        state = self.server.state
+        active = self._active_ids()
+        if not len(active):
+            raise RuntimeError("no active clients left to dispatch (all expelled)")
+        selected = self._select(active, want)
+        if not selected:
+            return 0
+
+        deadline = self.degradation.round_deadline if self.degradation is not None else None
+        enqueued = 0
+        with telemetry.span(
+            "federation.dispatch", round=state.round, clients=len(selected)
+        ):
+            broadcast = self.strategy.broadcast(state)
+            global_params = state.global_params
+            for client_id in selected:
+                payload = self.strategy.client_payload(client_id, state, broadcast)
+                client = self.registry.materialize(client_id)
+                update = client.local_round(
+                    self.model, self.strategy, global_params, payload, self.cost_model
+                )
+                self.registry.release(client)
+                if deadline is not None and update.sim_time > deadline:
+                    # Straggler abandonment: the server will not wait for
+                    # this upload; the device's work is lost.
+                    self._abandoned_since_flush.append(client_id)
+                    telemetry.counter("federation.abandoned").add(1)
+                    continue
+                pending = PendingUpload(
+                    client_id=client_id,
+                    dispatch_version=state.round,
+                    dispatch_time=self._clock,
+                    arrival_time=self._clock + update.sim_time,
+                    update=update,
+                )
+                heapq.heappush(self._events, (pending.arrival_time, self._seq, pending))
+                self._seq += 1
+                self._pending_ids.add(client_id)
+                enqueued += 1
+        telemetry.counter("federation.dispatched").add(enqueued)
+        if telemetry.enabled:
+            telemetry.gauge("federation.inflight").set(len(self._pending_ids))
+        return enqueued
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+    def _flush(self) -> RoundRecord:
+        """Aggregate the buffer into one server round."""
+        telemetry = get_telemetry()
+        state = self.server.state
+        round_index = state.round
+        flush_started = time.perf_counter()
+        introspector = get_introspector()
+        if introspector.enabled:
+            introspector.begin_round(
+                round_index, getattr(self.strategy, "name", type(self.strategy).__name__)
+            )
+
+        # Flush in (dispatch version, client id) order: within one version
+        # this is the synchronous loop's sorted-participants order, which
+        # is what makes the B == cohort case bit-identical to the oracle.
+        batch = sorted(self._buffer, key=lambda p: (p.dispatch_version, p.client_id))
+        self._buffer = []
+        for pending in batch:
+            self._pending_ids.discard(pending.client_id)
+
+        staleness = {p.client_id: round_index - p.dispatch_version for p in batch}
+        max_staleness = (
+            self.degradation.max_staleness if self.degradation is not None else None
+        )
+        stale_dropped: List[int] = []
+        weights: Dict[int, float] = {}
+        updates: List[ClientUpdate] = []
+        quarantined: Dict[int, str] = {}
+        for pending in batch:
+            tau = staleness[pending.client_id]
+            if max_staleness is not None and tau > max_staleness:
+                stale_dropped.append(pending.client_id)
+                quarantined[pending.client_id] = REASON_STALE
+                continue
+            weight = (1.0 + tau) ** (-self.staleness_power) if tau else 1.0
+            weights[pending.client_id] = weight
+            updates.append(pending.update.scaled(weight))
+            if telemetry.enabled:
+                telemetry.histogram("federation.staleness").observe(float(tau))
+        if stale_dropped:
+            telemetry.counter("federation.stale_dropped").add(len(stale_dropped))
+
+        skipped = False
+        if self.degradation is not None:
+            updates, gate_quarantined = validate_updates(updates, state.dim, self.degradation)
+            quarantined.update(gate_quarantined)
+            if len(updates) < self.degradation.min_quorum:
+                skipped = True
+        elif not updates:
+            skipped = True
+
+        with telemetry.span(
+            "federation.flush", round=round_index, updates=len(updates), skipped=skipped
+        ):
+            if skipped:
+                self.server.skip_round()
+            else:
+                self.server.run_aggregation(self.strategy, updates)
+        telemetry.counter("federation.flushes").add(1)
+        telemetry.counter("federation.arrived").add(len(batch))
+
+        expelled = self._newly_expelled()
+
+        round_sim = self._clock - self._last_flush_clock
+        self._last_flush_clock = self._clock
+        self._cumulative_sim_time = self._clock
+        if telemetry.enabled:
+            telemetry.gauge("federation.virtual_time").set(self._clock)
+
+        if (round_index + 1) % self.eval_every == 0 or not len(self.history):
+            with telemetry.span("evaluate", round=round_index):
+                self.model.load_vector(self.server.state.global_params)
+                accuracy, loss = evaluate(self.model, self.test_set)
+            self._last_evaluated_round = round_index
+        else:
+            accuracy = self.history.records[-1].test_accuracy
+            loss = self.history.records[-1].test_loss
+
+        alphas = {} if skipped else dict(getattr(self.strategy, "last_alphas", {}) or {})
+        record = RoundRecord(
+            round=round_index,
+            test_accuracy=accuracy,
+            test_loss=loss,
+            round_sim_time=round_sim,
+            cumulative_sim_time=self._cumulative_sim_time,
+            round_wall_time=time.perf_counter() - flush_started,
+            participating=[p.client_id for p in batch],
+            alphas=alphas,
+            expelled=expelled,
+            update_norms={u.client_id: u.delta_norm for u in updates},
+            quarantined=quarantined,
+            stragglers=list(self._abandoned_since_flush),
+            aggregated=0 if skipped else len(updates),
+            skipped=skipped,
+        )
+        self._abandoned_since_flush = []
+        self.history.append(record)
+        self.flush_log.append(
+            FlushEvent(
+                version=round_index,
+                virtual_time=self._clock,
+                arrivals=[p.client_id for p in batch],
+                staleness=staleness,
+                weights=weights,
+                stale_dropped=stale_dropped,
+            )
+        )
+        if introspector.enabled:
+            introspector.scalar("server.test_accuracy", record.test_accuracy)
+            introspector.scalar("server.test_loss", record.test_loss)
+            introspector.scalar("server.aggregated", float(record.aggregated))
+            introspector.per_client("server.update_norm", dict(record.update_norms))
+            introspector.end_round()
+        return record
+
+    def _newly_expelled(self) -> List[int]:
+        """Expulsions since the last flush, without scanning the population.
+
+        Strategies with expulsion (TACO) expose the expelled set directly;
+        diffing it against what we've already reported is O(expelled),
+        unlike re-deriving it from ``active_clients`` which is
+        O(population).
+        """
+        expelled_now = getattr(self.strategy, "expelled", None)
+        if not expelled_now:
+            return []
+        fresh = sorted(set(expelled_now) - self._expelled_seen)
+        self._expelled_seen.update(fresh)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rounds: int,
+        record_path=None,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        resume_from=None,
+    ) -> SimulationResult:
+        """Run ``rounds`` buffered aggregations (server versions).
+
+        ``checkpoint_every``/``checkpoint_dir``/``resume_from`` persist and
+        restore the full coordinator state at flush boundaries via
+        :mod:`repro.federation.persist`, bit-exact with an uninterrupted
+        run.  ``record_path`` writes a runrecord.json at the end.
+        """
+        from . import persist  # deferred; persist imports this module's types
+
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+
+        if resume_from is not None:
+            completed = persist.load_coordinator(self, resume_from)
+            if completed > rounds:
+                raise ValueError(
+                    f"checkpoint already has {completed} rounds, cannot run to {rounds}"
+                )
+        else:
+            self.strategy.reset()
+            self.registry.reset()
+            get_telemetry().reset()
+            get_introspector().reset()
+
+        run_started = time.perf_counter()
+        diverged = False
+        while self.server.state.round < rounds:
+            if len(self._buffer) < self.buffer_size:
+                self._dispatch()
+                # A deadline can abandon an entire dispatch; redraw a few
+                # cohorts (each consumes the selection RNG, so this stays
+                # deterministic) before declaring the loop stalled.
+                for _ in range(32):
+                    if self._events or self._buffer:
+                        break
+                    self._dispatch()
+                else:
+                    raise RuntimeError(
+                        "event loop stalled: every dispatched client was "
+                        "abandoned (round_deadline too tight for the "
+                        "population's speed tiers)"
+                    )
+            if self._events:
+                while self._events and len(self._buffer) < self.buffer_size:
+                    arrival_time, _, pending = heapq.heappop(self._events)
+                    self._clock = arrival_time
+                    self._buffer.append(pending)
+            if len(self._buffer) >= self.buffer_size or not self._events:
+                record = self._flush()
+                if not np.isfinite(record.test_loss) or not np.isfinite(
+                    self.server.state.global_params
+                ).all():
+                    diverged = True
+                    break
+                if (
+                    checkpoint_every
+                    and checkpoint_dir is not None
+                    and self.server.state.round % checkpoint_every == 0
+                ):
+                    persist.save_coordinator(self, checkpoint_dir)
+
+        final_params = self.server.state.global_params.copy()
+        self._refresh_final_metrics(final_params, diverged)
+        output_params = self.strategy.final_output(self.server.state).copy()
+        self.model.load_vector(final_params)
+        final_accuracy = self.history.final_accuracy if len(self.history) else 0.0
+        if np.isfinite(output_params).all():
+            self.model.load_vector(output_params)
+            output_accuracy, _ = evaluate(self.model, self.test_set)
+        else:
+            output_accuracy = 0.0
+        self.model.load_vector(final_params)
+        introspector = get_introspector()
+        result = SimulationResult(
+            history=self.history,
+            final_params=final_params,
+            output_params=output_params,
+            final_accuracy=final_accuracy,
+            output_accuracy=output_accuracy,
+            diverged=diverged,
+            elapsed_seconds=time.perf_counter() - run_started,
+            diagnostics=list(introspector.records) if introspector.enabled else [],
+        )
+        if record_path is not None:
+            from ..runrecord import build_run_record, write_run_record
+
+            write_run_record(
+                build_run_record(result, algorithm=getattr(self.strategy, "name", "unknown")),
+                record_path,
+            )
+        return result
+
+    def _refresh_final_metrics(self, final_params: np.ndarray, diverged: bool) -> None:
+        """Force a final evaluation when ``eval_every`` skipped the last flush."""
+        if diverged or not len(self.history):
+            return
+        last = self.history.records[-1]
+        if last.round == self._last_evaluated_round:
+            return
+        if not np.isfinite(final_params).all():
+            return
+        self.model.load_vector(final_params)
+        accuracy, loss = evaluate(self.model, self.test_set)
+        last.test_accuracy = accuracy
+        last.test_loss = loss
+        self._last_evaluated_round = last.round
+
+    # ------------------------------------------------------------------
+    @property
+    def virtual_time(self) -> float:
+        """Current virtual clock (seconds of simulated federation time)."""
+        return self._clock
+
+    @property
+    def in_flight(self) -> int:
+        """Clients currently dispatched or buffered."""
+        return len(self._pending_ids)

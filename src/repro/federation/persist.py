@@ -1,0 +1,258 @@
+"""Checkpoint/resume for the async coordinator.
+
+Same portable format as :mod:`repro.fl.checkpoint` (``arrays.npz`` +
+``meta.json`` + ``history.json``) and the same flattening/RNG helpers, so
+the two checkpointing layers share one serialisation contract.  The extra
+state here is the event loop itself: the virtual clock, the dispatch
+sequence counter, the registry's saved per-client RNG stream positions,
+and every in-flight :class:`~repro.federation.coordinator.PendingUpload`
+*including its already-computed update* — local work done before the
+checkpoint is never re-executed, so a resumed run replays bit-exactly.
+
+Checkpoints are written at flush boundaries (the arrival buffer is empty
+then), but in-flight uploads dispatched against earlier versions are part
+of the picture and are fully persisted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..fl.checkpoint import (
+    ARRAYS_FILE,
+    HISTORY_FILE,
+    META_FILE,
+    STATE_SEP,
+    flatten_state,
+    load_history,
+    restore_rng,
+    rng_state,
+    save_history,
+    unflatten_state,
+)
+from ..fl.state import ClientUpdate
+from .coordinator import AsyncCoordinator, FlushEvent, PendingUpload
+
+_SEP = STATE_SEP
+
+#: Bumped when the on-disk coordinator layout changes incompatibly.
+PERSIST_VERSION = 1
+
+
+def _pending_scalars(pending: PendingUpload) -> Dict[str, Any]:
+    return {
+        "client_id": pending.client_id,
+        "dispatch_version": pending.dispatch_version,
+        "dispatch_time": pending.dispatch_time,
+        "arrival_time": pending.arrival_time,
+        "num_samples": pending.update.num_samples,
+        "num_steps": pending.update.num_steps,
+        "sim_time": pending.update.sim_time,
+        "wall_time": pending.update.wall_time,
+    }
+
+
+def save_coordinator(coordinator: AsyncCoordinator, directory) -> Path:
+    """Persist a coordinator's complete state at a flush boundary."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state = coordinator.server.state
+
+    arrays: Dict[str, np.ndarray] = {f"server{_SEP}global_params": state.global_params}
+    if state.prev_global_params is not None:
+        arrays[f"server{_SEP}prev_global_params"] = state.prev_global_params
+    if state.global_delta is not None:
+        arrays[f"server{_SEP}global_delta"] = state.global_delta
+    for key, value in coordinator.model.state_dict().items():
+        arrays[f"model{_SEP}{key}"] = value
+
+    strategy_arrays: Dict[str, np.ndarray] = {}
+    strategy_scalars: Dict[str, Any] = {}
+    for key, value in coordinator.strategy.state_dict().items():
+        flatten_state(value, key, strategy_arrays, strategy_scalars)
+    for key, value in strategy_arrays.items():
+        arrays[f"strategy{_SEP}{key}"] = value
+
+    # In-flight uploads: heap entries first (in heap-array order — the heap
+    # invariant is rebuilt on load), then any buffered arrivals.
+    events_meta: List[Dict[str, Any]] = []
+    for index, (_, seq, pending) in enumerate(coordinator._events):
+        entry = _pending_scalars(pending)
+        entry["seq"] = seq
+        entry["buffered"] = False
+        events_meta.append(entry)
+        arrays[f"event{_SEP}{index}{_SEP}delta"] = pending.update.delta
+        extras_arrays: Dict[str, np.ndarray] = {}
+        extras_scalars: Dict[str, Any] = {}
+        flatten_state(pending.update.extras, "extras", extras_arrays, extras_scalars)
+        for key, value in extras_arrays.items():
+            arrays[f"event{_SEP}{index}{_SEP}{key}"] = value
+        entry["extras_scalars"] = extras_scalars
+    offset = len(events_meta)
+    for index, pending in enumerate(coordinator._buffer, start=offset):
+        entry = _pending_scalars(pending)
+        entry["seq"] = -1
+        entry["buffered"] = True
+        events_meta.append(entry)
+        arrays[f"event{_SEP}{index}{_SEP}delta"] = pending.update.delta
+        extras_arrays = {}
+        extras_scalars = {}
+        flatten_state(pending.update.extras, "extras", extras_arrays, extras_scalars)
+        for key, value in extras_arrays.items():
+            arrays[f"event{_SEP}{index}{_SEP}{key}"] = value
+        entry["extras_scalars"] = extras_scalars
+
+    meta = {
+        "persist_version": PERSIST_VERSION,
+        "round": state.round,
+        "population": len(coordinator.registry),
+        "clock": coordinator._clock,
+        "seq": coordinator._seq,
+        "last_flush_clock": coordinator._last_flush_clock,
+        "cumulative_sim_time": coordinator._cumulative_sim_time,
+        "last_evaluated_round": coordinator._last_evaluated_round,
+        "abandoned_since_flush": list(coordinator._abandoned_since_flush),
+        "expelled_seen": sorted(coordinator._expelled_seen),
+        "strategy_scalars": strategy_scalars,
+        "events": events_meta,
+        "rng_states": {
+            "coordinator": rng_state(coordinator.rng),
+            "clients": {
+                str(cid): st for cid, st in coordinator.registry._rng_states.items()
+            },
+        },
+        "flush_log": [
+            {
+                "version": e.version,
+                "virtual_time": e.virtual_time,
+                "arrivals": list(e.arrivals),
+                "staleness": {str(k): v for k, v in e.staleness.items()},
+                "weights": {str(k): v for k, v in e.weights.items()},
+                "stale_dropped": list(e.stale_dropped),
+            }
+            for e in coordinator.flush_log
+        ],
+    }
+
+    np.savez(directory / ARRAYS_FILE, **arrays)
+    (directory / META_FILE).write_text(json.dumps(meta, indent=2))
+    save_history(coordinator.history, directory / HISTORY_FILE)
+    return directory
+
+
+def load_coordinator(coordinator: AsyncCoordinator, directory) -> int:
+    """Restore a checkpoint into ``coordinator``; returns completed rounds.
+
+    The coordinator must be constructed identically to the checkpointed
+    one (same registry parameters, strategy type, cohort/buffer sizes,
+    seed); everything mutable is overwritten.
+    """
+    directory = Path(directory)
+    archive = np.load(directory / ARRAYS_FILE)
+    meta = json.loads((directory / META_FILE).read_text())
+    if meta.get("persist_version") != PERSIST_VERSION:
+        raise ValueError(
+            f"checkpoint persist_version {meta.get('persist_version')} != {PERSIST_VERSION}"
+        )
+    if meta["population"] != len(coordinator.registry):
+        raise ValueError(
+            f"checkpoint has population {meta['population']}, "
+            f"registry has {len(coordinator.registry)}"
+        )
+
+    grouped: Dict[str, Dict[str, np.ndarray]] = {"server": {}, "model": {}, "strategy": {}}
+    event_arrays: Dict[int, Dict[str, np.ndarray]] = {}
+    for key in archive.files:
+        group, rest = key.split(_SEP, 1)
+        if group == "event":
+            index_str, sub = rest.split(_SEP, 1)
+            event_arrays.setdefault(int(index_str), {})[sub] = archive[key]
+        else:
+            grouped[group][rest] = archive[key]
+
+    state = coordinator.server.state
+    state.global_params = grouped["server"]["global_params"].copy()
+    state.prev_global_params = (
+        grouped["server"]["prev_global_params"].copy()
+        if "prev_global_params" in grouped["server"]
+        else None
+    )
+    state.global_delta = (
+        grouped["server"]["global_delta"].copy()
+        if "global_delta" in grouped["server"]
+        else None
+    )
+    state.round = int(meta["round"])
+
+    if grouped["model"]:
+        coordinator.model.load_state_dict(grouped["model"])
+
+    coordinator.strategy.reset()
+    flat: Dict[str, Any] = dict(grouped["strategy"])
+    flat.update(meta["strategy_scalars"])
+    coordinator.strategy.load_state_dict(unflatten_state(flat))
+
+    restore_rng(coordinator.rng, meta["rng_states"]["coordinator"])
+    coordinator.registry.reset()
+    coordinator.registry._rng_states.update(
+        {int(cid): st for cid, st in meta["rng_states"]["clients"].items()}
+    )
+
+    coordinator._events = []
+    coordinator._buffer = []
+    coordinator._pending_ids = set()
+    for index, entry in enumerate(meta["events"]):
+        per_event = event_arrays.get(index, {})
+        extras_flat: Dict[str, Any] = {
+            key: value for key, value in per_event.items() if key != "delta"
+        }
+        extras_flat.update(entry.get("extras_scalars", {}))
+        extras = unflatten_state(extras_flat).get("extras", {})
+        update = ClientUpdate(
+            client_id=int(entry["client_id"]),
+            delta=per_event["delta"].copy(),
+            num_samples=int(entry["num_samples"]),
+            num_steps=int(entry["num_steps"]),
+            sim_time=float(entry["sim_time"]),
+            wall_time=float(entry["wall_time"]),
+            extras=extras,
+        )
+        pending = PendingUpload(
+            client_id=int(entry["client_id"]),
+            dispatch_version=int(entry["dispatch_version"]),
+            dispatch_time=float(entry["dispatch_time"]),
+            arrival_time=float(entry["arrival_time"]),
+            update=update,
+        )
+        if entry["buffered"]:
+            coordinator._buffer.append(pending)
+        else:
+            coordinator._events.append((pending.arrival_time, int(entry["seq"]), pending))
+        coordinator._pending_ids.add(pending.client_id)
+    heapq.heapify(coordinator._events)
+
+    coordinator._clock = float(meta["clock"])
+    coordinator._seq = int(meta["seq"])
+    coordinator._last_flush_clock = float(meta["last_flush_clock"])
+    coordinator._cumulative_sim_time = float(meta["cumulative_sim_time"])
+    coordinator._last_evaluated_round = int(meta["last_evaluated_round"])
+    coordinator._abandoned_since_flush = [int(c) for c in meta["abandoned_since_flush"]]
+    coordinator._expelled_seen = set(meta["expelled_seen"])
+    coordinator.history = load_history(directory / HISTORY_FILE)
+    coordinator.flush_log = [
+        FlushEvent(
+            version=int(item["version"]),
+            virtual_time=float(item["virtual_time"]),
+            arrivals=[int(c) for c in item["arrivals"]],
+            staleness={int(k): int(v) for k, v in item["staleness"].items()},
+            weights={int(k): float(v) for k, v in item["weights"].items()},
+            stale_dropped=[int(c) for c in item["stale_dropped"]],
+        )
+        for item in meta["flush_log"]
+    ]
+    return state.round

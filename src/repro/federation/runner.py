@@ -1,0 +1,168 @@
+"""Config + assembly helper for population-scale federation runs.
+
+One :class:`FederateConfig` describes a complete semi-async run —
+population, cohort, buffer, staleness policy, dataset, algorithm — and
+:func:`run_federation` assembles the registry/coordinator pair from it.
+The ``repro federate`` CLI subcommand, the table10 scalability
+experiment, and ``scripts/bench_federation.py`` all go through here, so
+a config serialised into a runrecord fully reproduces its run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..algorithms.registry import make_strategy
+from ..fl.degradation import DegradationPolicy
+from ..fl.sampling import (
+    AvailabilitySampling,
+    FullParticipation,
+    ParticipationScheme,
+    ReservoirSampling,
+    UniformSampling,
+    participation_names,
+)
+from ..fl.simulation import SimulationResult
+from .coordinator import AsyncCoordinator
+from .registry import ClientRegistry
+
+
+@dataclass(frozen=True)
+class FederateConfig:
+    """Everything needed to reproduce one semi-async federation run."""
+
+    dataset: str = "adult"
+    algorithm: str = "fedavg"
+    population: int = 1_000
+    cohort_size: int = 20
+    buffer_size: Optional[int] = None  # None = cohort (sync-equivalent)
+    rounds: int = 5
+    scheme: str = "reservoir"
+    local_steps: int = 4
+    local_lr: float = 0.05
+    global_lr: Optional[float] = None
+    batch_size: int = 16
+    samples_per_client: int = 32
+    dirichlet_phi: Optional[float] = 0.5
+    test_size: int = 200
+    staleness_power: float = 0.5
+    round_deadline: Optional[float] = None
+    over_selection: float = 0.0
+    min_quorum: int = 1
+    max_staleness: Optional[int] = None
+    eval_every: int = 1
+    width_multiplier: float = 1.0
+    seed: int = 0
+
+    def with_overrides(self, **overrides) -> "FederateConfig":
+        return replace(self, **overrides)
+
+
+#: Config for ``repro federate --smoke``: a CI-sized end-to-end run.
+SMOKE_CONFIG = FederateConfig(
+    population=1_000,
+    cohort_size=8,
+    buffer_size=4,
+    rounds=3,
+    local_steps=2,
+    samples_per_client=16,
+    batch_size=8,
+    test_size=80,
+    width_multiplier=0.5,
+)
+
+
+def make_scheme(config: FederateConfig) -> ParticipationScheme:
+    """Build the participation scheme a config names.
+
+    The per-scheme constructor arguments are derived from the config
+    (reservoir gets the cohort size; uniform the equivalent fraction).
+    """
+    if config.scheme == "reservoir":
+        return ReservoirSampling(config.cohort_size)
+    if config.scheme == "uniform":
+        return UniformSampling(min(1.0, config.cohort_size / config.population))
+    if config.scheme == "full":
+        return FullParticipation()
+    if config.scheme == "availability":
+        return AvailabilitySampling()
+    raise ValueError(
+        f"unknown participation scheme {config.scheme!r}; registered schemes: "
+        f"{', '.join(participation_names())}"
+    )
+
+
+def make_degradation(config: FederateConfig) -> Optional[DegradationPolicy]:
+    """The degradation policy a config implies, or None for the defaults."""
+    if (
+        config.round_deadline is None
+        and config.over_selection == 0.0
+        and config.min_quorum == 1
+        and config.max_staleness is None
+    ):
+        return None
+    return DegradationPolicy(
+        round_deadline=config.round_deadline,
+        over_selection=config.over_selection,
+        min_quorum=config.min_quorum,
+        max_staleness=config.max_staleness,
+    )
+
+
+def build_coordinator(config: FederateConfig) -> AsyncCoordinator:
+    """Assemble the registry + coordinator a config describes."""
+    registry = ClientRegistry(
+        population=config.population,
+        dataset=config.dataset,
+        seed=config.seed,
+        samples_per_client=config.samples_per_client,
+        batch_size=config.batch_size,
+        dirichlet_phi=config.dirichlet_phi,
+    )
+    strategy = make_strategy(
+        config.algorithm,
+        local_lr=config.local_lr,
+        local_steps=config.local_steps,
+        rounds=config.rounds,
+    )
+    return AsyncCoordinator(
+        registry=registry,
+        strategy=strategy,
+        test_set=registry.test_set(config.test_size),
+        cohort_size=config.cohort_size,
+        buffer_size=config.buffer_size,
+        participation=make_scheme(config),
+        global_lr=config.global_lr,
+        degradation=make_degradation(config),
+        staleness_power=config.staleness_power,
+        eval_every=config.eval_every,
+        seed=config.seed,
+        model=registry.make_model(width_multiplier=config.width_multiplier),
+    )
+
+
+def run_federation(
+    config: FederateConfig,
+    record_path=None,
+    checkpoint_every: int = 0,
+    checkpoint_dir=None,
+    resume_from=None,
+) -> Tuple[AsyncCoordinator, SimulationResult]:
+    """Run one semi-async federation job end to end."""
+    coordinator = build_coordinator(config)
+    result = coordinator.run(
+        config.rounds,
+        record_path=None,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+    )
+    if record_path is not None:
+        from ..runrecord import build_run_record, write_run_record
+
+        write_run_record(
+            build_run_record(result, algorithm=config.algorithm, config=config),
+            record_path,
+        )
+    return coordinator, result

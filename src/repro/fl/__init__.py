@@ -12,7 +12,16 @@ from .client import Client
 from .degradation import DegradationPolicy, split_stragglers, validate_updates
 from .history import RoundRecord, TrainingHistory
 from .metrics import evaluate, instability, rounds_to_target, time_to_target
-from .sampling import AvailabilitySampling, FullParticipation, UniformSampling
+from .sampling import (
+    PARTICIPATION_SCHEMES,
+    AvailabilitySampling,
+    FullParticipation,
+    ParticipationScheme,
+    ReservoirSampling,
+    UniformSampling,
+    make_participation,
+    participation_names,
+)
 from .server import Server
 from .simulation import FederatedSimulation, SimulationResult
 from .state import ClientUpdate, ServerState, cosine_similarity, weighted_average
@@ -45,6 +54,11 @@ __all__ = [
     "FullParticipation",
     "UniformSampling",
     "AvailabilitySampling",
+    "ReservoirSampling",
+    "ParticipationScheme",
+    "PARTICIPATION_SCHEMES",
+    "make_participation",
+    "participation_names",
     "evaluate",
     "instability",
     "rounds_to_target",

@@ -176,11 +176,22 @@ def _unflatten_state(flat: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """The generator's JSON-serialisable bit-generator state."""
     return rng.bit_generator.state
 
 
 def _restore_rng(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a generator to a previously captured bit-generator state."""
     rng.bit_generator.state = state
+
+
+# Public aliases for other checkpointing layers (repro.federation.persist)
+# so they share one flattening/RNG-serialisation contract with this module.
+flatten_state = _flatten_state
+unflatten_state = _unflatten_state
+rng_state = _rng_state
+restore_rng = _restore_rng
+STATE_SEP = _SEP
 
 
 def save_simulation(simulation, directory: str | Path) -> Path:

@@ -29,6 +29,7 @@ from .state import ClientUpdate
 REASON_NON_FINITE = "non-finite"
 REASON_BAD_SHAPE = "bad-shape"
 REASON_NORM_OUTLIER = "norm-outlier"
+REASON_STALE = "stale"
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,11 @@ class DegradationPolicy:
         median upload norm (None disables).  Catches finite-but-wrong
         payloads such as unit-scale bugs; generous enough (default 25x)
         that honest heterogeneity never trips it.
+    max_staleness:
+        Semi-async only (ignored by the synchronous round loop): drop
+        buffered arrivals whose update was computed against a model more
+        than this many server versions old (None accepts any staleness,
+        subject to the coordinator's staleness discount).
     """
 
     over_selection: float = 0.0
@@ -63,6 +69,7 @@ class DegradationPolicy:
     min_quorum: int = 1
     quarantine_nonfinite: bool = True
     norm_outlier_factor: Optional[float] = 25.0
+    max_staleness: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.over_selection < 0:
@@ -73,6 +80,8 @@ class DegradationPolicy:
             raise ValueError(f"min_quorum must be >= 1, got {self.min_quorum}")
         if self.norm_outlier_factor is not None and self.norm_outlier_factor <= 1:
             raise ValueError("norm_outlier_factor must exceed 1 (or be None)")
+        if self.max_staleness is not None and self.max_staleness < 0:
+            raise ValueError(f"max_staleness must be >= 0, got {self.max_staleness}")
 
     def extra_selections(self, base_count: int) -> int:
         """How many spare clients to add to a base selection."""

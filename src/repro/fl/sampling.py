@@ -1,14 +1,41 @@
 """Client participation schemes.
 
 The paper uses full participation (20 or 100 clients); uniform subsampling
-is provided for partial-participation experiments.
+is provided for partial-participation experiments, availability sampling
+models heterogeneous device uptime, and reservoir sampling selects a
+fixed-size cohort from an arbitrarily large population in one streaming
+pass (the scheme :mod:`repro.federation`'s async coordinator uses).
+
+Every scheme implements the :class:`ParticipationScheme` protocol and is
+registered by name in :data:`PARTICIPATION_SCHEMES`, so configs and the CLI
+can select one with a string — an unknown name fails with the full list of
+registered kinds (mirroring the attack registry).
+
+``active`` may be any integer :class:`~typing.Sequence`, including a
+``range`` — schemes must not materialise it, so selecting 20 clients from a
+million-id population costs O(cohort), not O(population), memory.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import math
+from typing import Dict, List, Protocol, Sequence, Type, runtime_checkable
 
 import numpy as np
+
+
+@runtime_checkable
+class ParticipationScheme(Protocol):
+    """The selection interface the round loop and async coordinator call.
+
+    ``select`` returns the ids participating in round ``round_index``,
+    drawn from ``active`` using only ``rng`` (so selections are a pure
+    function of the seed and the call sequence).
+    """
+
+    def select(
+        self, active: Sequence[int], round_index: int, rng: np.random.Generator
+    ) -> List[int]: ...
 
 
 class FullParticipation:
@@ -27,6 +54,11 @@ class UniformSampling:
         self.fraction = fraction
 
     def select(self, active: Sequence[int], round_index: int, rng: np.random.Generator) -> List[int]:
+        if not len(active):
+            raise ValueError(
+                "cannot sample participants from an empty active-client set "
+                "(every client has been expelled or filtered out)"
+            )
         count = max(1, round(self.fraction * len(active)))
         chosen = rng.choice(len(active), size=min(count, len(active)), replace=False)
         return sorted(active[i] for i in chosen)
@@ -39,6 +71,10 @@ class AvailabilitySampling:
     (edge devices charging / on wifi), cf. Rodio et al. (2023) cited by the
     paper.  If nobody is available in a round, one uniformly random client
     is drafted so training never stalls.
+
+    Draws one uniform per active client, so selection is O(population) —
+    fine at the paper's scale, but prefer :class:`ReservoirSampling` for
+    registry-scale populations.
     """
 
     def __init__(self, availability: dict[int, float] | float = 0.8) -> None:
@@ -61,3 +97,73 @@ class AvailabilitySampling:
         if not chosen:
             chosen = [active[int(rng.integers(len(active)))]]
         return sorted(chosen)
+
+
+class ReservoirSampling:
+    """Uniform fixed-size cohort via streaming reservoir sampling.
+
+    Li's "Algorithm L": keep a k-slot reservoir and jump over a
+    geometrically distributed number of stream positions between
+    replacements, so selecting k of n costs O(k log(n/k)) time and O(k)
+    memory — ``active`` is only indexed, never copied.  This is the scheme
+    the async coordinator uses over million-entry client registries.
+    """
+
+    def __init__(self, cohort_size: int) -> None:
+        if cohort_size < 1:
+            raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+        self.cohort_size = cohort_size
+
+    def select(self, active: Sequence[int], round_index: int, rng: np.random.Generator) -> List[int]:
+        n = len(active)
+        if not n:
+            raise ValueError(
+                "cannot sample participants from an empty active-client set "
+                "(every client has been expelled or filtered out)"
+            )
+        k = self.cohort_size
+        if n <= k:
+            return sorted(active)
+        reservoir = [active[i] for i in range(k)]
+        # w is the running max of k-th root uniforms; log-space jumps give
+        # the index of the next stream element that enters the reservoir.
+        w = math.exp(math.log(rng.random()) / k)
+        i = k - 1
+        while True:
+            i += int(math.log(rng.random()) / math.log1p(-w)) + 1
+            if i >= n:
+                break
+            reservoir[int(rng.integers(k))] = active[i]
+            w *= math.exp(math.log(rng.random()) / k)
+        return sorted(reservoir)
+
+
+#: Scheme kind -> class.  Keys are the names accepted by
+#: ``repro federate --scheme`` and :func:`make_participation`.
+PARTICIPATION_SCHEMES: Dict[str, Type] = {
+    "full": FullParticipation,
+    "uniform": UniformSampling,
+    "availability": AvailabilitySampling,
+    "reservoir": ReservoirSampling,
+}
+
+
+def participation_names() -> tuple[str, ...]:
+    """All registered participation scheme kinds, sorted."""
+    return tuple(sorted(PARTICIPATION_SCHEMES))
+
+
+def make_participation(kind: str, **kwargs) -> ParticipationScheme:
+    """Instantiate a participation scheme by kind name.
+
+    Unknown kinds fail with the full list of registered names, mirroring
+    the attack registry's error contract.
+    """
+    try:
+        cls = PARTICIPATION_SCHEMES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown participation scheme {kind!r}; registered schemes: "
+            f"{', '.join(participation_names())}"
+        ) from None
+    return cls(**kwargs)

@@ -53,6 +53,25 @@ class ClientUpdate:
     def delta_norm(self) -> float:
         return float(np.linalg.norm(self.delta))
 
+    def scaled(self, weight: float) -> "ClientUpdate":
+        """A copy with ``delta`` scaled by ``weight`` (staleness discount).
+
+        ``weight == 1.0`` returns ``self`` unchanged, so zero-staleness
+        buffered aggregation stays bit-identical to the synchronous path
+        (no spurious ``delta * 1.0`` rounding or copies).
+        """
+        if weight == 1.0:
+            return self
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=self.delta * weight,
+            num_samples=self.num_samples,
+            num_steps=self.num_steps,
+            sim_time=self.sim_time,
+            wall_time=self.wall_time,
+            extras=dict(self.extras, staleness_weight=weight),
+        )
+
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     """Cosine between two vectors; 0.0 when either is (near) zero."""

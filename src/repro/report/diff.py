@@ -14,8 +14,10 @@ Two modes:
 - :func:`check_bench` — validates committed ``BENCH_*.json`` artifacts
   against fixed floors: kernel speedups (``BENCH_kernels.json``) must stay
   at or above the same floors ``scripts/bench_kernels.py --smoke`` enforces,
-  and telemetry/introspection overhead (``BENCH_telemetry.json``) must stay
-  under 10% with ``bit_identical`` true for every algorithm.
+  telemetry/introspection overhead (``BENCH_telemetry.json``) must stay
+  under 10% with ``bit_identical`` true for every algorithm, and the
+  federation registry's peak-memory growth across populations
+  (``BENCH_federation.json``) must stay within 2x.
 """
 
 from __future__ import annotations
@@ -33,6 +35,9 @@ KERNEL_SPEEDUP_FLOORS: Dict[str, float] = {"max_pool2d": 5.0, "cnn_round": 2.0}
 
 #: Acceptance ceiling for telemetry/introspection overhead (percent).
 OVERHEAD_CEILING_PCT = 10.0
+
+#: Largest/smallest-population peak-memory ratio the registry may show.
+FEDERATION_MEMORY_RATIO_CEILING = 2.0
 
 
 @dataclass
@@ -144,7 +149,7 @@ def check_bench(path: str | Path) -> Tuple[List[List[str]], List[str]]:
     Returns ``(rows, failures)``: table rows describing every checked
     quantity, and the list of floor violations (empty = pass).  The file
     kind is detected from its layout — ``benchmarks`` (kernels) vs
-    ``algorithms`` (telemetry).
+    ``algorithms`` (telemetry) vs ``populations`` (federation scaling).
     """
     target = Path(path)
     data = json.loads(target.read_text(encoding="utf-8"))
@@ -152,8 +157,11 @@ def check_bench(path: str | Path) -> Tuple[List[List[str]], List[str]]:
         return _check_kernel_bench(target.name, data)
     if "algorithms" in data:
         return _check_telemetry_bench(target.name, data)
+    if "populations" in data:
+        return _check_federation_bench(target.name, data)
     raise ValueError(
-        f"{target}: unrecognised BENCH layout (expected 'benchmarks' or 'algorithms')"
+        f"{target}: unrecognised BENCH layout "
+        "(expected 'benchmarks', 'algorithms', or 'populations')"
     )
 
 
@@ -203,4 +211,45 @@ def _check_telemetry_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[s
             rows.append([algorithm, key, str(bool(entry[key])), "True", "ok" if ok else "FAIL"])
             if not ok:
                 failures.append(f"{name}: {algorithm} {key} is False")
+    return rows, failures
+
+
+def _check_federation_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[str]], List[str]]:
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    ceiling = FEDERATION_MEMORY_RATIO_CEILING
+    ratio_entry = data.get("memory_ratio")
+    if not isinstance(ratio_entry, dict) or "peak_traced_ratio" not in ratio_entry:
+        failures.append(f"{name}: missing memory_ratio.peak_traced_ratio")
+        rows.append(["memory_ratio", "peak_traced_ratio", "?", f"<= {ceiling}x", "MISSING"])
+    else:
+        ratio = float(ratio_entry["peak_traced_ratio"])
+        ok = ratio <= ceiling
+        rows.append(
+            [
+                "memory_ratio",
+                "peak_traced_ratio",
+                f"{ratio:.2f}x",
+                f"<= {ceiling}x",
+                "ok" if ok else "FAIL",
+            ]
+        )
+        if not ok:
+            failures.append(
+                f"{name}: peak-memory ratio {ratio:.2f}x over ceiling {ceiling}x "
+                "(registry memory is growing with population)"
+            )
+    for population, entry in sorted(data["populations"].items(), key=lambda kv: int(kv[0])):
+        diverged = bool(entry.get("diverged", False))
+        rows.append(
+            [
+                f"population {int(population):,}",
+                "diverged",
+                str(diverged),
+                "False",
+                "FAIL" if diverged else "ok",
+            ]
+        )
+        if diverged:
+            failures.append(f"{name}: population {population} run diverged")
     return rows, failures

@@ -1,0 +1,91 @@
+"""Checkpoint/resume for the async coordinator: bit-exact continuation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_strategy
+from repro.federation import (
+    AsyncCoordinator,
+    ClientRegistry,
+    load_coordinator,
+    save_coordinator,
+)
+from repro.fl.degradation import DegradationPolicy
+
+
+def build(algorithm="scaffold", seed=0):
+    registry = ClientRegistry(
+        population=120, seed=seed, samples_per_client=16, batch_size=8
+    )
+    return AsyncCoordinator(
+        registry=registry,
+        strategy=make_strategy(algorithm, local_lr=0.05, local_steps=2, rounds=6),
+        test_set=registry.test_set(60),
+        cohort_size=8,
+        buffer_size=4,
+        seed=seed,
+        model=registry.make_model(width_multiplier=0.5),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["fedavg", "scaffold", "taco"])
+def test_resume_is_bit_exact(tmp_path, algorithm):
+    """3 rounds + checkpoint + resume to 6 == straight 6-round run."""
+    straight = build(algorithm).run(6)
+
+    first = build(algorithm)
+    first.run(3, checkpoint_every=3, checkpoint_dir=tmp_path)
+    assert (tmp_path / "meta.json").is_file()
+
+    resumed = build(algorithm).run(6, resume_from=tmp_path)
+
+    assert resumed.final_params.tobytes() == straight.final_params.tobytes()
+    for mine, theirs in zip(resumed.history.records, straight.history.records):
+        assert mine.round == theirs.round
+        assert mine.test_accuracy == theirs.test_accuracy
+        assert mine.participating == theirs.participating
+
+
+def test_resume_preserves_inflight_and_degradation(tmp_path):
+    """In-flight events and straggler state survive the round trip."""
+    coordinator = build()
+    coordinator.degradation = DegradationPolicy(over_selection=0.25)
+    coordinator.run(3, checkpoint_every=3, checkpoint_dir=tmp_path)
+    in_flight_before = coordinator.in_flight
+
+    resumed = build()
+    resumed.degradation = DegradationPolicy(over_selection=0.25)
+    start_round = load_coordinator(resumed, tmp_path)
+    assert start_round == 3
+    assert resumed.in_flight == in_flight_before
+    assert resumed.virtual_time == coordinator.virtual_time
+
+
+def test_population_mismatch_rejected(tmp_path):
+    coordinator = build()
+    coordinator.run(3, checkpoint_every=3, checkpoint_dir=tmp_path)
+    other = AsyncCoordinator(
+        registry=ClientRegistry(population=60, seed=0, samples_per_client=16),
+        strategy=make_strategy("scaffold", local_lr=0.05, local_steps=2, rounds=6),
+        test_set=ClientRegistry(population=60, seed=0).test_set(60),
+        cohort_size=8,
+        buffer_size=4,
+    )
+    with pytest.raises(ValueError, match="population"):
+        load_coordinator(other, tmp_path)
+
+
+def test_checkpoint_layout(tmp_path):
+    coordinator = build()
+    coordinator.run(3)
+    save_coordinator(coordinator, tmp_path / "snap")
+    files = {p.name for p in (tmp_path / "snap").iterdir()}
+    assert {"arrays.npz", "meta.json", "history.json"} <= files
+    meta = json.loads((tmp_path / "snap" / "meta.json").read_text())
+    assert meta["round"] == 3
+    assert meta["population"] == 120
+
+    arrays = np.load(tmp_path / "snap" / "arrays.npz")
+    assert any(key.startswith("server") for key in arrays.files)

@@ -1,0 +1,126 @@
+"""Client registry: descriptor determinism, growth invariance, memory."""
+
+import numpy as np
+import pytest
+
+from repro.federation import SPEED_TIERS, ClientRegistry, stable_seed
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed(7, 3, 1) == stable_seed(7, 3, 1)
+
+    def test_order_sensitive(self):
+        assert stable_seed(1, 2) != stable_seed(2, 1)
+
+    def test_part_count_sensitive(self):
+        # (1, 2) must not collide with (1, 2, 0) or (1,).
+        assert stable_seed(1, 2) != stable_seed(1, 2, 0)
+        assert stable_seed(1,) != stable_seed(1, 0)
+
+    def test_negative_parts_allowed(self):
+        assert stable_seed(0, -1, 4) != stable_seed(0, 1, 4)
+
+    def test_spreads_adjacent_ids(self):
+        seeds = {stable_seed(0, cid, 2) for cid in range(1000)}
+        assert len(seeds) == 1000
+
+
+class TestDescriptors:
+    def test_deterministic(self):
+        a = ClientRegistry(population=100, seed=3)
+        b = ClientRegistry(population=100, seed=3)
+        for cid in (0, 17, 99):
+            assert a.descriptor(cid) == b.descriptor(cid)
+
+    def test_seed_changes_descriptors(self):
+        a = ClientRegistry(population=50, seed=0)
+        b = ClientRegistry(population=50, seed=1)
+        assert any(a.descriptor(cid) != b.descriptor(cid) for cid in range(50))
+
+    def test_fields_in_range(self):
+        registry = ClientRegistry(population=200, seed=0, samples_per_client=32)
+        for cid in range(0, 200, 13):
+            desc = registry.descriptor(cid)
+            assert desc.client_id == cid
+            assert desc.speed_tier in SPEED_TIERS
+            low, high = SPEED_TIERS[desc.speed_tier][1]
+            assert low <= desc.speed_factor <= high
+            assert 0.5 <= desc.availability <= 1.0
+            assert desc.num_samples >= 1
+
+    def test_unknown_id_rejected(self):
+        registry = ClientRegistry(population=10, seed=0)
+        with pytest.raises(KeyError):
+            registry.descriptor(10)
+
+
+class TestGrowthInvariance:
+    """Registry growth/filtering must never change an existing client."""
+
+    def test_descriptor_invariant_under_growth(self):
+        small = ClientRegistry(population=1_000, seed=5)
+        huge = ClientRegistry(population=1_000_000, seed=5)
+        for cid in (0, 123, 999):
+            assert small.descriptor(cid) == huge.descriptor(cid)
+
+    def test_shard_invariant_under_growth(self):
+        small = ClientRegistry(population=100, seed=5)
+        huge = ClientRegistry(population=100_000, seed=5)
+        client_a = small.materialize(42)
+        client_b = huge.materialize(42)
+        np.testing.assert_array_equal(
+            client_a.dataset.features, client_b.dataset.features
+        )
+        np.testing.assert_array_equal(client_a.dataset.labels, client_b.dataset.labels)
+
+    def test_subset_preserves_descriptors(self):
+        registry = ClientRegistry(population=500, seed=2)
+        subset = registry.subset([7, 11, 400])
+        for cid in (7, 11, 400):
+            assert subset.descriptor(cid) == registry.descriptor(cid)
+        assert list(subset.ids()) == [7, 11, 400]
+
+    def test_image_dataset_shards_deterministic(self):
+        a = ClientRegistry(population=50, dataset="mnist", seed=1).materialize(3)
+        b = ClientRegistry(population=50, dataset="mnist", seed=1).materialize(3)
+        np.testing.assert_array_equal(a.dataset.features, b.dataset.features)
+
+
+class TestMaterializeRelease:
+    def test_rng_stream_resumes_across_release(self):
+        """Re-materializing continues the client's RNG, not restarts it."""
+        registry = ClientRegistry(population=20, seed=0)
+        client = registry.materialize(4)
+        first = client.sampler.rng.random()
+        registry.release(client)
+        resumed = registry.materialize(4)
+        second = resumed.sampler.rng.random()
+
+        fresh = ClientRegistry(population=20, seed=0).materialize(4)
+        assert fresh.sampler.rng.random() == first
+        assert fresh.sampler.rng.random() == second
+
+    def test_reset_forgets_rng_streams(self):
+        registry = ClientRegistry(population=20, seed=0)
+        client = registry.materialize(4)
+        first = client.sampler.rng.random()
+        registry.release(client)
+        registry.reset()
+        assert registry.materialize(4).sampler.rng.random() == first
+
+    def test_test_set_and_model_deterministic(self):
+        a = ClientRegistry(population=10, seed=9)
+        b = ClientRegistry(population=10, seed=9)
+        np.testing.assert_array_equal(
+            a.test_set(40).features, b.test_set(40).features
+        )
+        np.testing.assert_array_equal(
+            a.make_model(0.5).parameters_vector(),
+            b.make_model(0.5).parameters_vector(),
+        )
+
+    def test_ids_is_lazy_range(self):
+        registry = ClientRegistry(population=1_000_000, seed=0)
+        assert isinstance(registry.ids(), range)
+        assert len(registry) == 1_000_000

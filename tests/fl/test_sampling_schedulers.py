@@ -3,7 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.fl.sampling import AvailabilitySampling, FullParticipation, UniformSampling
+from repro.fl.sampling import (
+    PARTICIPATION_SCHEMES,
+    AvailabilitySampling,
+    FullParticipation,
+    ParticipationScheme,
+    ReservoirSampling,
+    UniformSampling,
+    make_participation,
+    participation_names,
+)
 from repro.nn.module import Parameter
 from repro.optim import SGD, CosineAnnealingLR, InverseSqrtLR, StepLR
 
@@ -31,6 +40,10 @@ class TestUniformSampling:
             UniformSampling(0.0)
         with pytest.raises(ValueError):
             UniformSampling(1.5)
+
+    def test_empty_active_set_rejected(self, rng):
+        with pytest.raises(ValueError, match="empty active-client set"):
+            UniformSampling(0.5).select([], 0, rng)
 
 
 class TestAvailabilitySampling:
@@ -66,6 +79,65 @@ class TestAvailabilitySampling:
             AvailabilitySampling(0.0)
         with pytest.raises(ValueError):
             AvailabilitySampling({0: 1.5})
+
+
+class TestReservoirSampling:
+    def test_small_population_returns_everyone(self, rng):
+        state = rng.bit_generator.state
+        assert ReservoirSampling(5).select([3, 1, 4], 0, rng) == [1, 3, 4]
+        # The n <= k fast path must not consume the stream.
+        assert rng.bit_generator.state == state
+
+    def test_exact_cohort_size(self, rng):
+        chosen = ReservoirSampling(7).select(list(range(100)), 0, rng)
+        assert len(chosen) == 7
+        assert len(set(chosen)) == 7
+        assert chosen == sorted(chosen)
+
+    def test_accepts_range_without_materializing(self, rng):
+        chosen = ReservoirSampling(10).select(range(10_000_000), 0, rng)
+        assert len(chosen) == 10
+        assert all(0 <= cid < 10_000_000 for cid in chosen)
+
+    def test_deterministic_per_rng_state(self):
+        first = ReservoirSampling(5).select(range(1000), 0, np.random.default_rng(7))
+        second = ReservoirSampling(5).select(range(1000), 0, np.random.default_rng(7))
+        assert first == second
+
+    def test_approximately_uniform(self):
+        rng = np.random.default_rng(0)
+        counts = np.zeros(20)
+        for _ in range(2000):
+            for cid in ReservoirSampling(4).select(range(20), 0, rng):
+                counts[cid] += 1
+        expected = 2000 * 4 / 20
+        assert np.all(np.abs(counts - expected) < 0.25 * expected)
+
+    def test_invalid_cohort(self):
+        with pytest.raises(ValueError):
+            ReservoirSampling(0)
+
+
+class TestSchemeRegistry:
+    def test_all_schemes_registered(self):
+        assert set(participation_names()) == set(PARTICIPATION_SCHEMES)
+        assert {"full", "uniform", "availability", "reservoir"} <= set(
+            participation_names()
+        )
+
+    def test_make_participation(self, rng):
+        scheme = make_participation("reservoir", cohort_size=3)
+        assert isinstance(scheme, ReservoirSampling)
+        assert isinstance(scheme, ParticipationScheme)
+        assert len(scheme.select(range(50), 0, rng)) == 3
+
+    def test_unknown_scheme_lists_valid_names(self):
+        with pytest.raises(ValueError, match="registered schemes: .*reservoir"):
+            make_participation("roundrobin")
+
+    def test_all_builtin_schemes_satisfy_protocol(self):
+        for cls in PARTICIPATION_SCHEMES.values():
+            assert issubclass(cls, ParticipationScheme)
 
 
 def make_opt(lr=1.0):

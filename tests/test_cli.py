@@ -196,3 +196,55 @@ class TestScenarios:
                      "--defences", "none", "--algorithms", "fedavg",
                      "--clients", "4", "--rounds", "1"]) == 2
         assert "invalid scenario grid" in capsys.readouterr().err
+
+
+class TestFederate:
+    def test_smoke_json(self, capsys):
+        assert main(["federate", "--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["population"] == 1000
+        assert payload["cohort_size"] == 8
+        assert payload["buffer_size"] == 4
+        assert payload["rounds"] == 3
+        assert isinstance(payload["final_accuracy"], float)
+        assert payload["diverged"] is False
+        assert payload["virtual_time"] > 0
+
+    def test_smoke_with_overrides(self, capsys):
+        assert main(["federate", "--smoke", "--json", "--algorithm", "taco",
+                     "--rounds", "2", "--buffer", "8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 2
+        assert payload["buffer_size"] == 8
+        # B == cohort: the sync-equivalent setting has no staleness at all.
+        assert payload["mean_staleness"] == 0.0
+
+    def test_table_output(self, capsys):
+        assert main(["federate", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "population" in out
+        assert "1,000" in out or "1000" in out
+
+    def test_runrecord_written(self, tmp_path, capsys):
+        assert main(["federate", "--smoke", "--json",
+                     "--record-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        records = list(tmp_path.rglob("runrecord.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text(encoding="utf-8"))
+        assert record["config"]["population"] == 1000
+
+    def test_unknown_scheme_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["federate", "--smoke", "--scheme", "roundrobin"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        checkpoints = tmp_path / "ckpt"
+        assert main(["federate", "--smoke", "--json", "--checkpoint-every", "3",
+                     "--checkpoint-dir", str(checkpoints)]) == 0
+        capsys.readouterr()
+        assert main(["federate", "--smoke", "--json", "--rounds", "5",
+                     "--checkpoint-dir", str(checkpoints), "--resume"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 5
