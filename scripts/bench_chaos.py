@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Network-chaos benchmark for the async federation subsystem.
+
+Runs the graded chaos campaign (``repro.network.harness``): every
+algorithm x loss-rate cell under one chaos profile (duplication,
+per-direction latency, retry/backoff, delivery leases), plus the two
+determinism invariants the network layer promises — an inert
+``NetworkPlan.none()`` is bit-identical to no plan at all, and the same
+seed reproduces a chaotic run byte-for-byte.  The campaign reports the
+largest loss rate at which each algorithm still clears the accuracy
+floor: the documented graceful-degradation threshold.
+
+Results go to ``BENCH_chaos.json`` (layout key: ``chaos``), which
+``repro diff --bench`` gates in CI (invariants must hold; every
+algorithm must survive loss >= 0.3).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_chaos.py          # full run, writes JSON
+    PYTHONPATH=src python scripts/bench_chaos.py --smoke  # CI-sized campaign,
+                                                          # asserts floors, no JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.network.harness import SMOKE_SPEC, ChaosSpec, run_chaos  # noqa: E402
+from repro.report.diff import CHAOS_LOSS_THRESHOLD_FLOOR  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized campaign; assert invariants + loss floors, no JSON",
+    )
+    parser.add_argument(
+        "--trace", default=None, choices=("poisson", "flash"),
+        help="run every cell under an open-loop arrival trace",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_chaos.json"),
+        help="output path for the committed artifact",
+    )
+    args = parser.parse_args()
+
+    spec = SMOKE_SPEC if args.smoke else ChaosSpec()
+    if args.trace is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, trace=args.trace)
+    data = run_chaos(spec, log=print)
+    chaos = data["chaos"]
+
+    for cell in chaos["cells"]:
+        status = "ok" if cell["survives"] else "below floor"
+        print(
+            f"{cell['algorithm']:>9} @ loss {cell['loss_rate']:.2f}: "
+            f"acc {cell['output_accuracy']:.2%} ({status}), "
+            f"dropped {cell['dropped_uploads']}, retried {cell['retried_uploads']}, "
+            f"deduped {cell['duplicated_uploads']}, skipped {cell['skipped_rounds']}"
+        )
+    for algorithm, threshold in sorted(chaos["loss_thresholds"].items()):
+        shown = "none" if threshold is None else f"{threshold:g}"
+        print(f"loss threshold [{algorithm}]: {shown}")
+
+    ok = True
+    for invariant, value in chaos["invariants"].items():
+        print(f"invariant {invariant}: {'ok' if value else 'FAILED'}")
+        if not value:
+            print(f"FAIL: invariant {invariant} does not hold", file=sys.stderr)
+            ok = False
+    if args.smoke:
+        for algorithm, threshold in sorted(chaos["loss_thresholds"].items()):
+            if threshold is None or threshold < CHAOS_LOSS_THRESHOLD_FLOOR:
+                print(
+                    f"FAIL: {algorithm} survives only loss "
+                    f"{'none' if threshold is None else threshold}, "
+                    f"floor is {CHAOS_LOSS_THRESHOLD_FLOOR}",
+                    file=sys.stderr,
+                )
+                ok = False
+        print("chaos bench smoke:", "ok" if ok else "FAILED")
+        return 0 if ok else 1
+    if not ok:
+        return 1
+
+    out = Path(args.out)
+    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

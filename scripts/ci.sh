@@ -96,8 +96,22 @@ python -m repro.cli report out/federation/*/runrecord.json --ascii > /dev/null
 echo "==> federation scaling bench (1k vs 100k vs 1M clients, memory-ratio floor)"
 python scripts/bench_federation.py --smoke
 
-echo "==> BENCH floor regression gate (kernels + telemetry + federation)"
-python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json BENCH_federation.json
+echo "==> network chaos smoke (graded loss grid + determinism invariants)"
+python -m repro.cli chaos --smoke --json --out out/chaos.json \
+    | python -c '
+import json, sys
+chaos = json.load(sys.stdin)["chaos"]
+assert all(chaos["invariants"].values()), f"invariants failed: {chaos[\"invariants\"]}"
+assert chaos["cells"], "chaos grid produced no cells"
+lossy = [c for c in chaos["cells"] if c["loss_rate"] > 0]
+assert any(
+    c["retried_uploads"] or c["dropped_uploads"] for c in lossy
+), "lossy cells show no retries or drops"
+print("chaos smoke ok:", chaos["loss_thresholds"])
+'
+
+echo "==> BENCH floor regression gate (kernels + telemetry + federation + chaos)"
+python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json BENCH_federation.json BENCH_chaos.json
 
 echo "==> guard chaos smoke (stealth-NaN + hot lr, quarantine off)"
 CHAOS_ARGS=(

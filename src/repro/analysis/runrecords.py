@@ -85,6 +85,28 @@ def per_client_envelope(
     }
 
 
+def delivery_series(record: Dict[str, Any]) -> Dict[str, List[float]]:
+    """Per-round delivery-fault counts for the network chapter.
+
+    Returns ``{"dropped": [...], "retried": [...], "duplicated": [...],
+    "quarantined": [...]}`` (one value per round); empty when every count
+    is zero — i.e. the run saw a perfect wire and no faults — so report
+    renderers can skip the chapter entirely.
+    """
+    rounds = record["rounds"]
+    series = {
+        "dropped": [float(len(entry.get("dropped", []))) for entry in rounds],
+        "retried": [
+            float(sum(entry.get("retries", {}).values())) for entry in rounds
+        ],
+        "duplicated": [float(len(entry.get("duplicated", []))) for entry in rounds],
+        "quarantined": [float(len(entry.get("quarantined", {}))) for entry in rounds],
+    }
+    if not any(any(values) for values in series.values()):
+        return {}
+    return series
+
+
 def diagnostic_names(record: Dict[str, Any]) -> Dict[str, List[str]]:
     """All published diagnostic names: ``{"scalars": [...], "per_client": [...]}``."""
     scalars: set = set()
@@ -110,7 +132,13 @@ def flatten_final_fields(record: Dict[str, Any]) -> Dict[str, Any]:
     for key, value in record["traffic"].items():
         flat[f"traffic.{key}"] = value
     for key, value in record["faults"].items():
-        flat[f"faults.{key}"] = value
+        if isinstance(value, dict):
+            # Nested totals (quarantine_reasons, deliveries): one flat
+            # field per entry, so deterministic runs diff exactly.
+            for sub_key, sub_value in value.items():
+                flat[f"faults.{key}.{sub_key}"] = sub_value
+        else:
+            flat[f"faults.{key}"] = value
     guard = record["guard"]
     for key in ("skips", "rollbacks", "aborted"):
         if key in guard:

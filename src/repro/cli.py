@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -374,6 +375,16 @@ def cmd_federate(args: argparse.Namespace) -> int:
         "max_staleness": "max_staleness",
         "eval_every": "eval_every",
         "seed": "seed",
+        "loss_rate": "loss_rate",
+        "duplicate_rate": "duplicate_rate",
+        "uplink_latency": "uplink_latency",
+        "downlink_latency": "downlink_latency",
+        "retry_limit": "retry_limit",
+        "retry_backoff": "retry_backoff",
+        "retry_jitter": "retry_jitter",
+        "lease_timeout": "lease_timeout",
+        "trace": "trace",
+        "trace_bursts": "trace_bursts",
     }
     overrides = {
         field: getattr(args, attr)
@@ -437,6 +448,9 @@ def cmd_federate(args: argparse.Namespace) -> int:
         "expelled_clients": result.history.expelled_clients,
         "elapsed_seconds": result.elapsed_seconds,
     }
+    deliveries = result.history.delivery_summary()
+    if deliveries:
+        summary["deliveries"] = deliveries
     if args.json:
         print(json.dumps(summary))
     else:
@@ -457,6 +471,82 @@ def cmd_federate(args: argparse.Namespace) -> int:
         )
     if record_path is not None:
         print(f"wrote {record_path}", file=sys.stderr)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos`` — graded network-chaos grid over the coordinator.
+
+    Runs every ``--algorithms`` x ``--loss-rates`` cell under one chaos
+    profile (duplication, latency, leases, optionally an open-loop
+    ``--trace``), checks the inert-plan and same-seed determinism
+    invariants, and reports the largest loss rate each algorithm
+    survives (see docs/ROBUSTNESS.md).
+    """
+    from pathlib import Path
+
+    from .network.harness import SMOKE_SPEC, ChaosSpec, run_chaos
+
+    base = SMOKE_SPEC if args.smoke else ChaosSpec()
+    overrides = {}
+    if args.algorithms is not None:
+        overrides["algorithms"] = tuple(args.algorithms)
+    if args.loss_rates is not None:
+        overrides["loss_rates"] = tuple(args.loss_rates)
+    if args.trace is not None:
+        overrides["trace"] = args.trace
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        spec = dataclasses.replace(base, **overrides)
+        payload = run_chaos(
+            spec, log=None if args.json else (lambda m: print(m, file=sys.stderr))
+        )
+    except (TypeError, ValueError) as error:
+        print(f"invalid chaos arguments: {error}", file=sys.stderr)
+        return 2
+    chaos = payload["chaos"]
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {target}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        rows = [
+            [
+                cell["algorithm"],
+                f"{cell['loss_rate']:g}",
+                "x" if not cell["survives"] else f"{cell['output_accuracy']:.2%}",
+                str(cell["dropped_uploads"]),
+                str(cell["retried_uploads"]),
+                str(cell["duplicated_uploads"]),
+                str(cell["skipped_rounds"]),
+            ]
+            for cell in chaos["cells"]
+        ]
+        print(
+            render_table(
+                ["algorithm", "loss", "accuracy", "dropped", "retried", "deduped", "skipped"],
+                rows,
+                title="network chaos grid",
+            )
+        )
+        invariants = chaos["invariants"]
+        print(
+            "invariants: inert-plan bit-identity "
+            + ("ok" if invariants["none_plan_bit_identical"] else "FAILED")
+            + ", same-seed determinism "
+            + ("ok" if invariants["same_seed_deterministic"] else "FAILED")
+        )
+        for algorithm, threshold in sorted(chaos["loss_thresholds"].items()):
+            shown = "none" if threshold is None else f"{threshold:g}"
+            print(f"loss threshold [{algorithm}]: {shown}")
+    if not all(chaos["invariants"].values()):
+        return 1
     return 0
 
 
@@ -719,12 +809,14 @@ def cmd_list(args: argparse.Namespace) -> int:
     from .scenarios import defence_names
 
     from .fl.sampling import participation_names
+    from .network.traffic import trace_names
 
     print("datasets:  ", " ".join(sorted(dataset_names())))
     print("algorithms:", " ".join(sorted(algorithm_names())))
     print("attacks:   ", " ".join(attack_names()))
     print("defences:  ", " ".join(defence_names()))
     print("schemes:   ", " ".join(participation_names()))
+    print("traces:    ", " ".join(trace_names()))
     print(
         "experiments:",
         "fig1 table1 fig2 table2 table3 table5 fig4 fig5 fig6 table6 table7 table8 table9 table10 fig7 theory faults chaos",
@@ -751,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
         "federate", help="semi-async training over a population-scale client registry"
     )
     from .fl.sampling import participation_names as _participation_names
+    from .network.traffic import trace_names as _trace_names
 
     fed_p.add_argument(
         "--smoke", action="store_true",
@@ -795,6 +888,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fed_p.add_argument("--eval-every", type=int, default=None, help="evaluate every N flushes")
     fed_p.add_argument("--seed", type=int, default=None)
+    net_group = fed_p.add_argument_group(
+        "unreliable network (all default to a perfect wire; see docs/ROBUSTNESS.md)"
+    )
+    net_group.add_argument(
+        "--loss-rate", type=_rate, default=None, help="per-attempt upload loss probability"
+    )
+    net_group.add_argument(
+        "--duplicate-rate", type=_rate, default=None,
+        help="probability a delivered upload arrives twice (at-least-once semantics)",
+    )
+    net_group.add_argument(
+        "--uplink-latency", type=float, default=None, metavar="SECONDS",
+        help="mean exponential client->server transit delay",
+    )
+    net_group.add_argument(
+        "--downlink-latency", type=float, default=None, metavar="SECONDS",
+        help="mean exponential server->client dispatch delay",
+    )
+    net_group.add_argument(
+        "--retry-limit", type=int, default=None, help="client retries before giving up"
+    )
+    net_group.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base of the shared exponential backoff (base * 2^k)",
+    )
+    net_group.add_argument(
+        "--retry-jitter", type=_rate, default=None,
+        help="seeded jitter fraction on each backoff interval",
+    )
+    net_group.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="SECONDS",
+        help="revoke and re-dispatch uploads undelivered after this long",
+    )
+    net_group.add_argument(
+        "--trace", default=None, choices=list(_trace_names()),
+        help="replay an open-loop arrival trace instead of closed-loop top-up",
+    )
+    net_group.add_argument(
+        "--trace-bursts", type=int, default=None, help="bursts in the generated trace"
+    )
     fed_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     fed_p.add_argument(
         "--telemetry", action="append", default=None, metavar="SPEC",
@@ -806,6 +939,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_arguments(fed_p)
     fed_p.set_defaults(func=cmd_federate)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="graded network-chaos grid over the async coordinator"
+    )
+    chaos_p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized campaign (2 algorithms x 3 loss rates, 2 rounds each)",
+    )
+    chaos_p.add_argument(
+        "--algorithms", nargs="+", default=None, choices=sorted(algorithm_names()),
+        help="algorithms on the grid (default: fedavg taco scaffold)",
+    )
+    chaos_p.add_argument(
+        "--loss-rates", nargs="+", type=_rate, default=None, metavar="RATE",
+        help="loss rates on the grid (default: 0 0.1 0.3 0.5)",
+    )
+    chaos_p.add_argument(
+        "--trace", default=None, choices=list(_trace_names()),
+        help="run every cell under an open-loop arrival trace",
+    )
+    chaos_p.add_argument("--rounds", type=int, default=None, help="rounds per cell")
+    chaos_p.add_argument("--seed", type=int, default=None)
+    chaos_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full campaign payload (BENCH_chaos.json layout) to PATH",
+    )
+    chaos_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    chaos_p.set_defaults(func=cmd_chaos)
 
     cmp_p = sub.add_parser("compare", help="run several algorithms under identical conditions")
     cmp_p.add_argument(

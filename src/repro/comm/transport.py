@@ -28,6 +28,10 @@ class TrafficLog:
 
     uplink_bytes_per_round: List[int] = field(default_factory=list)
     downlink_bytes_per_round: List[int] = field(default_factory=list)
+    #: Of each round's uplink total, the bytes that were retransmissions
+    #: (failed attempts under the retry policy).  Always <= the uplink
+    #: entry for the same round.
+    retry_bytes_per_round: List[int] = field(default_factory=list)
 
     @property
     def bytes_per_round(self) -> List[int]:
@@ -53,6 +57,11 @@ class TrafficLog:
         """Uplink + downlink bytes across the run."""
         return self.total_uplink_bytes + self.total_downlink_bytes
 
+    @property
+    def total_retry_bytes(self) -> int:
+        """All retransmitted upload bytes across the run."""
+        return sum(self.retry_bytes_per_round)
+
     def record_uplink(self, round_bytes: int) -> None:
         """Append one round's uplink total."""
         self.uplink_bytes_per_round.append(round_bytes)
@@ -69,6 +78,7 @@ class TrafficLog:
         """Clear both directions."""
         self.uplink_bytes_per_round = []
         self.downlink_bytes_per_round = []
+        self.retry_bytes_per_round = []
 
 
 class Transport:
@@ -116,15 +126,31 @@ class Transport:
         self.log.record_downlink(round_bytes)
         get_telemetry().counter("transport.downlink_bytes").add(round_bytes)
 
-    def process_round(self, updates: List[ClientUpdate]) -> List[ClientUpdate]:
-        """Compress every update in place; returns the same list."""
+    def process_round(
+        self, updates: List[ClientUpdate], retries: dict | None = None
+    ) -> List[ClientUpdate]:
+        """Compress every update in place; returns the same list.
+
+        ``retries`` maps ``client_id -> failed attempt count`` (the fault
+        injector's log): every failed attempt retransmitted the compressed
+        payload, so those bytes are charged into the uplink total and
+        tracked separately in ``retry_bytes_per_round``.
+        """
         round_bytes = 0
+        retry_bytes = 0
         for update in updates:
             compressed = self.compressor.compress(update.delta, self.rng)
             update.delta = compressed.vector
             round_bytes += compressed.payload_bytes
+            failed = max(0, int((retries or {}).get(update.client_id, 0)))
+            retry_bytes += compressed.payload_bytes * failed
+        round_bytes += retry_bytes
         self.log.record_uplink(round_bytes)
-        get_telemetry().counter("transport.uplink_bytes").add(round_bytes)
+        self.log.retry_bytes_per_round.append(retry_bytes)
+        telemetry = get_telemetry()
+        telemetry.counter("transport.uplink_bytes").add(round_bytes)
+        if retry_bytes:
+            telemetry.counter("transport.retry_bytes").add(retry_bytes)
         return updates
 
     def uplink_seconds(self, round_index: int) -> float:

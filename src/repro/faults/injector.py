@@ -114,13 +114,13 @@ class FaultInjector:
                 telemetry.counter("faults.corrupted", mode=decision.corruption).add(1)
 
             if decision.transient_failures > 0:
-                attempts = min(decision.transient_failures, self.plan.retry_limit + 1)
+                policy = self.plan.retry_policy
+                attempts = min(decision.transient_failures, policy.max_attempts)
                 log.retries[update.client_id] = attempts
                 telemetry.counter("faults.retry_attempts").add(attempts)
-                # Exponential backoff charged to the client's round time.
-                update.sim_time += sum(
-                    self.plan.retry_backoff * (2**attempt) for attempt in range(attempts)
-                )
+                # Exponential backoff charged to the client's round time —
+                # the same RetryPolicy the network transport layer uses.
+                update.sim_time += policy.total_backoff(attempts)
                 if decision.transient_failures > self.plan.retry_limit:
                     log.lost_after_retries.append(update.client_id)
                     telemetry.counter("faults.lost_after_retries").add(1)

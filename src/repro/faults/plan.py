@@ -21,6 +21,8 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..network.retry import RetryPolicy
+
 #: Supported payload corruption modes.  "nan-stealth" poisons a single
 #: entry of an otherwise-honest payload: its norm turns NaN (every norm
 #: comparison is then False, so norm-based gates pass it) and only an
@@ -70,8 +72,12 @@ class FaultPlan:
         error; the failure count is uniform in [1, max_transient_failures].
     retry_limit / retry_backoff:
         Server retry policy: an upload failing more than ``retry_limit``
-        times is lost; each retry charges ``retry_backoff * 2^attempt``
-        simulated seconds to the client's round time.
+        times is lost; retry ``k`` (0-based) charges
+        ``retry_backoff * 2**k`` simulated seconds to the client's round
+        time.  These fields parameterise the shared
+        :class:`repro.network.retry.RetryPolicy` (exposed as
+        :attr:`retry_policy`) — the same exponential-backoff formula the
+        unreliable-network transport layer uses.
     drop_schedule / corrupt_schedule:
         Explicit per-round overrides: ``{round: [client, ...]}`` and
         ``{round: {client: mode}}``.  Scheduled faults fire regardless of
@@ -107,6 +113,16 @@ class FaultPlan:
         for mode in self.corruption_modes:
             if mode not in CORRUPTION_MODES:
                 raise ValueError(f"unknown corruption mode {mode!r}; known: {CORRUPTION_MODES}")
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The shared retry/backoff policy these fields parameterise.
+
+        Numerically identical to the historical inline formula
+        (``retry_backoff * 2**attempt``, no jitter), so existing
+        ``FaultPlan`` configs reproduce their old timings exactly.
+        """
+        return RetryPolicy(base=self.retry_backoff, limit=self.retry_limit)
 
     # ------------------------------------------------------------------
     def decide(self, round_index: int, client_id: int) -> FaultDecision:

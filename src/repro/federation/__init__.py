@@ -20,7 +20,9 @@ from .runner import (
     SMOKE_CONFIG,
     FederateConfig,
     build_coordinator,
+    make_arrival_trace,
     make_degradation,
+    make_network,
     make_scheme,
     run_federation,
 )
@@ -36,7 +38,9 @@ __all__ = [
     "SPEED_TIERS",
     "build_coordinator",
     "load_coordinator",
+    "make_arrival_trace",
     "make_degradation",
+    "make_network",
     "make_scheme",
     "run_federation",
     "save_coordinator",

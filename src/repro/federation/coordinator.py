@@ -32,6 +32,30 @@ dispatched client arrives before its version's flush, all staleness
 weights are exactly 1.0, and the coordinator is **bit-identical** to the
 synchronous :class:`~repro.fl.simulation.FederatedSimulation` oracle.
 
+Unreliable networks (``network=``): a seeded, *active*
+:class:`~repro.network.plan.NetworkPlan` interposes a
+:class:`~repro.network.model.NetworkModel` on the event heap.  Every
+dispatch becomes a **delivery** with a unique id; the wire may drop it
+(client-side retries under the shared
+:class:`~repro.network.retry.RetryPolicy`, loss after exhaustion),
+duplicate it (the server deduplicates at-least-once copies *before* the
+buffer, so FedBuff staleness is computed from the original dispatch
+version), delay it per direction, or hold it through a partition episode.
+``lease_timeout`` adds server-side leases: a delivery missing its lease
+is revoked (:data:`~repro.fl.degradation.REASON_LOST`) and the slot
+re-dispatched; copies arriving after revocation are quarantined as
+:data:`~repro.fl.degradation.REASON_LATE`.  An **inert** plan
+(``NetworkPlan.none()``) bypasses all of this — the event loop is
+bit-identical to passing ``network=None``.  The ``_delivered``/
+``_revoked`` id sets grow with total dispatches (rounds x cohort), never
+with population, so the O(cohort) memory contract is unaffected.
+
+Open-loop traffic (``arrival_trace=``): instead of closed-loop cohort
+top-up, replay an :class:`~repro.network.traffic.ArrivalTrace` of
+``(time, count)`` bursts — Poisson bursts, flash crowds — dispatching
+clients when the trace says so; after trace exhaustion the loop falls
+back to closed-loop dispatch so the requested rounds always complete.
+
 Memory contract (tested): per-flush cost is O(cohort + buffer), never
 O(population) — see docs/SCALING.md.
 """
@@ -48,6 +72,8 @@ import numpy as np
 from ..algorithms.base import Strategy
 from ..data.dataset import TensorDataset
 from ..fl.degradation import (
+    REASON_LATE,
+    REASON_LOST,
     REASON_STALE,
     DegradationPolicy,
     validate_updates,
@@ -60,19 +86,35 @@ from ..fl.simulation import SimulationResult
 from ..fl.state import ClientUpdate
 from ..fl.timing import CostModel
 from ..introspect import get_introspector
+from ..network.model import NetworkModel
+from ..network.plan import NetworkPlan
+from ..network.traffic import ArrivalTrace
 from ..telemetry import get_telemetry
 from .registry import ClientRegistry
 
 
 @dataclass
 class PendingUpload:
-    """One dispatched client's upload travelling through virtual time."""
+    """One event travelling through virtual time.
+
+    On the perfect-wire path this is always a ``deliver`` event carrying
+    the client's computed update.  With an active network plan it may
+    also be a duplicate copy (``duplicate=True``; never buffered, so it
+    carries no payload) or a server-side ``lease`` event — the moment the
+    server either learns a retry-exhausted delivery is lost
+    (``lost=True``) or revokes a delivery that outlived its lease.
+    """
 
     client_id: int
     dispatch_version: int  # server round the client trained against
     dispatch_time: float  # virtual seconds when local work started
-    arrival_time: float  # virtual seconds when the upload lands
-    update: ClientUpdate  # computed eagerly at dispatch
+    arrival_time: float  # virtual seconds when the event fires
+    update: Optional[ClientUpdate]  # computed eagerly at dispatch
+    delivery_id: int = -1  # idempotency key; -1 on the perfect-wire path
+    kind: str = "deliver"  # "deliver" | "lease"
+    attempts: int = 1  # send attempts the wire charged this delivery
+    duplicate: bool = False  # an at-least-once copy, not the original
+    lost: bool = False  # lease event of a retry-exhausted delivery
 
 
 @dataclass
@@ -113,6 +155,12 @@ class AsyncCoordinator:
         Shared degradation policy: ``round_deadline`` abandons stragglers
         at dispatch, ``max_staleness`` drops over-stale arrivals at flush,
         ``over_selection``/``min_quorum``/quarantine as in the sync loop.
+    network:
+        Optional :class:`~repro.network.plan.NetworkPlan`; an inert plan
+        (``NetworkPlan.none()``) is treated exactly like ``None``.
+    arrival_trace:
+        Optional open-loop :class:`~repro.network.traffic.ArrivalTrace`
+        replacing closed-loop cohort top-up while it lasts.
     """
 
     def __init__(
@@ -130,6 +178,8 @@ class AsyncCoordinator:
         eval_every: int = 1,
         seed: int = 0,
         model=None,
+        network: Optional[NetworkPlan] = None,
+        arrival_trace: Optional[ArrivalTrace] = None,
     ) -> None:
         if cohort_size < 1:
             raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
@@ -154,6 +204,14 @@ class AsyncCoordinator:
         self.rng = np.random.default_rng(seed)
         self.model = model if model is not None else registry.make_model()
 
+        # An inert plan is indistinguishable from no plan at all: the
+        # delivery machinery below is bypassed entirely (bit-identity).
+        self.network = network if network is not None and network.active else None
+        self._network_model = (
+            NetworkModel(self.network) if self.network is not None else None
+        )
+        self.arrival_trace = arrival_trace
+
         self.server = Server(self.model.parameters_vector(), self.global_lr, len(registry))
         self.history = TrainingHistory()
         self.flush_log: List[FlushEvent] = []
@@ -170,6 +228,19 @@ class AsyncCoordinator:
         self._cumulative_sim_time = 0.0
         self._last_evaluated_round = -1
 
+        # Delivery-semantics state (only touched under an active plan).
+        self._delivery_seq = 0  # per-dispatch idempotency key
+        self._delivered: set = set()  # delivery ids accepted into the buffer
+        self._revoked: set = set()  # delivery ids the server gave up on
+        self._trace_pos = 0  # next unplayed burst of arrival_trace
+        self._quarantined_since_flush: Dict[int, str] = {}
+        self._dropped_since_flush: List[int] = []
+        self._retried_since_flush: Dict[int, int] = {}
+        self._duplicated_since_flush: List[int] = []
+        self._deliveries_since_flush: Dict[str, int] = {}
+        self._uplink_bytes_since_flush = 0
+        self._downlink_bytes_since_flush = 0
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -185,28 +256,55 @@ class AsyncCoordinator:
             return self.registry.ids()
         return self.strategy.active_clients(self.server.state, self.registry.ids())
 
-    def _select(self, active: Sequence[int], want: int) -> List[int]:
+    def _select(
+        self, active: Sequence[int], want: int, open_loop: bool = False
+    ) -> List[int]:
         """Pick up to ``want`` non-pending clients from ``active``."""
         telemetry = get_telemetry()
         with telemetry.span("federation.select", round=self.server.state.round, want=want):
             chosen = self.participation.select(active, self.server.state.round, self.rng)
         fresh = [cid for cid in chosen if cid not in self._pending_ids]
         collisions = len(chosen) - len(fresh)
+        if open_loop and len(fresh) < want:
+            # An open-loop burst can exceed one selection's yield; redraw a
+            # bounded number of times (each draw consumes the selection RNG,
+            # so the result is still a pure function of the seed).
+            seen = set(fresh)
+            for _ in range(8):
+                extra = self.participation.select(
+                    active, self.server.state.round, self.rng
+                )
+                added = [
+                    cid
+                    for cid in extra
+                    if cid not in self._pending_ids and cid not in seen
+                ]
+                if not added:
+                    break
+                fresh.extend(added)
+                seen.update(added)
+                if len(fresh) >= want:
+                    break
         if collisions:
             telemetry.counter("federation.collisions").add(collisions)
         return fresh[:want]
 
-    def _dispatch(self) -> int:
-        """Top the in-flight pool back up to the cohort target.
+    def _dispatch(self, want: Optional[int] = None) -> int:
+        """Enqueue fresh clients: cohort top-up, or an open-loop burst.
 
-        Selected clients run their K local steps *now*, against the
-        current server version; only the upload's arrival is deferred.
-        Returns the number of clients actually enqueued.
+        With ``want=None`` (closed loop) the in-flight pool is topped back
+        up to the cohort target; an explicit ``want`` dispatches that many
+        clients regardless of pool occupancy (trace replay).  Selected
+        clients run their K local steps *now*, against the current server
+        version; only the upload's arrival is deferred.  Returns the
+        number of clients actually enqueued.
         """
-        target = self.cohort_size
-        if self.degradation is not None:
-            target += self.degradation.extra_selections(self.cohort_size)
-        want = target - len(self._pending_ids)
+        open_loop = want is not None
+        if want is None:
+            target = self.cohort_size
+            if self.degradation is not None:
+                target += self.degradation.extra_selections(self.cohort_size)
+            want = target - len(self._pending_ids)
         if want <= 0:
             return 0
 
@@ -215,7 +313,7 @@ class AsyncCoordinator:
         active = self._active_ids()
         if not len(active):
             raise RuntimeError("no active clients left to dispatch (all expelled)")
-        selected = self._select(active, want)
+        selected = self._select(active, want, open_loop=open_loop)
         if not selected:
             return 0
 
@@ -239,6 +337,9 @@ class AsyncCoordinator:
                     self._abandoned_since_flush.append(client_id)
                     telemetry.counter("federation.abandoned").add(1)
                     continue
+                if self._network_model is not None:
+                    enqueued += self._dispatch_networked(client_id, state.round, update)
+                    continue
                 pending = PendingUpload(
                     client_id=client_id,
                     dispatch_version=state.round,
@@ -254,6 +355,193 @@ class AsyncCoordinator:
         if telemetry.enabled:
             telemetry.gauge("federation.inflight").set(len(self._pending_ids))
         return enqueued
+
+    # ------------------------------------------------------------------
+    # Delivery semantics (active network plan only)
+    # ------------------------------------------------------------------
+    def _count_delivery(self, outcome: str, count: int = 1) -> None:
+        self._deliveries_since_flush[outcome] = (
+            self._deliveries_since_flush.get(outcome, 0) + count
+        )
+
+    def _push_event(
+        self,
+        client_id: int,
+        version: int,
+        arrival_time: float,
+        update: Optional[ClientUpdate],
+        delivery_id: int,
+        kind: str = "deliver",
+        attempts: int = 1,
+        duplicate: bool = False,
+        lost: bool = False,
+    ) -> None:
+        pending = PendingUpload(
+            client_id=client_id,
+            dispatch_version=version,
+            dispatch_time=self._clock,
+            arrival_time=arrival_time,
+            update=update,
+            delivery_id=delivery_id,
+            kind=kind,
+            attempts=attempts,
+            duplicate=duplicate,
+            lost=lost,
+        )
+        heapq.heappush(self._events, (arrival_time, self._seq, pending))
+        self._seq += 1
+
+    def _dispatch_networked(
+        self, client_id: int, version: int, update: ClientUpdate
+    ) -> int:
+        """Resolve one dispatch through the network model and enqueue it."""
+        telemetry = get_telemetry()
+        plan = self.network
+        delivery_id = self._delivery_seq
+        self._delivery_seq += 1
+        outcome = self._network_model.outcome(
+            delivery_id, client_id, self._clock, update.sim_time
+        )
+        self._count_delivery("dispatched")
+        self._downlink_bytes_since_flush += int(
+            self.server.state.global_params.nbytes
+        )
+        payload_bytes = int(update.delta.nbytes)
+        # Every send attempt (retries included) burns uplink bytes, even
+        # the ones the wire drops — that is what retry traffic costs.
+        self._uplink_bytes_since_flush += payload_bytes * max(outcome.attempts, 1)
+
+        if outcome.lost:
+            # The upload never arrives.  The server learns the slot is free
+            # at lease expiry (or, lease-less, at the client's give-up
+            # time) — either way a lease event keeps the pool from leaking.
+            self._count_delivery("lost")
+            telemetry.counter("network.lost").add(1)
+            learns_at = (
+                self._clock + plan.lease_timeout
+                if plan.lease_timeout is not None
+                else outcome.give_up_time
+            )
+            self._push_event(
+                client_id, version, learns_at, None, delivery_id,
+                kind="lease", lost=True,
+            )
+            self._pending_ids.add(client_id)
+            return 1
+
+        if outcome.attempts > 1:
+            retried = outcome.attempts - 1
+            self._retried_since_flush[client_id] = (
+                self._retried_since_flush.get(client_id, 0) + retried
+            )
+            self._count_delivery("retried", retried)
+            telemetry.counter("network.retries").add(retried)
+        if outcome.held_by_partition:
+            self._count_delivery("partition_held")
+            telemetry.counter("network.partition_held").add(1)
+
+        self._push_event(
+            client_id, version, outcome.arrival_time, update, delivery_id,
+            attempts=outcome.attempts,
+        )
+        if outcome.duplicate_time is not None:
+            # The at-least-once copy: arrives later, is never buffered, so
+            # it needs no payload — only the id the server deduplicates on.
+            self._uplink_bytes_since_flush += payload_bytes
+            self._count_delivery("duplicate_copies")
+            telemetry.counter("network.duplicates").add(1)
+            self._push_event(
+                client_id, version, outcome.duplicate_time, None, delivery_id,
+                duplicate=True,
+            )
+        if plan.lease_timeout is not None:
+            self._push_event(
+                client_id, version, self._clock + plan.lease_timeout, None,
+                delivery_id, kind="lease",
+            )
+        if telemetry.enabled:
+            telemetry.histogram("network.delivery_delay").observe(
+                outcome.arrival_time - self._clock - update.sim_time
+            )
+        self._pending_ids.add(client_id)
+        return 1
+
+    def _absorb(self, pending: PendingUpload) -> bool:
+        """Process one popped event; True when it entered the buffer.
+
+        This is the server side of the delivery semantics: leases revoke
+        undelivered dispatches, delivery ids deduplicate at-least-once
+        copies *before* the FedBuff buffer, and post-revocation arrivals
+        are quarantined as late.
+        """
+        if pending.delivery_id < 0:  # perfect-wire path
+            self._buffer.append(pending)
+            return True
+        telemetry = get_telemetry()
+        if pending.kind == "lease":
+            if (
+                pending.delivery_id in self._delivered
+                or pending.delivery_id in self._revoked
+            ):
+                return False  # delivered in time (or already revoked)
+            self._revoked.add(pending.delivery_id)
+            self._pending_ids.discard(pending.client_id)
+            if pending.lost:
+                # Retry-exhausted: the upload is gone for good — account it
+                # with the crashes/retry-exhausted drops.
+                self._dropped_since_flush.append(pending.client_id)
+            else:
+                # Lease expiry: the server revokes a delivery that may still
+                # arrive (and will then be rejected as late).
+                self._quarantined_since_flush[pending.client_id] = REASON_LOST
+                self._count_delivery("lease_expired")
+                telemetry.counter("network.lease_expired").add(1)
+            return False
+        if pending.delivery_id in self._revoked:
+            if not pending.duplicate:
+                self._quarantined_since_flush[pending.client_id] = REASON_LATE
+            self._count_delivery("late")
+            telemetry.counter("network.late").add(1)
+            return False
+        if pending.delivery_id in self._delivered:
+            # At-least-once copy of an already-accepted delivery: idempotent
+            # aggregation means it never reaches the buffer.
+            self._duplicated_since_flush.append(pending.client_id)
+            self._count_delivery("deduplicated")
+            telemetry.counter("network.deduplicated").add(1)
+            return False
+        self._delivered.add(pending.delivery_id)
+        self._count_delivery("delivered")
+        self._buffer.append(pending)
+        return True
+
+    # ------------------------------------------------------------------
+    # Open-loop trace replay
+    # ------------------------------------------------------------------
+    def _next_burst_time(self) -> Optional[float]:
+        if self.arrival_trace is None:
+            return None
+        events = self.arrival_trace.events
+        if self._trace_pos >= len(events):
+            return None
+        return events[self._trace_pos][0]
+
+    def _pump_trace(self) -> Optional[float]:
+        """Dispatch every burst due before the next heap event.
+
+        The clock jumps forward to each burst's time (arrivals already on
+        the heap that are earlier stay ahead of it — the pop loop checks
+        the next burst time).  Returns the next unplayed burst time.
+        """
+        events = self.arrival_trace.events
+        while self._trace_pos < len(events):
+            burst_time, count = events[self._trace_pos]
+            if self._events and self._events[0][0] < burst_time:
+                break
+            self._clock = max(self._clock, burst_time)
+            self._trace_pos += 1
+            self._dispatch(want=count)
+        return self._next_burst_time()
 
     # ------------------------------------------------------------------
     # Flush
@@ -336,6 +624,11 @@ class AsyncCoordinator:
             accuracy = self.history.records[-1].test_accuracy
             loss = self.history.records[-1].test_loss
 
+        # Network delivery semantics accumulated since the last flush:
+        # lease revocations and late arrivals quarantine, retry-exhausted
+        # losses drop (all empty on the perfect-wire path).
+        quarantined.update(self._quarantined_since_flush)
+
         alphas = {} if skipped else dict(getattr(self.strategy, "last_alphas", {}) or {})
         record = RoundRecord(
             round=round_index,
@@ -348,12 +641,25 @@ class AsyncCoordinator:
             alphas=alphas,
             expelled=expelled,
             update_norms={u.client_id: u.delta_norm for u in updates},
+            dropped=sorted(self._dropped_since_flush),
             quarantined=quarantined,
             stragglers=list(self._abandoned_since_flush),
+            retries=dict(sorted(self._retried_since_flush.items())),
+            duplicated=sorted(self._duplicated_since_flush),
+            deliveries=dict(sorted(self._deliveries_since_flush.items())),
             aggregated=0 if skipped else len(updates),
             skipped=skipped,
+            uplink_bytes=self._uplink_bytes_since_flush,
+            downlink_bytes=self._downlink_bytes_since_flush,
         )
         self._abandoned_since_flush = []
+        self._quarantined_since_flush = {}
+        self._dropped_since_flush = []
+        self._retried_since_flush = {}
+        self._duplicated_since_flush = []
+        self._deliveries_since_flush = {}
+        self._uplink_bytes_since_flush = 0
+        self._downlink_bytes_since_flush = 0
         self.history.append(record)
         self.flush_log.append(
             FlushEvent(
@@ -430,7 +736,11 @@ class AsyncCoordinator:
         run_started = time.perf_counter()
         diverged = False
         while self.server.state.round < rounds:
-            if len(self._buffer) < self.buffer_size:
+            next_burst = self._next_burst_time()
+            if next_burst is not None:
+                # Open-loop replay: the trace decides when clients show up.
+                next_burst = self._pump_trace()
+            elif len(self._buffer) < self.buffer_size:
                 self._dispatch()
                 # A deadline can abandon an entire dispatch; redraw a few
                 # cohorts (each consumes the selection RNG, so this stays
@@ -447,10 +757,14 @@ class AsyncCoordinator:
                     )
             if self._events:
                 while self._events and len(self._buffer) < self.buffer_size:
+                    if next_burst is not None and self._events[0][0] > next_burst:
+                        break  # a trace burst is due before the next event
                     arrival_time, _, pending = heapq.heappop(self._events)
                     self._clock = arrival_time
-                    self._buffer.append(pending)
-            if len(self._buffer) >= self.buffer_size or not self._events:
+                    self._absorb(pending)
+            if len(self._buffer) >= self.buffer_size or (
+                not self._events and next_burst is None
+            ):
                 record = self._flush()
                 if not np.isfinite(record.test_loss) or not np.isfinite(
                     self.server.state.global_params

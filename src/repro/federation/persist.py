@@ -12,14 +12,25 @@ checkpoint is never re-executed, so a resumed run replays bit-exactly.
 Checkpoints are written at flush boundaries (the arrival buffer is empty
 then), but in-flight uploads dispatched against earlier versions are part
 of the picture and are fully persisted.
+
+Version 2 adds the unreliable-network layer (:mod:`repro.network`): every
+event's delivery id / kind / attempt count, the delivered and revoked id
+sets, the since-flush delivery accounting, the arrival-trace position,
+and a fingerprint of the active :class:`~repro.network.plan.NetworkPlan`
+(validated on load — resuming under a different plan would silently
+change the chaos pattern).  Duplicate copies and lease events carry no
+payload, so persisting a chaotic run stores each update exactly once.
+Version 1 checkpoints still load: every added field defaults to the
+perfect-wire value.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import json
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -41,20 +52,41 @@ from .coordinator import AsyncCoordinator, FlushEvent, PendingUpload
 _SEP = STATE_SEP
 
 #: Bumped when the on-disk coordinator layout changes incompatibly.
-PERSIST_VERSION = 1
+#: Version 2 added network delivery state; version 1 loads with defaults.
+PERSIST_VERSION = 2
+_LOADABLE_VERSIONS = (1, 2)
+
+
+def _plan_fingerprint(plan) -> Optional[Dict[str, Any]]:
+    """JSON-normalised view of a network plan for checkpoint validation."""
+    if plan is None:
+        return None
+    return json.loads(json.dumps(dataclasses.asdict(plan)))
 
 
 def _pending_scalars(pending: PendingUpload) -> Dict[str, Any]:
-    return {
+    entry: Dict[str, Any] = {
         "client_id": pending.client_id,
         "dispatch_version": pending.dispatch_version,
         "dispatch_time": pending.dispatch_time,
         "arrival_time": pending.arrival_time,
-        "num_samples": pending.update.num_samples,
-        "num_steps": pending.update.num_steps,
-        "sim_time": pending.update.sim_time,
-        "wall_time": pending.update.wall_time,
+        "delivery_id": pending.delivery_id,
+        "kind": pending.kind,
+        "attempts": pending.attempts,
+        "duplicate": pending.duplicate,
+        "lost": pending.lost,
+        "has_update": pending.update is not None,
     }
+    if pending.update is not None:
+        entry.update(
+            {
+                "num_samples": pending.update.num_samples,
+                "num_steps": pending.update.num_steps,
+                "sim_time": pending.update.sim_time,
+                "wall_time": pending.update.wall_time,
+            }
+        )
+    return entry
 
 
 def save_coordinator(coordinator: AsyncCoordinator, directory) -> Path:
@@ -79,13 +111,13 @@ def save_coordinator(coordinator: AsyncCoordinator, directory) -> Path:
         arrays[f"strategy{_SEP}{key}"] = value
 
     # In-flight uploads: heap entries first (in heap-array order — the heap
-    # invariant is rebuilt on load), then any buffered arrivals.
-    events_meta: List[Dict[str, Any]] = []
-    for index, (_, seq, pending) in enumerate(coordinator._events):
-        entry = _pending_scalars(pending)
-        entry["seq"] = seq
-        entry["buffered"] = False
+    # invariant is rebuilt on load), then any buffered arrivals.  Payload
+    # arrays exist only for events that carry one (duplicate copies and
+    # lease events do not), so each update is stored exactly once.
+    def store_event(index: int, pending: PendingUpload, entry: Dict[str, Any]) -> None:
         events_meta.append(entry)
+        if pending.update is None:
+            return
         arrays[f"event{_SEP}{index}{_SEP}delta"] = pending.update.delta
         extras_arrays: Dict[str, np.ndarray] = {}
         extras_scalars: Dict[str, Any] = {}
@@ -93,19 +125,19 @@ def save_coordinator(coordinator: AsyncCoordinator, directory) -> Path:
         for key, value in extras_arrays.items():
             arrays[f"event{_SEP}{index}{_SEP}{key}"] = value
         entry["extras_scalars"] = extras_scalars
+
+    events_meta: List[Dict[str, Any]] = []
+    for index, (_, seq, pending) in enumerate(coordinator._events):
+        entry = _pending_scalars(pending)
+        entry["seq"] = seq
+        entry["buffered"] = False
+        store_event(index, pending, entry)
     offset = len(events_meta)
     for index, pending in enumerate(coordinator._buffer, start=offset):
         entry = _pending_scalars(pending)
         entry["seq"] = -1
         entry["buffered"] = True
-        events_meta.append(entry)
-        arrays[f"event{_SEP}{index}{_SEP}delta"] = pending.update.delta
-        extras_arrays = {}
-        extras_scalars = {}
-        flatten_state(pending.update.extras, "extras", extras_arrays, extras_scalars)
-        for key, value in extras_arrays.items():
-            arrays[f"event{_SEP}{index}{_SEP}{key}"] = value
-        entry["extras_scalars"] = extras_scalars
+        store_event(index, pending, entry)
 
     meta = {
         "persist_version": PERSIST_VERSION,
@@ -118,6 +150,25 @@ def save_coordinator(coordinator: AsyncCoordinator, directory) -> Path:
         "last_evaluated_round": coordinator._last_evaluated_round,
         "abandoned_since_flush": list(coordinator._abandoned_since_flush),
         "expelled_seen": sorted(coordinator._expelled_seen),
+        "network_plan": _plan_fingerprint(coordinator.network),
+        "pending_ids": sorted(coordinator._pending_ids),
+        "delivery_seq": coordinator._delivery_seq,
+        "delivered": sorted(coordinator._delivered),
+        "revoked": sorted(coordinator._revoked),
+        "trace_pos": coordinator._trace_pos,
+        "quarantined_since_flush": {
+            str(cid): reason
+            for cid, reason in coordinator._quarantined_since_flush.items()
+        },
+        "dropped_since_flush": list(coordinator._dropped_since_flush),
+        "retried_since_flush": {
+            str(cid): count
+            for cid, count in coordinator._retried_since_flush.items()
+        },
+        "duplicated_since_flush": list(coordinator._duplicated_since_flush),
+        "deliveries_since_flush": dict(coordinator._deliveries_since_flush),
+        "uplink_bytes_since_flush": coordinator._uplink_bytes_since_flush,
+        "downlink_bytes_since_flush": coordinator._downlink_bytes_since_flush,
         "strategy_scalars": strategy_scalars,
         "events": events_meta,
         "rng_states": {
@@ -155,14 +206,23 @@ def load_coordinator(coordinator: AsyncCoordinator, directory) -> int:
     directory = Path(directory)
     archive = np.load(directory / ARRAYS_FILE)
     meta = json.loads((directory / META_FILE).read_text())
-    if meta.get("persist_version") != PERSIST_VERSION:
+    if meta.get("persist_version") not in _LOADABLE_VERSIONS:
         raise ValueError(
-            f"checkpoint persist_version {meta.get('persist_version')} != {PERSIST_VERSION}"
+            f"checkpoint persist_version {meta.get('persist_version')} not in "
+            f"{_LOADABLE_VERSIONS}"
         )
     if meta["population"] != len(coordinator.registry):
         raise ValueError(
             f"checkpoint has population {meta['population']}, "
             f"registry has {len(coordinator.registry)}"
+        )
+    saved_plan = meta.get("network_plan")
+    if saved_plan != _plan_fingerprint(coordinator.network):
+        raise ValueError(
+            "checkpoint was written under a different network plan; resuming "
+            "would replay a different chaos pattern (saved "
+            f"{saved_plan!r}, coordinator has "
+            f"{_plan_fingerprint(coordinator.network)!r})"
         )
 
     grouped: Dict[str, Dict[str, np.ndarray]] = {"server": {}, "model": {}, "strategy": {}}
@@ -207,27 +267,34 @@ def load_coordinator(coordinator: AsyncCoordinator, directory) -> int:
     coordinator._buffer = []
     coordinator._pending_ids = set()
     for index, entry in enumerate(meta["events"]):
-        per_event = event_arrays.get(index, {})
-        extras_flat: Dict[str, Any] = {
-            key: value for key, value in per_event.items() if key != "delta"
-        }
-        extras_flat.update(entry.get("extras_scalars", {}))
-        extras = unflatten_state(extras_flat).get("extras", {})
-        update = ClientUpdate(
-            client_id=int(entry["client_id"]),
-            delta=per_event["delta"].copy(),
-            num_samples=int(entry["num_samples"]),
-            num_steps=int(entry["num_steps"]),
-            sim_time=float(entry["sim_time"]),
-            wall_time=float(entry["wall_time"]),
-            extras=extras,
-        )
+        update = None
+        if entry.get("has_update", True):
+            per_event = event_arrays.get(index, {})
+            extras_flat: Dict[str, Any] = {
+                key: value for key, value in per_event.items() if key != "delta"
+            }
+            extras_flat.update(entry.get("extras_scalars", {}))
+            extras = unflatten_state(extras_flat).get("extras", {})
+            update = ClientUpdate(
+                client_id=int(entry["client_id"]),
+                delta=per_event["delta"].copy(),
+                num_samples=int(entry["num_samples"]),
+                num_steps=int(entry["num_steps"]),
+                sim_time=float(entry["sim_time"]),
+                wall_time=float(entry["wall_time"]),
+                extras=extras,
+            )
         pending = PendingUpload(
             client_id=int(entry["client_id"]),
             dispatch_version=int(entry["dispatch_version"]),
             dispatch_time=float(entry["dispatch_time"]),
             arrival_time=float(entry["arrival_time"]),
             update=update,
+            delivery_id=int(entry.get("delivery_id", -1)),
+            kind=str(entry.get("kind", "deliver")),
+            attempts=int(entry.get("attempts", 1)),
+            duplicate=bool(entry.get("duplicate", False)),
+            lost=bool(entry.get("lost", False)),
         )
         if entry["buffered"]:
             coordinator._buffer.append(pending)
@@ -235,6 +302,12 @@ def load_coordinator(coordinator: AsyncCoordinator, directory) -> int:
             coordinator._events.append((pending.arrival_time, int(entry["seq"]), pending))
         coordinator._pending_ids.add(pending.client_id)
     heapq.heapify(coordinator._events)
+    if "pending_ids" in meta:
+        # v2: the slot pool is stored explicitly — a client whose upload was
+        # delivered and flushed may still have a duplicate copy or a lease
+        # event in the heap without holding a slot, so it cannot be
+        # reconstructed from the events alone.
+        coordinator._pending_ids = {int(cid) for cid in meta["pending_ids"]}
 
     coordinator._clock = float(meta["clock"])
     coordinator._seq = int(meta["seq"])
@@ -243,6 +316,34 @@ def load_coordinator(coordinator: AsyncCoordinator, directory) -> int:
     coordinator._last_evaluated_round = int(meta["last_evaluated_round"])
     coordinator._abandoned_since_flush = [int(c) for c in meta["abandoned_since_flush"]]
     coordinator._expelled_seen = set(meta["expelled_seen"])
+    # Delivery-semantics state (v1 checkpoints predate the network layer;
+    # every field defaults to the pristine value).
+    coordinator._delivery_seq = int(meta.get("delivery_seq", 0))
+    coordinator._delivered = {int(d) for d in meta.get("delivered", [])}
+    coordinator._revoked = {int(d) for d in meta.get("revoked", [])}
+    coordinator._trace_pos = int(meta.get("trace_pos", 0))
+    coordinator._quarantined_since_flush = {
+        int(cid): str(reason)
+        for cid, reason in meta.get("quarantined_since_flush", {}).items()
+    }
+    coordinator._dropped_since_flush = [
+        int(c) for c in meta.get("dropped_since_flush", [])
+    ]
+    coordinator._retried_since_flush = {
+        int(cid): int(count)
+        for cid, count in meta.get("retried_since_flush", {}).items()
+    }
+    coordinator._duplicated_since_flush = [
+        int(c) for c in meta.get("duplicated_since_flush", [])
+    ]
+    coordinator._deliveries_since_flush = {
+        str(key): int(count)
+        for key, count in meta.get("deliveries_since_flush", {}).items()
+    }
+    coordinator._uplink_bytes_since_flush = int(meta.get("uplink_bytes_since_flush", 0))
+    coordinator._downlink_bytes_since_flush = int(
+        meta.get("downlink_bytes_since_flush", 0)
+    )
     coordinator.history = load_history(directory / HISTORY_FILE)
     coordinator.flush_log = [
         FlushEvent(

@@ -24,6 +24,9 @@ from ..fl.sampling import (
     participation_names,
 )
 from ..fl.simulation import SimulationResult
+from ..network.plan import NetworkPlan
+from ..network.retry import RetryPolicy
+from ..network.traffic import ArrivalTrace, make_trace
 from .coordinator import AsyncCoordinator
 from .registry import ClientRegistry
 
@@ -54,6 +57,20 @@ class FederateConfig:
     eval_every: int = 1
     width_multiplier: float = 1.0
     seed: int = 0
+    # Unreliable-network knobs (all zero/None = perfect wire, the PR-7
+    # fast path; see repro.network).  The network seed is the run seed.
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    uplink_latency: float = 0.0
+    downlink_latency: float = 0.0
+    retry_limit: int = 2
+    retry_backoff: float = 0.1
+    retry_jitter: float = 0.0
+    lease_timeout: Optional[float] = None
+    # Open-loop traffic replay: a repro.network.traffic trace name
+    # ("poisson" / "flash") or None for closed-loop cohort top-up.
+    trace: Optional[str] = None
+    trace_bursts: int = 64
 
     def with_overrides(self, **overrides) -> "FederateConfig":
         return replace(self, **overrides)
@@ -110,8 +127,45 @@ def make_degradation(config: FederateConfig) -> Optional[DegradationPolicy]:
     )
 
 
-def build_coordinator(config: FederateConfig) -> AsyncCoordinator:
-    """Assemble the registry + coordinator a config describes."""
+def make_network(config: FederateConfig) -> Optional[NetworkPlan]:
+    """The network plan a config implies, or None for a perfect wire."""
+    plan = NetworkPlan(
+        seed=config.seed,
+        loss_rate=config.loss_rate,
+        duplicate_rate=config.duplicate_rate,
+        uplink_latency=config.uplink_latency,
+        downlink_latency=config.downlink_latency,
+        retry=RetryPolicy(
+            base=config.retry_backoff,
+            limit=config.retry_limit,
+            jitter=config.retry_jitter,
+        ),
+        lease_timeout=config.lease_timeout,
+    )
+    return plan if plan.active else None
+
+
+def make_arrival_trace(config: FederateConfig) -> Optional[ArrivalTrace]:
+    """The open-loop arrival trace a config names, or None (closed loop)."""
+    if config.trace is None:
+        return None
+    return make_trace(config.trace, seed=config.seed, bursts=config.trace_bursts)
+
+
+#: Sentinel: "derive from the config" (None is a meaningful override).
+_UNSET = object()
+
+
+def build_coordinator(
+    config: FederateConfig, *, network=_UNSET, arrival_trace=_UNSET
+) -> AsyncCoordinator:
+    """Assemble the registry + coordinator a config describes.
+
+    ``network`` / ``arrival_trace`` override the config-derived values
+    when given (including an explicit ``None`` or an inert
+    ``NetworkPlan.none()`` — the chaos harness uses this to check the
+    inert-plan bit-identity invariant).
+    """
     registry = ClientRegistry(
         population=config.population,
         dataset=config.dataset,
@@ -139,6 +193,10 @@ def build_coordinator(config: FederateConfig) -> AsyncCoordinator:
         eval_every=config.eval_every,
         seed=config.seed,
         model=registry.make_model(width_multiplier=config.width_multiplier),
+        network=make_network(config) if network is _UNSET else network,
+        arrival_trace=(
+            make_arrival_trace(config) if arrival_trace is _UNSET else arrival_trace
+        ),
     )
 
 

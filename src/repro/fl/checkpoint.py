@@ -63,6 +63,8 @@ def save_history(history: TrainingHistory, path: str | Path) -> None:
                 "quarantined": {str(k): v for k, v in record.quarantined.items()},
                 "stragglers": list(record.stragglers),
                 "retries": {str(k): v for k, v in record.retries.items()},
+                "duplicated": list(record.duplicated),
+                "deliveries": dict(record.deliveries),
                 "aggregated": record.aggregated,
                 "skipped": record.skipped,
                 "uplink_bytes": record.uplink_bytes,
@@ -107,6 +109,10 @@ def load_history(path: str | Path) -> TrainingHistory:
                 quarantined={int(k): v for k, v in item.get("quarantined", {}).items()},
                 stragglers=list(item.get("stragglers", [])),
                 retries={int(k): int(v) for k, v in item.get("retries", {}).items()},
+                duplicated=list(item.get("duplicated", [])),
+                deliveries={
+                    str(k): int(v) for k, v in item.get("deliveries", {}).items()
+                },
                 aggregated=int(item.get("aggregated", 0)),
                 skipped=bool(item.get("skipped", False)),
                 uplink_bytes=int(item.get("uplink_bytes", 0)),

@@ -30,6 +30,11 @@ REASON_NON_FINITE = "non-finite"
 REASON_BAD_SHAPE = "bad-shape"
 REASON_NORM_OUTLIER = "norm-outlier"
 REASON_STALE = "stale"
+#: Network delivery semantics (repro.network via the async coordinator):
+#: a dispatch whose lease expired before its upload arrived ...
+REASON_LOST = "delivery-lost"
+#: ... and an upload that did arrive, but only after its lease was revoked.
+REASON_LATE = "late-delivery"
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,9 @@ class RoundRecord:
     quarantined: Dict[int, str] = field(default_factory=dict)  # client -> reason
     stragglers: List[int] = field(default_factory=list)  # missed the deadline
     retries: Dict[int, int] = field(default_factory=dict)  # client -> attempts
+    # Delivery semantics (repro.network; empty without an active plan):
+    duplicated: List[int] = field(default_factory=list)  # deduplicated arrivals
+    deliveries: Dict[str, int] = field(default_factory=dict)  # outcome -> count
     aggregated: int = 0  # updates that actually reached the strategy
     skipped: bool = False  # True when quorum failed and the step was skipped
     # Transport accounting (repro.comm; zero when no Transport is attached):
@@ -162,6 +165,11 @@ class TrainingHistory:
     def skipped_rounds(self) -> int:
         return sum(1 for r in self.records if r.skipped)
 
+    @property
+    def total_duplicated(self) -> int:
+        """Arrivals the server deduplicated before aggregation."""
+        return sum(len(r.duplicated) for r in self.records)
+
     def fault_summary(self) -> Dict[str, int]:
         """Run-level fault totals (dropped/quarantined/stragglers/...)."""
         return {
@@ -169,8 +177,17 @@ class TrainingHistory:
             "quarantined": self.total_quarantined,
             "stragglers": self.total_stragglers,
             "retried_uploads": sum(len(r.retries) for r in self.records),
+            "duplicated_uploads": self.total_duplicated,
             "skipped_rounds": self.skipped_rounds,
         }
+
+    def delivery_summary(self) -> Dict[str, int]:
+        """Run-level network delivery totals (empty without an active plan)."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            for outcome, count in record.deliveries.items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return totals
 
     def quarantine_reasons(self) -> Dict[str, int]:
         """Counts per quarantine reason across the run."""

@@ -348,7 +348,9 @@ class FederatedSimulation:
                 updates = self.fault_injector.process_updates(round_index, updates, fault_log)
 
             if self.transport is not None:
-                updates = self.transport.process_round(updates)
+                updates = self.transport.process_round(
+                    updates, retries=fault_log.retries
+                )
 
             self._round_upload_anomalies = []
             if self.monitor is not None:

@@ -1,0 +1,40 @@
+"""Deterministic unreliable-network layer for the async coordinator.
+
+The package mirrors :mod:`repro.faults`: a frozen, seeded plan
+(:class:`NetworkPlan`) makes every stochastic transport decision —
+loss, duplication, per-direction latency, partition membership —
+reproducible from ``(seed, delivery_id, client_id)`` alone, and a thin
+model (:class:`NetworkModel`) turns one dispatch into a concrete
+:class:`DeliveryOutcome` the coordinator schedules on its virtual-time
+heap.  :mod:`repro.network.retry` holds the single retry/backoff policy
+shared with :mod:`repro.faults.injector`; :mod:`repro.network.traffic`
+generates open-loop arrival traces; :mod:`repro.network.harness` runs
+the graded-chaos grid behind ``repro chaos``.
+"""
+
+from .model import DeliveryOutcome, NetworkModel
+from .plan import DeliveryDecision, NetworkPlan, PartitionEpisode
+from .retry import RetryPolicy
+from .traffic import (
+    TRACES,
+    ArrivalTrace,
+    flash_crowd_trace,
+    make_trace,
+    poisson_trace,
+    trace_names,
+)
+
+__all__ = [
+    "ArrivalTrace",
+    "DeliveryDecision",
+    "DeliveryOutcome",
+    "NetworkModel",
+    "NetworkPlan",
+    "PartitionEpisode",
+    "RetryPolicy",
+    "TRACES",
+    "flash_crowd_trace",
+    "make_trace",
+    "poisson_trace",
+    "trace_names",
+]

@@ -1,0 +1,94 @@
+"""Turning a :class:`~repro.network.plan.NetworkPlan` into delivery times.
+
+:class:`NetworkModel` is the pure timeline calculator the coordinator
+interposes on its event heap: given a dispatch (delivery id, client,
+dispatch clock, local compute seconds) it resolves the plan's decision
+into absolute virtual-time events — when the upload arrives, when a
+duplicate copy arrives, and when the client gives up after exhausting its
+retries.  It owns no mutable state, so checkpoint/resume replays the
+identical timeline.
+
+Timeline of one delivery::
+
+    dispatch --downlink_delay--> client starts local work
+            --compute--> first send attempt
+            --backoff(k) per failed attempt--> successful send
+            --partition hold (heal)--> departs the client's island
+            --uplink_delay--> arrival at the server
+    duplicate copy (if any): arrival + duplicate_lag
+
+A delivery whose every attempt fails never arrives; its ``give_up`` time
+(the moment of the final failed attempt) is when the client abandons the
+upload — with no lease configured, that is also when the server's event
+loop learns the slot is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .plan import DeliveryDecision, NetworkPlan
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Absolute virtual-time resolution of one dispatched delivery."""
+
+    decision: DeliveryDecision
+    lost: bool
+    attempts: int  # total send attempts made
+    arrival_time: Optional[float]  # None when lost
+    duplicate_time: Optional[float]  # None when no duplicate arrives
+    give_up_time: float  # when the client stops trying (lost or not)
+    held_by_partition: bool  # send was deferred to an episode heal
+
+
+class NetworkModel:
+    """Resolves plan decisions into event-heap times for one coordinator."""
+
+    def __init__(self, plan: NetworkPlan) -> None:
+        self.plan = plan
+
+    def outcome(
+        self,
+        delivery_id: int,
+        client_id: int,
+        dispatch_time: float,
+        compute_seconds: float,
+    ) -> DeliveryOutcome:
+        """Resolve one dispatch into absolute delivery times."""
+        plan = self.plan
+        decision = plan.decide(delivery_id, client_id)
+        ready = dispatch_time + decision.downlink_delay + compute_seconds
+
+        backoff = plan.retry.total_backoff(
+            min(decision.failures, plan.retry.limit), decision.jitter or None
+        )
+        last_attempt = ready + backoff
+
+        if decision.lost:
+            return DeliveryOutcome(
+                decision=decision,
+                lost=True,
+                attempts=decision.failures,
+                arrival_time=None,
+                duplicate_time=None,
+                give_up_time=last_attempt,
+                held_by_partition=False,
+            )
+
+        departs = plan.heal_time(client_id, last_attempt)
+        arrival = departs + decision.uplink_delay
+        duplicate = (
+            arrival + decision.duplicate_lag if decision.duplicate else None
+        )
+        return DeliveryOutcome(
+            decision=decision,
+            lost=False,
+            attempts=decision.attempts,
+            arrival_time=arrival,
+            duplicate_time=duplicate,
+            give_up_time=last_attempt,
+            held_by_partition=departs > last_attempt,
+        )

@@ -1,0 +1,232 @@
+"""Deterministic network-chaos planning.
+
+A :class:`NetworkPlan` decides, for every dispatched delivery, what the
+wire does to it: per-attempt loss (with retries under the shared
+:class:`~repro.network.retry.RetryPolicy`), duplication, per-direction
+exponential latency, and partition episodes over client subsets that
+later heal.  Decisions are **stateless** — each is drawn from a generator
+seeded by ``(seed, delivery_id, client_id)``, exactly the way
+:class:`repro.faults.plan.FaultPlan` derives per-``(round, client)``
+fault decisions — so replaying a run (or resuming it from a checkpoint)
+yields the identical chaos pattern regardless of execution order.
+
+Draw order inside :meth:`NetworkPlan.decide` is fixed and documented:
+
+1. ``max_attempts`` uniforms — per-attempt loss outcomes;
+2. one uniform — the duplicate decision;
+3. three unit exponentials — uplink latency, duplicate lag, downlink
+   latency (scaled by the configured means);
+4. ``retry.limit`` uniforms — backoff jitter.
+
+``NetworkPlan.none()`` is the **inert** plan: :attr:`NetworkPlan.active`
+is False and the coordinator bypasses the network layer entirely, which
+is what makes the no-chaos path bit-identical to a run with no plan at
+all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .retry import RetryPolicy
+
+#: Mixer constant separating partition-membership streams from delivery
+#: streams (arbitrary, fixed forever).
+_PARTITION_STREAM = 0x9E3779B1
+
+
+@dataclass(frozen=True)
+class PartitionEpisode:
+    """One network partition: a client subset unreachable for a while.
+
+    A client belongs to the episode when it is listed in ``clients`` or
+    when its seeded membership hash falls below ``fraction``.  While the
+    episode covers a member's send time, the send is held and released at
+    ``end`` (the heal time).  ``salt`` separates the membership hashes of
+    otherwise-identical episodes.
+    """
+
+    start: float
+    end: float
+    clients: Tuple[int, ...] = ()
+    fraction: float = 0.0
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"episode must have end > start, got [{self.start}, {self.end}]"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        object.__setattr__(self, "clients", tuple(int(c) for c in self.clients))
+
+    def member(self, client_id: int, seed: int) -> bool:
+        """Deterministic membership: explicit list, then seeded hash."""
+        if client_id in self.clients:
+            return True
+        if self.fraction <= 0.0:
+            return False
+        u = np.random.default_rng(
+            [seed, _PARTITION_STREAM, self.salt, client_id]
+        ).random()
+        return bool(u < self.fraction)
+
+    def covers(self, client_id: int, time: float, seed: int) -> bool:
+        """True when the episode holds this client's send at ``time``."""
+        return self.start <= time < self.end and self.member(client_id, seed)
+
+
+@dataclass(frozen=True)
+class DeliveryDecision:
+    """What the network does to one dispatched delivery."""
+
+    failures: int = 0  # failed send attempts before success (or give-up)
+    lost: bool = False  # every allowed attempt failed
+    duplicate: bool = False  # a second copy of the upload also arrives
+    uplink_delay: float = 0.0  # seconds added to the successful send
+    duplicate_lag: float = 0.0  # extra seconds before the duplicate copy
+    downlink_delay: float = 0.0  # seconds before the client receives w_t
+    jitter: Tuple[float, ...] = ()  # uniform draws for backoff jitter
+
+    @property
+    def attempts(self) -> int:
+        """Total send attempts made (including the successful one)."""
+        return self.failures + (0 if self.lost else 1)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.failures == 0
+            and not self.lost
+            and not self.duplicate
+            and self.uplink_delay == 0.0
+            and self.downlink_delay == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """Seeded, deterministic chaos configuration for the wire.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the per-delivery decision streams.
+    loss_rate:
+        Probability each individual send attempt is dropped; the client
+        retries under ``retry`` and the upload is lost after
+        ``retry.limit + 1`` failed attempts.
+    duplicate_rate:
+        Probability a delivered upload arrives twice (the server must
+        deduplicate the at-least-once copy before aggregation).
+    uplink_latency / downlink_latency:
+        Mean of the exponential per-delivery latency added to uploads
+        (client -> server) and broadcasts (server -> client), in
+        simulated seconds.  Zero disables the direction.
+    retry:
+        The shared :class:`RetryPolicy` for lost send attempts.
+    lease_timeout:
+        Server-side delivery lease: a dispatch not arrived within this
+        many simulated seconds is revoked and its slot re-dispatched;
+        copies arriving after revocation are quarantined as late.  None
+        disables leases (the server still learns about retry-exhausted
+        losses at client give-up time).
+    partitions:
+        Partition episodes over client subsets that later heal; member
+        sends are held until the covering episode's end.
+    """
+
+    seed: int = 0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    uplink_latency: float = 0.0
+    downlink_latency: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    lease_timeout: Optional[float] = None
+    partitions: Tuple[PartitionEpisode, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("uplink_latency", "downlink_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.lease_timeout is not None and self.lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be positive, got {self.lease_timeout}"
+            )
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    @classmethod
+    def none(cls) -> "NetworkPlan":
+        """The inert plan: a perfect wire, bypassed by the coordinator."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """True when any chaos dimension is configured."""
+        return bool(
+            self.loss_rate
+            or self.duplicate_rate
+            or self.uplink_latency
+            or self.downlink_latency
+            or self.lease_timeout is not None
+            or self.partitions
+        )
+
+    # ------------------------------------------------------------------
+    def decide(self, delivery_id: int, client_id: int) -> DeliveryDecision:
+        """The (deterministic) fate of one delivery on the wire."""
+        rng = np.random.default_rng([self.seed, int(delivery_id), int(client_id)])
+        max_attempts = self.retry.max_attempts
+        u_loss = rng.random(size=max_attempts)
+        u_dup = rng.random()
+        exp_up, exp_lag, exp_down = rng.standard_exponential(size=3)
+        jitter = (
+            tuple(rng.random(size=self.retry.limit))
+            if self.retry.jitter and self.retry.limit
+            else ()
+        )
+
+        failures = 0
+        for u in u_loss:
+            if self.loss_rate > 0.0 and u < self.loss_rate:
+                failures += 1
+            else:
+                break
+        lost = failures >= max_attempts
+
+        return DeliveryDecision(
+            failures=failures,
+            lost=lost,
+            duplicate=bool(
+                not lost and self.duplicate_rate > 0.0 and u_dup < self.duplicate_rate
+            ),
+            uplink_delay=self.uplink_latency * exp_up,
+            duplicate_lag=self.uplink_latency * exp_lag,
+            downlink_delay=self.downlink_latency * exp_down,
+            jitter=jitter,
+        )
+
+    def heal_time(self, client_id: int, send_time: float) -> float:
+        """When a send entering the wire at ``send_time`` actually departs.
+
+        Repeatedly defers the send to the end of any covering episode, so
+        back-to-back episodes chain correctly; returns ``send_time``
+        unchanged for unpartitioned clients.
+        """
+        t = float(send_time)
+        for _ in range(len(self.partitions) + 1):
+            covering = [
+                ep.end for ep in self.partitions if ep.covers(client_id, t, self.seed)
+            ]
+            if not covering:
+                return t
+            t = max(covering)
+        return t

@@ -1,0 +1,79 @@
+"""The single retry/backoff policy shared by every delivery path.
+
+Both the synchronous fault injector (:mod:`repro.faults.injector`) and the
+asynchronous network layer (:mod:`repro.network.plan`) charge the same
+exponential backoff for upload retries: retry ``k`` (0-based) waits
+``base * multiplier**k`` simulated seconds, optionally stretched by a
+seeded jitter factor in ``[1, 1 + jitter]``.  Keeping the formula in one
+place means a retry burst costs the same virtual time whether it happens
+inside a synchronous round or on the coordinator's event heap.
+
+With ``multiplier=2`` and ``jitter=0`` this is numerically identical to
+the historical ``retry_backoff * 2**attempt`` accounting, so existing
+:class:`~repro.faults.plan.FaultPlan` configs reproduce bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with an attempt cap and optional jitter.
+
+    Parameters
+    ----------
+    base:
+        Seconds charged before the first retry.
+    limit:
+        Maximum number of *retries* after the initial attempt; an upload
+        still failing after ``limit + 1`` attempts is lost.
+    multiplier:
+        Geometric growth factor between consecutive retries.
+    jitter:
+        Fractional jitter span: retry ``k`` waits
+        ``backoff_k * (1 + jitter * u_k)`` where ``u_k`` is a uniform
+        draw in ``[0, 1)`` supplied by the caller's seeded stream.  Zero
+        (the default) keeps the historical deterministic schedule.
+    """
+
+    base: float = 0.1
+    limit: int = 2
+    multiplier: float = 2.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base must be >= 0, got {self.base}")
+        if self.limit < 0:
+            raise ValueError(f"limit must be >= 0, got {self.limit}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total send attempts before an upload is declared lost."""
+        return self.limit + 1
+
+    def backoff(self, attempt: int, u: Optional[float] = None) -> float:
+        """Seconds waited before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        delay = self.base * self.multiplier**attempt
+        if self.jitter and u is not None:
+            delay *= 1.0 + self.jitter * float(u)
+        return delay
+
+    def total_backoff(
+        self, retries: int, us: Optional[Sequence[float]] = None
+    ) -> float:
+        """Cumulative backoff charged for ``retries`` consecutive retries."""
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        return sum(
+            self.backoff(k, None if us is None else us[k]) for k in range(retries)
+        )

@@ -1,0 +1,129 @@
+"""Open-loop client-arrival traces (ROADMAP item 3).
+
+The coordinator's default dispatch is *closed-loop*: it tops the in-flight
+pool back up to the cohort target after every flush.  A real federation
+service faces *open-loop* traffic — clients show up when they show up,
+regardless of server state.  An :class:`ArrivalTrace` is a seeded,
+pre-materialised sequence of ``(time, count)`` bursts the coordinator
+replays: at each burst time it dispatches ``count`` fresh clients, however
+full its pipeline already is.  Traces are plain tuples, so they serialise
+into checkpoints and replay deterministically.
+
+Builders cover the two workload shapes the chaos harness replays:
+:func:`poisson_trace` (memoryless bursts) and :func:`flash_crowd_trace`
+(a steady trickle interrupted by a synchronized spike).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A replayable open-loop workload: time-ordered dispatch bursts."""
+
+    name: str
+    events: Tuple[Tuple[float, int], ...]  # (virtual seconds, client count)
+
+    def __post_init__(self) -> None:
+        events = tuple((float(t), int(n)) for t, n in self.events)
+        times = [t for t, _ in events]
+        if times != sorted(times):
+            raise ValueError("trace events must be time-ordered")
+        if any(n < 1 for _, n in events):
+            raise ValueError("every burst must dispatch at least one client")
+        object.__setattr__(self, "events", events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(n for _, n in self.events)
+
+    @property
+    def horizon(self) -> float:
+        return self.events[-1][0] if self.events else 0.0
+
+
+def poisson_trace(
+    seed: int = 0,
+    bursts: int = 64,
+    mean_gap: float = 0.005,
+    mean_size: float = 4.0,
+) -> ArrivalTrace:
+    """Memoryless arrivals: exponential gaps, Poisson burst sizes (>= 1)."""
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if mean_gap <= 0 or mean_size <= 0:
+        raise ValueError("mean_gap and mean_size must be positive")
+    rng = np.random.default_rng([seed, 0xA221])
+    gaps = rng.exponential(mean_gap, size=bursts)
+    sizes = 1 + rng.poisson(max(mean_size - 1.0, 0.0), size=bursts)
+    times = np.cumsum(gaps)
+    return ArrivalTrace(
+        name="poisson",
+        events=tuple((float(t), int(n)) for t, n in zip(times, sizes)),
+    )
+
+
+def flash_crowd_trace(
+    seed: int = 0,
+    bursts: int = 64,
+    mean_gap: float = 0.005,
+    base_size: int = 2,
+    peak_size: int = 16,
+    peak_start: float = 0.4,
+    peak_width: float = 0.2,
+) -> ArrivalTrace:
+    """A steady trickle with a synchronized spike in the middle.
+
+    Bursts in the ``[peak_start, peak_start + peak_width)`` fraction of
+    the trace dispatch ``peak_size`` clients instead of ``base_size`` —
+    the flash crowd the buffered coordinator must absorb without losing
+    determinism.
+    """
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    if base_size < 1 or peak_size < 1:
+        raise ValueError("burst sizes must be >= 1")
+    if not 0.0 <= peak_start <= 1.0 or not 0.0 <= peak_width <= 1.0:
+        raise ValueError("peak_start and peak_width must be fractions in [0, 1]")
+    rng = np.random.default_rng([seed, 0xF1A5])
+    times = np.cumsum(rng.exponential(mean_gap, size=bursts))
+    lo, hi = int(peak_start * bursts), int((peak_start + peak_width) * bursts)
+    sizes = [
+        peak_size if lo <= index < hi else base_size for index in range(bursts)
+    ]
+    return ArrivalTrace(
+        name="flash",
+        events=tuple((float(t), int(n)) for t, n in zip(times, sizes)),
+    )
+
+
+#: Named trace builders for configs/CLI (``--trace poisson`` etc.).
+TRACES: Dict[str, Callable[..., ArrivalTrace]] = {
+    "poisson": poisson_trace,
+    "flash": flash_crowd_trace,
+}
+
+
+def trace_names() -> Tuple[str, ...]:
+    return tuple(sorted(TRACES))
+
+
+def make_trace(name: str, **kwargs) -> ArrivalTrace:
+    """Build a named trace; unknown names list the registry."""
+    try:
+        builder = TRACES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace {name!r}; registered traces: {', '.join(trace_names())}"
+        ) from None
+    return builder(**kwargs)

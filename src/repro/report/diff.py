@@ -39,6 +39,10 @@ OVERHEAD_CEILING_PCT = 10.0
 #: Largest/smallest-population peak-memory ratio the registry may show.
 FEDERATION_MEMORY_RATIO_CEILING = 2.0
 
+#: Loss rate every benched algorithm must survive (accuracy floor met)
+#: in ``BENCH_chaos.json`` — the documented graceful-degradation bar.
+CHAOS_LOSS_THRESHOLD_FLOOR = 0.3
+
 
 @dataclass
 class FieldDelta:
@@ -149,7 +153,8 @@ def check_bench(path: str | Path) -> Tuple[List[List[str]], List[str]]:
     Returns ``(rows, failures)``: table rows describing every checked
     quantity, and the list of floor violations (empty = pass).  The file
     kind is detected from its layout — ``benchmarks`` (kernels) vs
-    ``algorithms`` (telemetry) vs ``populations`` (federation scaling).
+    ``algorithms`` (telemetry) vs ``populations`` (federation scaling) vs
+    ``chaos`` (network-chaos invariants + loss thresholds).
     """
     target = Path(path)
     data = json.loads(target.read_text(encoding="utf-8"))
@@ -159,9 +164,11 @@ def check_bench(path: str | Path) -> Tuple[List[List[str]], List[str]]:
         return _check_telemetry_bench(target.name, data)
     if "populations" in data:
         return _check_federation_bench(target.name, data)
+    if "chaos" in data:
+        return _check_chaos_bench(target.name, data)
     raise ValueError(
         f"{target}: unrecognised BENCH layout "
-        "(expected 'benchmarks', 'algorithms', or 'populations')"
+        "(expected 'benchmarks', 'algorithms', 'populations', or 'chaos')"
     )
 
 
@@ -252,4 +259,32 @@ def _check_federation_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[
         )
         if diverged:
             failures.append(f"{name}: population {population} run diverged")
+    return rows, failures
+
+
+def _check_chaos_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[str]], List[str]]:
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    chaos = data["chaos"]
+    for invariant in ("none_plan_bit_identical", "same_seed_deterministic"):
+        value = chaos.get("invariants", {}).get(invariant)
+        ok = bool(value)
+        rows.append(["invariant", invariant, str(value), "True", "ok" if ok else "FAIL"])
+        if not ok:
+            failures.append(f"{name}: invariant {invariant} is {value}")
+    floor = CHAOS_LOSS_THRESHOLD_FLOOR
+    thresholds = chaos.get("loss_thresholds", {})
+    if not thresholds:
+        failures.append(f"{name}: missing chaos.loss_thresholds")
+        rows.append(["loss_threshold", "-", "?", f">= {floor:g}", "MISSING"])
+    for algorithm, threshold in sorted(thresholds.items()):
+        ok = threshold is not None and float(threshold) >= floor
+        shown = "none" if threshold is None else f"{float(threshold):g}"
+        rows.append(
+            ["loss_threshold", algorithm, shown, f">= {floor:g}", "ok" if ok else "FAIL"]
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {algorithm} survives only loss {shown}, floor is {floor:g}"
+            )
     return rows, failures

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.runrecords import (
     accuracy_series,
+    delivery_series,
     loss_series,
     per_client_envelope,
     record_label,
@@ -407,6 +408,19 @@ def render_html(
                     f"Momentum norms — {label}",
                     "STEM final local momentum ‖v_i‖ per round: min/mean/max",
                     momentum,
+                )
+            )
+        deliveries = delivery_series(record)
+        if deliveries:
+            panels.append(
+                _panel(
+                    f"Delivery faults — {label}",
+                    "per-round dropped / retried / deduplicated / quarantined uploads",
+                    [
+                        (name, _rounds_x(values), values)
+                        for name, values in deliveries.items()
+                    ],
+                    y_label="uploads",
                 )
             )
     subtitle = " · ".join(record_label(r) for r in records)

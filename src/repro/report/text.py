@@ -13,6 +13,7 @@ from typing import Any, Dict, List
 from ..analysis.ascii_plot import plot_series
 from ..analysis.runrecords import (
     accuracy_series,
+    delivery_series,
     loss_series,
     per_client_envelope,
     record_label,
@@ -88,4 +89,16 @@ def render_ascii(records: List[Dict[str, Any]], title: str = "repro run report")
         chart = _series_or_none(freeloader, title=f"freeloader scores (Eq. 10) — {label}")
         if chart:
             sections.append(chart)
+        chart = _series_or_none(
+            delivery_series(record),
+            title=f"delivery faults by round — {label}",
+        )
+        if chart:
+            sections.append(chart)
+            totals = record.get("faults", {}).get("deliveries", {})
+            if totals:
+                summary = ", ".join(
+                    f"{key}={totals[key]}" for key in sorted(totals)
+                )
+                sections.append(f"delivery totals — {label}: {summary}")
     return "\n\n".join(sections) + "\n"

@@ -84,6 +84,8 @@ def _round_to_dict(record) -> Dict[str, Any]:
         },
         "stragglers": list(record.stragglers),
         "retries": {str(cid): count for cid, count in sorted(record.retries.items())},
+        "duplicated": list(record.duplicated),
+        "deliveries": {key: record.deliveries[key] for key in sorted(record.deliveries)},
         "aggregated": record.aggregated,
         "skipped": record.skipped,
         "uplink_bytes": record.uplink_bytes,
@@ -132,7 +134,11 @@ def build_run_record(
             "uplink_bytes": history.total_uplink_bytes,
             "downlink_bytes": history.total_downlink_bytes,
         },
-        "faults": history.fault_summary(),
+        "faults": {
+            **history.fault_summary(),
+            "quarantine_reasons": history.quarantine_reasons(),
+            "deliveries": history.delivery_summary(),
+        },
         "guard": history.recovery_summary(),
         "timing": {
             "elapsed_seconds": result.elapsed_seconds,

@@ -1,0 +1,166 @@
+"""NetworkPlan / NetworkModel: determinism, draw semantics, partitions."""
+
+import pytest
+
+from repro.network import (
+    NetworkModel,
+    NetworkPlan,
+    PartitionEpisode,
+    RetryPolicy,
+)
+
+
+class TestPlanBasics:
+    def test_none_plan_is_inert(self):
+        plan = NetworkPlan.none()
+        assert not plan.active
+        decision = plan.decide(0, 0)
+        assert decision.clean
+        assert decision.attempts == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": 0.1},
+            {"duplicate_rate": 0.1},
+            {"uplink_latency": 0.5},
+            {"downlink_latency": 0.5},
+            {"lease_timeout": 1.0},
+            {"partitions": (PartitionEpisode(start=0.0, end=1.0, clients=(1,)),)},
+        ],
+    )
+    def test_any_dimension_activates(self, kwargs):
+        assert NetworkPlan(**kwargs).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": 1.5},
+            {"duplicate_rate": -0.1},
+            {"uplink_latency": -1.0},
+            {"lease_timeout": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkPlan(**kwargs)
+
+
+class TestDecisionDeterminism:
+    def test_same_inputs_same_decision(self):
+        plan = NetworkPlan(
+            seed=7, loss_rate=0.4, duplicate_rate=0.3, uplink_latency=0.1
+        )
+        assert plan.decide(5, 17) == plan.decide(5, 17)
+
+    def test_decision_independent_of_call_order(self):
+        plan = NetworkPlan(seed=7, loss_rate=0.4, duplicate_rate=0.3)
+        forward = [plan.decide(i, 100 + i) for i in range(20)]
+        backward = [plan.decide(i, 100 + i) for i in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_decisions(self):
+        a = NetworkPlan(seed=0, loss_rate=0.5, uplink_latency=0.1)
+        b = NetworkPlan(seed=1, loss_rate=0.5, uplink_latency=0.1)
+        assert any(a.decide(i, 0) != b.decide(i, 0) for i in range(30))
+
+    def test_configuring_unrelated_dimension_preserves_loss_outcome(self):
+        """Fixed draw order: adding duplication never flips loss results."""
+        bare = NetworkPlan(seed=3, loss_rate=0.4)
+        rich = NetworkPlan(seed=3, loss_rate=0.4, duplicate_rate=0.9)
+        for delivery_id in range(40):
+            assert (
+                bare.decide(delivery_id, 1).failures
+                == rich.decide(delivery_id, 1).failures
+            )
+
+    def test_loss_rate_one_loses_everything(self):
+        plan = NetworkPlan(loss_rate=1.0, retry=RetryPolicy(limit=2))
+        for delivery_id in range(10):
+            decision = plan.decide(delivery_id, delivery_id)
+            assert decision.lost
+            assert decision.failures == 3  # limit + 1 attempts, all failed
+            assert decision.attempts == 3
+            assert not decision.duplicate  # lost uploads cannot duplicate
+
+    def test_attempts_counts_successful_send(self):
+        decision = NetworkPlan(loss_rate=0.0).decide(0, 0)
+        assert decision.failures == 0
+        assert decision.attempts == 1
+
+
+class TestPartitions:
+    def test_membership_explicit_and_hashed(self):
+        episode = PartitionEpisode(start=0.0, end=1.0, clients=(4,), fraction=0.5)
+        assert episode.member(4, seed=0)
+        hashed = [episode.member(cid, seed=0) for cid in range(200)]
+        assert any(hashed) and not all(hashed)
+        assert hashed == [episode.member(cid, seed=0) for cid in range(200)]
+
+    def test_heal_time_defers_to_episode_end(self):
+        plan = NetworkPlan(
+            partitions=(PartitionEpisode(start=1.0, end=2.0, clients=(9,)),)
+        )
+        assert plan.heal_time(9, 1.5) == 2.0
+        assert plan.heal_time(9, 0.5) == 0.5  # before the episode
+        assert plan.heal_time(9, 2.0) == 2.0  # already healed
+        assert plan.heal_time(8, 1.5) == 1.5  # not a member
+
+    def test_back_to_back_episodes_chain(self):
+        plan = NetworkPlan(
+            partitions=(
+                PartitionEpisode(start=0.0, end=1.0, clients=(3,)),
+                PartitionEpisode(start=1.0, end=2.5, clients=(3,)),
+            )
+        )
+        assert plan.heal_time(3, 0.5) == 2.5
+
+    def test_invalid_episode_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionEpisode(start=1.0, end=1.0)
+        with pytest.raises(ValueError):
+            PartitionEpisode(start=0.0, end=1.0, fraction=1.5)
+
+
+class TestModelOutcomes:
+    def test_perfect_wire_outcome(self):
+        model = NetworkModel(NetworkPlan(lease_timeout=10.0))
+        outcome = model.outcome(0, client_id=1, dispatch_time=2.0, compute_seconds=0.5)
+        assert not outcome.lost
+        assert outcome.attempts == 1
+        assert outcome.arrival_time == pytest.approx(2.5)
+        assert outcome.duplicate_time is None
+        assert not outcome.held_by_partition
+
+    def test_retries_charge_shared_backoff(self):
+        plan = NetworkPlan(seed=0, loss_rate=0.6, retry=RetryPolicy(base=0.1, limit=3))
+        model = NetworkModel(plan)
+        for delivery_id in range(50):
+            outcome = model.outcome(delivery_id, 5, dispatch_time=0.0, compute_seconds=1.0)
+            decision = plan.decide(delivery_id, 5)
+            if outcome.lost:
+                continue
+            expected = 1.0 + plan.retry.total_backoff(decision.failures)
+            assert outcome.arrival_time == pytest.approx(expected)
+
+    def test_lost_outcome_has_give_up_time(self):
+        plan = NetworkPlan(loss_rate=1.0, retry=RetryPolicy(base=0.1, limit=2))
+        outcome = NetworkModel(plan).outcome(0, 0, dispatch_time=1.0, compute_seconds=0.5)
+        assert outcome.lost
+        assert outcome.arrival_time is None
+        # compute + the full backoff schedule (0.1 + 0.2), charged at give-up.
+        assert outcome.give_up_time == pytest.approx(1.5 + 0.3)
+
+    def test_partition_holds_uplink(self):
+        plan = NetworkPlan(
+            partitions=(PartitionEpisode(start=0.0, end=5.0, clients=(2,)),)
+        )
+        outcome = NetworkModel(plan).outcome(0, 2, dispatch_time=0.0, compute_seconds=1.0)
+        assert outcome.held_by_partition
+        assert outcome.arrival_time == pytest.approx(5.0)
+
+    def test_duplicate_copy_trails_original(self):
+        plan = NetworkPlan(seed=1, duplicate_rate=1.0, uplink_latency=0.1)
+        outcome = NetworkModel(plan).outcome(0, 3, dispatch_time=0.0, compute_seconds=0.5)
+        assert outcome.duplicate_time is not None
+        assert outcome.duplicate_time > outcome.arrival_time

@@ -1,0 +1,62 @@
+"""The shared retry/backoff policy: formula, caps, legacy equivalence."""
+
+import pytest
+
+from repro.network import RetryPolicy
+
+
+class TestBackoffFormula:
+    def test_geometric_growth(self):
+        policy = RetryPolicy(base=0.1, limit=5)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.8)
+
+    def test_total_backoff_sums_prefix(self):
+        policy = RetryPolicy(base=0.1, limit=5)
+        assert policy.total_backoff(0) == 0.0
+        assert policy.total_backoff(3) == pytest.approx(0.1 + 0.2 + 0.4)
+
+    def test_matches_legacy_injector_formula(self):
+        """RetryPolicy reproduces the historical retry_backoff * 2**k sum."""
+        for backoff in (0.05, 0.1, 0.7):
+            for attempts in range(5):
+                legacy = sum(backoff * (2**k) for k in range(attempts))
+                policy = RetryPolicy(base=backoff, limit=10)
+                assert policy.total_backoff(attempts) == pytest.approx(legacy)
+
+    def test_jitter_stretches_each_interval(self):
+        policy = RetryPolicy(base=1.0, limit=3, jitter=0.5)
+        assert policy.backoff(0, u=0.0) == pytest.approx(1.0)
+        assert policy.backoff(0, u=1.0) == pytest.approx(1.5)
+        assert policy.total_backoff(2, us=[1.0, 0.0]) == pytest.approx(1.5 + 2.0)
+
+    def test_jitter_ignored_without_draw(self):
+        policy = RetryPolicy(base=1.0, jitter=0.5)
+        assert policy.backoff(1) == pytest.approx(2.0)
+
+
+class TestCapsAndValidation:
+    def test_max_attempts(self):
+        assert RetryPolicy(limit=0).max_attempts == 1
+        assert RetryPolicy(limit=2).max_attempts == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": -0.1},
+            {"limit": -1},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)
+        with pytest.raises(ValueError):
+            RetryPolicy().total_backoff(-1)

@@ -1,0 +1,48 @@
+"""Arrival traces: generation determinism and validation."""
+
+import pytest
+
+from repro.network import (
+    ArrivalTrace,
+    flash_crowd_trace,
+    make_trace,
+    poisson_trace,
+    trace_names,
+)
+
+
+class TestTraceValidation:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(name="bad", events=((1.0, 2), (0.5, 1)))
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(name="bad", events=((0.0, 0),))
+
+    def test_totals(self):
+        trace = ArrivalTrace(name="ok", events=((0.0, 2), (1.0, 3)))
+        assert trace.total_arrivals == 5
+        assert trace.horizon == 1.0
+
+
+class TestGenerators:
+    def test_poisson_deterministic_per_seed(self):
+        assert poisson_trace(seed=4, bursts=16) == poisson_trace(seed=4, bursts=16)
+        assert poisson_trace(seed=4, bursts=16) != poisson_trace(seed=5, bursts=16)
+
+    def test_flash_crowd_has_a_peak(self):
+        trace = flash_crowd_trace(seed=0, bursts=64, base_size=2, peak_size=16)
+        sizes = [count for _, count in trace.events]
+        assert max(sizes) > 2 * min(sizes)
+
+    def test_registry_round_trip(self):
+        assert set(trace_names()) == {"poisson", "flash"}
+        for name in trace_names():
+            trace = make_trace(name, seed=1, bursts=8)
+            assert len(trace.events) == 8
+            assert trace.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace("tsunami")
