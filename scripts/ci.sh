@@ -101,7 +101,8 @@ python -m repro.cli chaos --smoke --json --out out/chaos.json \
     | python -c '
 import json, sys
 chaos = json.load(sys.stdin)["chaos"]
-assert all(chaos["invariants"].values()), f"invariants failed: {chaos[\"invariants\"]}"
+invariants = chaos["invariants"]
+assert all(invariants.values()), "invariants failed: %s" % invariants
 assert chaos["cells"], "chaos grid produced no cells"
 lossy = [c for c in chaos["cells"] if c["loss_rate"] > 0]
 assert any(
@@ -141,8 +142,9 @@ print("unguarded control ok: diverged as expected")
 echo "==> fault-tolerance experiment smoke"
 python -m pytest -q benchmarks/test_fault_tolerance.py --benchmark-disable
 
-echo "==> kernel perf smoke (floors: cnn_round >= 2x, max_pool2d >= 5x)"
-python scripts/bench_kernels.py --smoke
+echo "==> kernel perf smoke (floors: cnn_round >= 2x, max_pool2d >= 5x, conv2d >= 1.5x, batched_round >= 3x; also asserts batched-vs-sequential fedavg float64 bit-identity)"
+mkdir -p out
+python scripts/bench_kernels.py --smoke --output out/bench_kernels_smoke.json
 
 echo "==> float64 bit-identity: 2-round fedavg, arena on vs off"
 python - <<'PY'

@@ -36,6 +36,12 @@ from ..fl.timing import ComputeProfile
 
 GradFn = Callable[[np.ndarray], np.ndarray]
 
+#: Batched analogue of :data:`GradFn`: maps a ``(clients, P)`` parameter
+#: matrix to the ``(clients, P)`` mini-batch gradients for the cohort's
+#: current batches (row k is bit-identical to client k's sequential
+#: ``grad_fn`` at the same parameters).
+BatchedGradFn = Callable[[np.ndarray], np.ndarray]
+
 
 class Strategy:
     """Base class; defaults implement plain FedAvg behaviour."""
@@ -87,6 +93,48 @@ class Strategy:
     def client_update_extras(self, client_id: int, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Extra fields uploaded with Delta_i^t (e.g. STEM's v_{i,K-1})."""
         return {}
+
+    def batched_local_directions(
+        self,
+        step: int,
+        params: np.ndarray,
+        grads: np.ndarray,
+        batched_grad_fn: BatchedGradFn,
+        client_ids: Sequence[int],
+        payloads: Sequence[Dict[str, Any]],
+    ) -> np.ndarray:
+        """Vectorized :meth:`local_direction` over a ``(clients, P)`` cohort.
+
+        Called by the batched execution path (:mod:`repro.fl.batched`) once
+        per local step with every client's current parameters and
+        regularised gradients stacked along a leading client axis.  Row k
+        of the returned matrix must be bit-identical to what
+        ``local_direction(client_ids[k], step, params[k], grads[k], ...)``
+        would produce (loss-regularisation terms are already folded into
+        ``grads`` by the executor, exactly as in the sequential loop).
+
+        The base implementation is exact for every strategy: when
+        ``local_direction`` is not overridden the directions *are* the
+        gradients, and otherwise it falls back to row-wise calls of the
+        sequential hook — correct for arbitrary overrides (a row-sliced
+        ``grad_fn`` re-evaluates the whole cohort, so strategies that use
+        it should override this hook with a vectorized version; see STEM).
+        """
+        if type(self).local_direction is Strategy.local_direction:
+            return grads
+
+        directions = np.empty_like(grads)
+        for row, client_id in enumerate(client_ids):
+
+            def row_grad_fn(at_params: np.ndarray, _row: int = row) -> np.ndarray:
+                matrix = params.copy()
+                matrix[_row] = at_params
+                return batched_grad_fn(matrix)[_row]
+
+            directions[row] = self.local_direction(
+                client_id, step, params[row], grads[row], row_grad_fn, payloads[row]
+            )
+        return directions
 
     # ------------------------------------------------------------------
     # Server side

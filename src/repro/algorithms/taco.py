@@ -143,6 +143,30 @@ class TACO(Strategy):
         correction_factor = 1.0 - payload["alpha"]
         return grad + self.gamma * correction_factor * payload["global_delta"]
 
+    def batched_local_directions(
+        self,
+        step: int,
+        params: np.ndarray,
+        grads: np.ndarray,
+        batched_grad_fn,
+        client_ids: Sequence[int],
+        payloads: Sequence[Dict[str, Any]],
+    ) -> np.ndarray:
+        """Eq. (8) across the whole cohort in one broadcast.
+
+        Every payload carries the same ``global_delta`` vector, so the
+        tailored corrections collapse to an outer product of the per-client
+        ``gamma * (1 - alpha_i)`` coefficients with Delta_t — row k is
+        bit-identical to :meth:`local_direction` because scalar*vector and
+        the final add happen in the same order per element.
+        """
+        if not self.use_tailored_correction or self.gamma == 0.0:
+            return grads
+        coefficients = np.array(
+            [self.gamma * (1.0 - payload["alpha"]) for payload in payloads]
+        )
+        return grads + coefficients[:, None] * payloads[0]["global_delta"][None, :]
+
     # ------------------------------------------------------------------
     # Server side — Eq. (7), (9), (10)
     # ------------------------------------------------------------------

@@ -15,6 +15,10 @@ Public surface:
 from .grad_check import check_gradients, numeric_gradient
 from .ops import (
     avg_pool2d,
+    batched_conv2d,
+    batched_cross_entropy,
+    batched_linear,
+    batched_max_pool2d,
     conv2d,
     cross_entropy,
     log_softmax,
@@ -55,6 +59,10 @@ __all__ = [
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "batched_linear",
+    "batched_conv2d",
+    "batched_max_pool2d",
+    "batched_cross_entropy",
     "lstm_step",
     "narrow",
     "log_softmax",

@@ -107,8 +107,10 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     out_h = (height - kernel) // stride + 1
     out_w = (width - kernel) // stride + 1
 
-    k, i, j, flat = _im2col_indices(in_c, height, width, kernel, stride)
-    cols = x.data[:, k, i, j]  # (batch, C*k*k, out_h*out_w)
+    _, _, _, flat = _im2col_indices(in_c, height, width, kernel, stride)
+    # np.take on the flattened per-sample volume is the same pure copy as the
+    # triple fancy index (identical bits) at roughly half the index overhead.
+    cols = np.take(x.data.reshape(batch, -1), flat, axis=1)  # (batch, C*k*k, P)
     w_flat = weight.data.reshape(out_c, -1)
     # tensordot collapses the batched product into ONE dgemm; the broadcast
     # np.matmul form runs batch separate small GEMMs and is ~2x slower here.
@@ -125,23 +127,30 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     x_shape = x.shape
     parents = (x, weight) if bias is None else (x, weight, bias)
 
+    x_requires = x.requires_grad
+
     def backward(g: np.ndarray):
         g_flat = g.reshape(batch, out_c, -1)  # (batch, out_c, P)
         grad_w = np.einsum("bop,bcp->oc", g_flat, cols, optimize=True).reshape(weight.shape)
-        grad_cols = np.matmul(w_flat.T, g_flat)  # (batch, C*k*k, P)
-        # col2im as k*k vectorized strided adds — each in-window offset maps
-        # its whole (batch, C, oH, oW) gradient block onto a strided slice of
-        # the input in one shot.  Per input cell the addends arrive in the
-        # same (kh, kw)-ascending order a per-element np.add.at would use, so
-        # the sums match an element-wise scatter of the same grad_cols
-        # bit-for-bit while running ~2x faster.
-        windowed = grad_cols.reshape(batch, in_c, kernel * kernel, out_h, out_w)
-        grad_x = np.zeros(x_shape, dtype=g.dtype)
-        for offset in range(kernel * kernel):
-            kh, kw = divmod(offset, kernel)
-            grad_x[
-                :, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride
-            ] += windowed[:, :, offset]
+        grad_x = None
+        if x_requires:
+            grad_cols = np.matmul(w_flat.T, g_flat)  # (batch, C*k*k, P)
+            # col2im as k*k vectorized strided adds — each in-window offset
+            # maps its whole (batch, C, oH, oW) gradient block onto a strided
+            # slice of the input in one shot.  Per input cell the addends
+            # arrive in the same (kh, kw)-ascending order a per-element
+            # np.add.at would use, so the sums match an element-wise scatter
+            # of the same grad_cols bit-for-bit while running ~2x faster.
+            # Skipped entirely for a non-grad input (the data batch at the
+            # first layer): the dispatch would discard it anyway, and the
+            # input-layer col2im is the single most expensive grad piece.
+            windowed = grad_cols.reshape(batch, in_c, kernel * kernel, out_h, out_w)
+            grad_x = np.zeros(x_shape, dtype=g.dtype)
+            for offset in range(kernel * kernel):
+                kh, kw = divmod(offset, kernel)
+                grad_x[
+                    :, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride
+                ] += windowed[:, :, offset]
         if bias is None:
             return (grad_x, grad_w)
         grad_b = g_flat.sum(axis=(0, 2))
@@ -240,9 +249,16 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Average pooling over square windows (any kernel/stride combination).
 
-    The non-overlapping tiling case keeps the reshape/`mean` fast path with
-    its ``np.repeat`` backward; strided/overlapping windows go through a
-    strided view forward and a cached-index ``np.bincount`` scatter backward.
+    The non-overlapping tiling case sums the ``kernel**2`` in-window offsets
+    as zero-copy strided views (one vectorized add per offset) and divides
+    once — ~3x faster than the old reshape/``mean(axis=(3, 5))`` formulation
+    and *bit-identical* to it for kernels 2 and 4 (numpy's multi-axis mean
+    reduces those window sizes in plain left-to-right order, which is exactly
+    the order the view adds accumulate in; larger/odd kernels regroup the
+    partial sums, so they keep the ``mean`` path).  The backward is the same
+    ``np.repeat`` broadcast either way.  Strided/overlapping windows go
+    through a sliding-window forward and a cached-index ``np.bincount``
+    scatter backward.
     """
     stride = stride or kernel
     batch, channels, height, width = x.shape
@@ -254,8 +270,21 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     x_shape = x.shape
 
     if stride == kernel and height % kernel == 0 and width % kernel == 0:
-        reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
-        out = reshaped.mean(axis=(3, 5))
+        if kernel in (2, 4):
+            data = x.data
+            acc = None
+            for kh in range(kernel):
+                row = None
+                for kw in range(kernel):
+                    view = data[
+                        :, :, kh : kh + kernel * out_h : kernel, kw : kw + kernel * out_w : kernel
+                    ]
+                    row = view.copy() if row is None else row + view
+                acc = row if acc is None else acc + row
+            out = acc * scale
+        else:
+            reshaped = x.data.reshape(batch, channels, out_h, kernel, out_w, kernel)
+            out = reshaped.mean(axis=(3, 5))
 
         def backward(g: np.ndarray):
             expanded = np.repeat(np.repeat(g, kernel, axis=2), kernel, axis=3)
@@ -406,3 +435,260 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     targets = np.asarray(targets, dtype=np.int64)
     n = log_probs.shape[0]
     return -log_probs[np.arange(n), targets].mean()
+
+
+# ----------------------------------------------------------------------
+# Client-batched kernels: a leading client axis over per-client weights.
+#
+# These back the batched multi-client execution path (repro.fl.batched):
+# K clients' parameters live in one (K, P) arena, and one batched graph
+# replaces K sequential per-client graphs.  Every kernel is constructed so
+# that slice k of its output (and of every gradient) is *bit-identical* to
+# what the sequential kernel produces for client k alone — numpy's batched
+# matmul/einsum dispatch the same per-slice GEMMs as the 2-D calls, and all
+# remaining arithmetic is elementwise or reduces within one client's slice.
+# tests/autograd/test_batched_ops.py asserts this byte-for-byte.
+# ----------------------------------------------------------------------
+def batched_linear(x: Tensor, weight: Tensor, bias: Tensor | None) -> Tensor:
+    """Per-client affine map ``y[k] = x[k] @ weight[k].T + bias[k]``.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(clients, batch, in_features)``.
+    weight:
+        Per-client weights ``(clients, out_features, in_features)``.
+    bias:
+        Optional per-client bias ``(clients, out_features)``.
+    """
+    clients, batch, in_f = x.shape
+    if weight.ndim != 3 or weight.shape[0] != clients or weight.shape[2] != in_f:
+        raise ValueError(
+            f"weight shape {weight.shape} incompatible with input shape {x.shape}"
+        )
+    out = np.matmul(x.data, weight.data.transpose(0, 2, 1))
+    if bias is not None:
+        out = out + bias.data[:, None, :]
+
+    x_data, w_data = x.data, weight.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    x_requires = x.requires_grad
+
+    def backward(g: np.ndarray):
+        grad_x = np.matmul(g, w_data) if x_requires else None
+        # Same contraction order as the sequential x @ W.T graph: the
+        # transpose-node backward there computes (x.T @ g).T per client.
+        grad_w = np.matmul(x_data.transpose(0, 2, 1), g).transpose(0, 2, 1)
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, g.sum(axis=1))
+
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def batched_conv2d(
+    x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0
+) -> Tensor:
+    """Per-client 2-D convolution with a leading client axis.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(clients, batch, in_channels, height, width)``.
+    weight:
+        Per-client kernels ``(clients, out_channels, in_channels, k, k)``.
+    bias:
+        Optional per-client bias ``(clients, out_channels)``.
+
+    One autograd node and one numpy call per logical step cover all K
+    clients: the client axis folds into the batch axis for a single im2col
+    gather (same cached indices as :func:`conv2d`), the contraction runs as
+    one stacked ``matmul`` over K GEMMs of exactly the per-client shape, and
+    the backward uses one batched einsum for ``grad_w``, one stacked matmul
+    for ``grad_cols`` and one folded col2im.  Slice k stays *bit-identical*
+    to the sequential :func:`conv2d`: stacked-matmul slices run the
+    same-shaped GEMM the sequential ``tensordot`` collapses to, the batched
+    einsum reduces each client block exactly like the per-client call, and
+    gathers, strided adds and bias broadcasts are elementwise.  The payoff
+    is amortised numpy-call overhead: at this reproduction's small widths
+    the sequential path spends most of its time in dispatch, not FLOPs.
+    """
+    if padding:
+        x = x.pad2d(padding)
+    clients, batch, in_c, height, width = x.shape
+    w_clients, out_c, w_in_c, kernel, kernel2 = weight.shape
+    if w_clients != clients or w_in_c != in_c or kernel != kernel2:
+        raise ValueError(
+            f"weight shape {weight.shape} incompatible with input shape {x.shape}"
+        )
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    pixels = out_h * out_w
+    ckk = in_c * kernel * kernel
+
+    _, _, _, flat = _im2col_indices(in_c, height, width, kernel, stride)
+    # One gather in the sequential (B, C*k*k, P) layout per client slice —
+    # grad_w's einsum consumes it as-is, exactly like the per-client kernel.
+    # np.take over the folded (K*B, C*H*W) view is a pure copy (same bits as
+    # any gather formulation) with the lowest index overhead measured here.
+    cols = np.take(x.data.reshape(clients * batch, -1), flat, axis=1).reshape(
+        clients, batch, ckk, pixels
+    )
+    w_flat = weight.data.reshape(clients, out_c, ckk)
+    bias_data = None if bias is None else bias.data
+    # Forward contraction stays a per-client tensordot: each client's GEMM
+    # collapses to the exact sequential shape (bit-identity), and the
+    # internal transpose-copy works on one client's cache-sized block —
+    # one whole-cohort transpose-copy is measurably slower out of cache.
+    out = np.empty((clients, batch, out_c, out_h, out_w), dtype=x.data.dtype)
+    for c in range(clients):
+        o = np.tensordot(w_flat[c], cols[c], axes=([1], [1]))
+        if bias_data is not None:
+            o = o + bias_data[c].reshape(out_c, 1, 1)
+        # transpose+reshape is a pure view (last axis stays contiguous); the
+        # assignment copies the sequential kernel's bits into row c.
+        out[c] = o.transpose(1, 0, 2).reshape(batch, out_c, out_h, out_w)
+
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    x_requires = x.requires_grad
+    # Both grad_w reductions below are bit-identical to the sequential
+    # einsum; the batched form amortises dispatch for small blocks, while
+    # big blocks (einsum's internal operand copy falls out of cache) run the
+    # per-client loop.
+    batch_grad_w = cols.nbytes <= 24 * 1024 * 1024
+
+    def backward(g: np.ndarray):
+        g4 = g.reshape(clients, batch, out_c, pixels)
+        if batch_grad_w:
+            grad_w = np.einsum("kbop,kbcp->koc", g4, cols, optimize=True).reshape(
+                weight.shape
+            )
+        else:
+            grad_w = np.empty(weight.shape, dtype=g.dtype)
+            for c in range(clients):
+                grad_w[c] = np.einsum(
+                    "bop,bcp->oc", g4[c], cols[c], optimize=True
+                ).reshape(out_c, in_c, kernel, kernel)
+        grad_x = None
+        if x_requires:
+            # grad_cols: the sequential kernel broadcasts (C*k*k, out_c)
+            # against (B, out_c, P); repeating the small weight block per
+            # sample keeps those exact per-sample GEMM shapes while folding
+            # all K*B of them into one stacked matmul (a stride-0 broadcast
+            # dim would fall off numpy's BLAS fast path).
+            w_rep = np.repeat(w_flat.transpose(0, 2, 1), batch, axis=0)
+            grad_cols = np.matmul(w_rep, g.reshape(clients * batch, out_c, pixels))
+            windowed = grad_cols.reshape(
+                clients * batch, in_c, kernel * kernel, out_h, out_w
+            )
+            grad_x = np.zeros((clients * batch, in_c, height, width), dtype=g.dtype)
+            for offset in range(kernel * kernel):
+                kh, kw = divmod(offset, kernel)
+                grad_x[
+                    :, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride
+                ] += windowed[:, :, offset]
+            grad_x = grad_x.reshape(x_shape)
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, g4.sum(axis=(1, 3)))
+
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def batched_max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over ``(clients, batch, C, H, W)`` input.
+
+    Pooling has no per-client weights, so the client axis simply folds into
+    the batch axis and the standard kernel runs once over ``clients*batch``
+    samples — every op in :func:`max_pool2d` is elementwise over the leading
+    axes, so the fold is bit-exact by construction.
+    """
+    clients, batch, channels, height, width = x.shape
+    folded = x.reshape(clients * batch, channels, height, width)
+    pooled = max_pool2d(folded, kernel, stride)
+    _, _, out_h, out_w = pooled.shape
+    return pooled.reshape(clients, batch, channels, out_h, out_w)
+
+
+def batched_cross_entropy(
+    logits: Tensor, targets: np.ndarray, counts: np.ndarray | None = None
+) -> Tensor:
+    """Sum over clients of per-client mean cross-entropies.
+
+    Parameters
+    ----------
+    logits:
+        Per-client logits of shape ``(clients, batch, num_classes)``.
+    targets:
+        Integer labels ``(clients, batch)``.
+    counts:
+        Optional per-client count of *valid* rows; rows at index >=
+        ``counts[k]`` are padding — they contribute exactly zero loss and
+        zero gradient (their target entries are ignored).  ``None`` means
+        every row is valid.
+
+    The returned scalar is ``sum_k loss_k`` where ``loss_k`` equals
+    ``cross_entropy(logits[k, :counts[k]], targets[k, :counts[k]])``
+    bit-for-bit: the log-softmax is rowwise, each client's picked
+    log-probabilities occupy one contiguous slice (same pairwise summation),
+    and the ``-(sum * (1/n))`` chain replays the sequential mean/neg nodes.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 3:
+        raise ValueError(f"expected 3-D logits (clients, batch, classes), got {logits.shape}")
+    clients, batch, _ = logits.shape
+    if targets.shape != (clients, batch):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits batch {(clients, batch)}"
+        )
+    if counts is None:
+        counts_arr = np.full(clients, batch, dtype=np.int64)
+    else:
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        if counts_arr.shape != (clients,):
+            raise ValueError(f"counts shape {counts_arr.shape} != ({clients},)")
+        if (counts_arr < 1).any() or (counts_arr > batch).any():
+            raise ValueError(f"counts must be in [1, {batch}], got {counts_arr}")
+
+    data = logits.data
+    shifted = data - data.max(axis=2, keepdims=True)
+    exp = np.exp(shifted)
+    sum_exp = exp.sum(axis=2, keepdims=True)
+    log_probs = shifted - np.log(sum_exp)
+    softmax = exp / sum_exp
+
+    # Clip padded targets before the gather; their picked values are never
+    # read (the per-client sum stops at counts[k]).
+    safe_targets = np.minimum(targets, log_probs.shape[2] - 1)
+    picked = np.take_along_axis(log_probs, safe_targets[:, :, None], axis=2)[:, :, 0]
+    losses = np.empty(clients, dtype=data.dtype)
+    for client in range(clients):
+        n = int(counts_arr[client])
+        # Replays cross_entropy's -(picked.mean()) node chain exactly:
+        # a contiguous pairwise sum, a multiply by 1/n, a negation.
+        losses[client] = -(picked[client, :n].sum() * (1.0 / n))
+    out = losses.sum()
+
+    def backward(g: np.ndarray):
+        g_arr = np.asarray(g)
+        g_ls = np.zeros_like(log_probs)
+        for client in range(clients):
+            n = int(counts_arr[client])
+            coeff = (-g_arr) * (1.0 / n)
+            np.add.at(g_ls[client], (np.arange(n), targets[client, :n]), coeff)
+        return (g_ls - softmax * g_ls.sum(axis=2, keepdims=True),)
+
+    requires = is_grad_enabled() and logits.requires_grad
+    result = Tensor(out, requires_grad=requires, _parents=(logits,) if requires else ())
+    if requires:
+        result._backward = backward
+    return result

@@ -90,6 +90,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="compute dtype: float64 is the bit-exact default; float32 trades "
         "the bit-exactness guarantees for speed and half the memory traffic",
     )
+    parser.add_argument(
+        "--batched", action="store_true",
+        help="vectorize local training across the cohort (one (K, P) batched "
+        "program per round; see docs/PERFORMANCE.md) — omit to force the "
+        "sequential bit-exact oracle",
+    )
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -228,6 +234,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         for attr, field in mapping.items()
         if getattr(args, attr, None) is not None
     }
+    if getattr(args, "batched", False):
+        overrides["batched_execution"] = True
     return config.with_overrides(**overrides)
 
 

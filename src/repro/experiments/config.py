@@ -43,6 +43,12 @@ class ExperimentConfig:
     eval_every: int = 1
     speed_spread: float = 0.3  # client compute heterogeneity for Fig. 5
     target_accuracy: Optional[float] = None  # None -> dataset default target
+    #: Run each round's benign clients through one (K, P) batched program
+    #: (see repro.fl.batched).  Off by default: the sequential path is the
+    #: bit-exact oracle, and batched runs are bit-identical only for
+    #: strategies without correction state under float64 (fedavg) —
+    #: correction strategies land within a few machine epsilon.
+    batched_execution: bool = False
 
     def __post_init__(self) -> None:
         get_spec(self.dataset)  # validate the name early

@@ -248,6 +248,7 @@ def run_algorithm(
         fault_plan=fault_plan,
         degradation=degradation,
         guard=guard,
+        batched_execution=config.batched_execution,
     )
     result = simulation.run(
         config.rounds,

@@ -8,6 +8,7 @@ from .checkpoint import (
     save_model,
     save_simulation,
 )
+from .batched import BatchedCohortExecutor
 from .client import Client
 from .degradation import DegradationPolicy, split_stragglers, validate_updates
 from .history import RoundRecord, TrainingHistory
@@ -29,6 +30,7 @@ from .timing import DEFAULT_UNIT_COSTS, ComputeProfile, CostModel, sample_speed_
 
 __all__ = [
     "Client",
+    "BatchedCohortExecutor",
     "save_model",
     "load_model",
     "save_history",

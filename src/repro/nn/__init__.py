@@ -1,7 +1,8 @@
 """Neural-network substrate built on :mod:`repro.autograd`."""
 
 from .activations import Flatten, ReLU, Sigmoid, Tanh
-from .arena import FlatParameterArena
+from .arena import BatchedClientArena, FlatParameterArena
+from .batched import BatchedModelProgram, build_batched_forward, supports_batched
 from .conv import Conv2d
 from .dropout import Dropout
 from .embedding import Embedding
@@ -17,6 +18,10 @@ __all__ = [
     "Parameter",
     "Sequential",
     "FlatParameterArena",
+    "BatchedClientArena",
+    "BatchedModelProgram",
+    "build_batched_forward",
+    "supports_batched",
     "arena_enabled",
     "set_arena_enabled",
     "Linear",

@@ -125,3 +125,143 @@ class FlatParameterArena:
             else:
                 param.grad += chunk
             offset += span
+
+
+class BatchedClientArena:
+    """``(clients, P)`` parameter + gradient storage for a whole cohort.
+
+    The batched execution path (:mod:`repro.fl.batched`) stacks K sampled
+    clients' flat parameter vectors into one matrix so local SGD steps run
+    as batched tensor ops with a leading client axis.  This arena owns the
+    two matrices and hands out zero-copy per-parameter views of shape
+    ``(clients, *param_shape)`` — row ``k`` of every view aliases client
+    k's slice, laid out with exactly the same per-parameter offsets as
+    :class:`FlatParameterArena`, so ``parameters_matrix()[k]`` is directly
+    comparable (byte-for-byte) with a sequential client's flat vector.
+
+    Peak memory is O(clients * P) for parameters plus the same for
+    gradients; nothing here scales with the population size.  The arena is
+    storage only — :class:`~repro.nn.batched.BatchedModelProgram` binds
+    :class:`~repro.nn.module.Parameter` objects to the views and this class
+    reuses them (duck-typed) for the gradient zero-fixup, mirroring
+    :meth:`FlatParameterArena.gradient_vector`.
+    """
+
+    __slots__ = (
+        "buffer",
+        "grad_buffer",
+        "clients",
+        "size",
+        "_shapes",
+        "_spans",
+        "_offsets",
+        "_bound",
+    )
+
+    def __init__(self, clients: int, shapes: Sequence[tuple], dtype) -> None:
+        if clients < 1:
+            raise ValueError(f"need at least one client, got {clients}")
+        self.clients = int(clients)
+        self._shapes = [tuple(int(d) for d in shape) for shape in shapes]
+        self._spans = [int(np.prod(shape)) if shape else 1 for shape in self._shapes]
+        self._offsets: List[int] = []
+        offset = 0
+        for span in self._spans:
+            self._offsets.append(offset)
+            offset += span
+        self.size = offset
+        self.buffer = np.empty((self.clients, self.size), dtype=dtype)
+        self.grad_buffer = np.zeros((self.clients, self.size), dtype=dtype)
+        self._bound: Optional[List] = None
+
+    @classmethod
+    def from_parameters(
+        cls, clients: int, params: Sequence
+    ) -> Optional["BatchedClientArena"]:
+        """Build an arena shaped after a template parameter list.
+
+        Returns ``None`` when the template cannot be arena-backed (no
+        parameters, or mixed dtypes) — same eligibility rule as
+        :meth:`FlatParameterArena.build`.
+        """
+        params = list(params)
+        if not params:
+            return None
+        dtype = params[0].data.dtype
+        if any(p.data.dtype != dtype for p in params):
+            return None
+        return cls(clients, [p.shape for p in params], dtype)
+
+    # ------------------------------------------------------------------
+    def view(self, index: int) -> np.ndarray:
+        """Zero-copy ``(clients, *shape)`` view of parameter ``index``."""
+        offset, span = self._offsets[index], self._spans[index]
+        return self.buffer[:, offset : offset + span].reshape(
+            (self.clients,) + self._shapes[index]
+        )
+
+    def grad_view(self, index: int) -> np.ndarray:
+        """Zero-copy ``(clients, *shape)`` gradient view of parameter ``index``."""
+        offset, span = self._offsets[index], self._spans[index]
+        return self.grad_buffer[:, offset : offset + span].reshape(
+            (self.clients,) + self._shapes[index]
+        )
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def bind(self, params: Sequence) -> None:
+        """Register the batched parameters whose grads live in this arena.
+
+        Each parameter's ``_grad_view`` is pointed at its cached gradient
+        view so the first backward accumulation writes straight into
+        ``grad_buffer`` (see ``Parameter._accumulate``); the same view
+        objects are kept here for the identity check in
+        :meth:`gradients_matrix`.
+        """
+        if len(params) != len(self._shapes):
+            raise ValueError(
+                f"expected {len(self._shapes)} parameters, got {len(params)}"
+            )
+        self._bound = []
+        for index, param in enumerate(params):
+            grad_view = self.grad_view(index)
+            param._grad_view = grad_view
+            self._bound.append((param, grad_view))
+
+    # ------------------------------------------------------------------
+    def load_rows(self, rows: Sequence[np.ndarray]) -> None:
+        """Overwrite each client row from a flat ``(P,)`` vector."""
+        if len(rows) != self.clients:
+            raise ValueError(f"expected {self.clients} rows, got {len(rows)}")
+        for k, row in enumerate(rows):
+            np.copyto(self.buffer[k], np.asarray(row).reshape(-1))
+
+    def parameters_matrix(self) -> np.ndarray:
+        """Copy of the ``(clients, P)`` parameter matrix."""
+        return self.buffer.copy()
+
+    def params_rows(self) -> np.ndarray:
+        """The live ``(clients, P)`` buffer itself (mutate with care).
+
+        The executor updates parameters in place (``rows -= lr * d``)
+        between steps; handing out the buffer avoids a (K, P) copy per
+        local step.  Never exposed outside :mod:`repro.fl.batched`.
+        """
+        return self.buffer
+
+    def gradients_matrix(self) -> np.ndarray:
+        """Copy of the ``(clients, P)`` gradient matrix (zeros where unset).
+
+        Mirrors :meth:`FlatParameterArena.gradient_vector`: backward passes
+        accumulate straight into ``grad_buffer`` through the bound
+        parameters' ``_grad_view``s, so fix-up work only happens when a
+        grad is unset or was rebound to a foreign array.
+        """
+        if self._bound is not None:
+            for param, grad_view in self._bound:
+                if param.grad is None:
+                    grad_view[...] = 0.0
+                elif param.grad is not grad_view:
+                    grad_view[...] = param.grad
+        return self.grad_buffer.copy()

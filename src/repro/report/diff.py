@@ -31,7 +31,14 @@ from ..analysis.runrecords import flatten_final_fields
 from ..analysis.tables import render_table
 
 #: Same floors scripts/bench_kernels.py --smoke enforces on a live run.
-KERNEL_SPEEDUP_FLOORS: Dict[str, float] = {"max_pool2d": 5.0, "cnn_round": 2.0}
+KERNEL_SPEEDUP_FLOORS: Dict[str, float] = {
+    "max_pool2d": 5.0,
+    "cnn_round": 2.0,
+    "conv2d": 1.5,
+    # Batched K=8 cohort round vs the pre-batching sequential execution
+    # (naive kernels, no arena, per-client loop) — see bench_batched_round.
+    "batched_round": 3.0,
+}
 
 #: Acceptance ceiling for telemetry/introspection overhead (percent).
 OVERHEAD_CEILING_PCT = 10.0
