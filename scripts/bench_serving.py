@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Serving capacity benchmark for the async coordinator.
+
+Replays an open-loop arrival trace (``repro.network.traffic``) against
+the buffered semi-async coordinator at a sweep of offered rates, with
+causal delivery tracing on, and derives the capacity curve: throughput
+and p50/p90/p99 end-to-end delivery latency at each point, plus the
+saturation knee — the first offered rate where throughput falls below
+``knee_fraction`` of the offered load.
+
+Results go to ``BENCH_serving.json`` (layout key: ``serving``), which
+``repro diff --bench`` gates in CI (>= 4 sweep points, positive
+throughput everywhere, ordered latency percentiles, a detected knee).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py          # full run, writes JSON
+    PYTHONPATH=src python scripts/bench_serving.py --smoke  # CI-sized sweep,
+                                                            # asserts floors, no JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.report.diff import SERVING_MIN_SWEEP_POINTS  # noqa: E402
+from repro.serving import LoadTestConfig, run_loadtest  # noqa: E402
+
+SMOKE_CONFIG = LoadTestConfig(rate_factors=(0.5, 2.0, 8.0, 32.0), bursts=10)
+
+
+def check_floors(payload: dict) -> list:
+    """The same floors ``repro diff --bench`` enforces, checked live."""
+    serving = payload["serving"]
+    sweep = serving["sweep"]
+    failures = []
+    if len(sweep) < SERVING_MIN_SWEEP_POINTS:
+        failures.append(
+            f"sweep has {len(sweep)} points, floor is {SERVING_MIN_SWEEP_POINTS}"
+        )
+    for point in sweep:
+        label = f"rate x{point['rate_factor']:g}"
+        if point["throughput"] <= 0:
+            failures.append(f"{label}: throughput {point['throughput']:g} <= 0")
+        latency = point["latency"]
+        if not latency["p99"] >= latency["p50"] > 0:
+            failures.append(
+                f"{label}: latency percentiles disordered "
+                f"(p50={latency['p50']:g}, p99={latency['p99']:g})"
+            )
+    if not serving["knee"].get("saturated"):
+        failures.append("no saturation knee detected across the sweep")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep; assert capacity floors, no JSON",
+    )
+    parser.add_argument(
+        "--trace", default="poisson", choices=("poisson", "flash", "diurnal"),
+        help="arrival trace replayed at each swept rate",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_serving.json"),
+        help="output path for the committed artifact",
+    )
+    args = parser.parse_args()
+
+    base = SMOKE_CONFIG if args.smoke else LoadTestConfig()
+    import dataclasses
+
+    config = dataclasses.replace(base, trace=args.trace)
+    payload = run_loadtest(config)
+    serving = payload["serving"]
+
+    for point in serving["sweep"]:
+        print(
+            f"rate x{point['rate_factor']:<6g} offered {point['offered_rate']:>9.1f}/s  "
+            f"throughput {point['throughput']:>9.1f}/s  "
+            f"p50 {point['latency']['p50']:.4f}s  p99 {point['latency']['p99']:.4f}s  "
+            f"flushed {point['flushed']}"
+        )
+    knee = serving["knee"]
+    state = "saturates" if knee["saturated"] else "does not saturate"
+    print(
+        f"knee: coordinator {state} at offered {knee['offered_rate']:.1f}/s "
+        f"(throughput {knee['throughput']:.1f}/s)"
+    )
+
+    failures = check_floors(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.smoke:
+        print("serving bench smoke:", "ok" if not failures else "FAILED")
+        return 0 if not failures else 1
+    if failures:
+        return 1
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,8 +111,43 @@ assert any(
 print("chaos smoke ok:", chaos["loss_thresholds"])
 '
 
-echo "==> BENCH floor regression gate (kernels + telemetry + federation + chaos)"
-python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json BENCH_federation.json BENCH_chaos.json
+echo "==> serving observability smoke (delivery tracing + Chrome trace export)"
+python -m repro.cli federate --smoke --trace-deliveries \
+    --telemetry jsonl:out/serving.jsonl --json \
+    | python -c '
+import json, sys
+out = json.load(sys.stdin)
+serving = out["serving"]
+assert serving["deliveries"] > 0, "tracing recorded no deliveries"
+assert len(serving["rounds"]) == out["rounds"], serving
+assert all(r["e2e_p99"] >= r["e2e_p50"] > 0 for r in serving["rounds"]), serving
+print("delivery tracing ok:", {"deliveries": serving["deliveries"],
+      "rounds": len(serving["rounds"])})
+'
+python -m repro.cli trace export out/serving.jsonl --out out/serving_chrome.json
+python - <<'PY'
+import json
+
+trace = json.load(open("out/serving_chrome.json"))
+events = trace["traceEvents"]
+spans = [e for e in events if e["ph"] == "X"]
+names = {e["name"] for e in spans}
+missing = {"serving.delivery", "serving.compute", "serving.buffer",
+           "serving.flush"} - names
+assert not missing, f"chrome trace missing span names: {missing}"
+assert all(isinstance(e["ts"], int) and isinstance(e["pid"], int)
+           for e in spans), "non-integer ts/pid in chrome trace"
+print(f"trace export ok: {len(events)} events, {len(names)} span names")
+PY
+
+echo "==> serving load-test smoke (4-point rate sweep, saturation floors)"
+mkdir -p out
+python -m repro.cli loadtest --smoke --out out/loadtest.json > /dev/null
+python -m repro.cli report out/loadtest.json --out out/loadtest.html
+python scripts/bench_serving.py --smoke
+
+echo "==> BENCH floor regression gate (kernels + telemetry + federation + chaos + serving)"
+python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json BENCH_federation.json BENCH_chaos.json BENCH_serving.json
 
 echo "==> guard chaos smoke (stealth-NaN + hot lr, quarantine off)"
 CHAOS_ARGS=(

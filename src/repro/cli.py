@@ -12,6 +12,9 @@ Examples::
     python -m repro.cli scenarios --smoke --out out/matrix.json
     python -m repro.cli scenarios --attacks ipm adaptive --defences none geomedian guard
     python -m repro.cli run --algorithm taco --introspect --record-dir out/runs
+    python -m repro.cli federate --smoke --trace-deliveries --telemetry jsonl:out/trace.jsonl
+    python -m repro.cli loadtest --trace diurnal --rates 0.5 2 8 32 --out out/loadtest.json
+    python -m repro.cli trace export out/trace.jsonl --out out/trace_chrome.json
     python -m repro.cli report out/runs/adult-taco-s0/runrecord.json --out out/report.html
     python -m repro.cli diff out/runs/a/runrecord.json out/runs/b/runrecord.json
     python -m repro.cli diff --bench BENCH_kernels.json BENCH_telemetry.json
@@ -428,6 +431,7 @@ def cmd_federate(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_dir=args.checkpoint_dir,
                 resume_from=args.checkpoint_dir if args.resume else None,
+                delivery_tracing=args.trace_deliveries,
             )
     except FileNotFoundError as error:
         print(f"cannot resume: no checkpoint at {args.checkpoint_dir} ({error})", file=sys.stderr)
@@ -459,6 +463,9 @@ def cmd_federate(args: argparse.Namespace) -> int:
     deliveries = result.history.delivery_summary()
     if deliveries:
         summary["deliveries"] = deliveries
+    serving = coordinator.serving_summary()
+    if serving is not None:
+        summary["serving"] = serving
     if args.json:
         print(json.dumps(summary))
     else:
@@ -665,11 +672,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .analysis.runrecords import load_records
-    from .report import render_ascii, render_html, render_matrix_ascii
+    from .report import (
+        is_serving_payload,
+        render_ascii,
+        render_html,
+        render_matrix_ascii,
+        render_serving_ascii,
+    )
     from .scenarios import MATRIX_KIND, MatrixError, validate_matrix
 
     record_paths: List[str] = []
     matrices = []
+    serving_payloads = []
     for path in args.records:
         try:
             raw = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -682,6 +696,8 @@ def cmd_report(args: argparse.Namespace) -> int:
             except MatrixError as error:
                 print(f"cannot load scenario matrix {path}: {error}", file=sys.stderr)
                 return 2
+        elif is_serving_payload(raw):
+            serving_payloads.append(raw)
         else:
             record_paths.append(path)
     try:
@@ -689,20 +705,82 @@ def cmd_report(args: argparse.Namespace) -> int:
     except (OSError, RunRecordError, json.JSONDecodeError) as error:
         print(f"cannot load run records: {error}", file=sys.stderr)
         return 2
-    if not records and not matrices:
-        print("no run records or scenario matrices to render", file=sys.stderr)
+    if not records and not matrices and not serving_payloads:
+        print(
+            "no run records, scenario matrices, or serving payloads to render",
+            file=sys.stderr,
+        )
         return 2
     if args.ascii:
         chunks = [render_ascii(records, title=args.title)] if records else []
         chunks.extend(render_matrix_ascii(matrix) for matrix in matrices)
+        chunks.extend(render_serving_ascii(payload) for payload in serving_payloads)
         print("\n\n".join(chunks))
         return 0
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(
-        render_html(records, title=args.title, matrices=matrices), encoding="utf-8"
+        render_html(
+            records, title=args.title, matrices=matrices, serving=serving_payloads
+        ),
+        encoding="utf-8",
     )
     print(f"wrote {out}")
+    return 0
+
+
+#: ``repro loadtest --smoke`` sweep: tiny but still four points for the bench gate.
+SMOKE_LOADTEST_RATES = (0.5, 2.0, 8.0, 32.0)
+SMOKE_LOADTEST_BURSTS = 10
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """``repro loadtest`` — open-loop capacity sweep of the async coordinator."""
+    from pathlib import Path
+
+    from .report import render_serving_ascii
+    from .serving import LoadTestConfig, run_loadtest
+
+    try:
+        overrides = {"trace": args.trace}
+        if args.smoke:
+            overrides["rate_factors"] = SMOKE_LOADTEST_RATES
+            overrides["bursts"] = SMOKE_LOADTEST_BURSTS
+        if args.rates is not None:
+            overrides["rate_factors"] = tuple(args.rates)
+        if args.bursts is not None:
+            overrides["bursts"] = args.bursts
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.knee_fraction is not None:
+            overrides["knee_fraction"] = args.knee_fraction
+        config = LoadTestConfig(**overrides)
+        payload = run_loadtest(config)
+    except ValueError as error:
+        print(f"invalid load test: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_serving_ascii(payload))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace export`` — convert a JSONL telemetry trace to Chrome JSON."""
+    from .serving import export_chrome_trace
+
+    try:
+        count = export_chrome_trace(args.source, args.out)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"cannot export trace: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.out} ({count} trace events); open in ui.perfetto.dev")
     return 0
 
 
@@ -936,6 +1014,11 @@ def build_parser() -> argparse.ArgumentParser:
     net_group.add_argument(
         "--trace-bursts", type=int, default=None, help="bursts in the generated trace"
     )
+    fed_p.add_argument(
+        "--trace-deliveries", action="store_true",
+        help="record causal delivery-trace span trees (dispatch -> compute -> "
+        "network -> buffer -> flush); export with 'repro trace export'",
+    )
     fed_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     fed_p.add_argument(
         "--telemetry", action="append", default=None, metavar="SPEC",
@@ -975,6 +1058,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     chaos_p.set_defaults(func=cmd_chaos)
+
+    load_p = sub.add_parser(
+        "loadtest",
+        help="open-loop load test: sweep arrival rates, find the saturation knee",
+    )
+    load_p.add_argument(
+        "--trace", default="poisson", choices=list(_trace_names()),
+        help="arrival trace replayed at each swept rate (default: poisson)",
+    )
+    load_p.add_argument(
+        "--rates", nargs="+", type=float, default=None, metavar="FACTOR",
+        help="ascending offered-rate multipliers (default: 0.25 1 4 16)",
+    )
+    load_p.add_argument("--bursts", type=int, default=None, help="bursts per trace")
+    load_p.add_argument("--seed", type=int, default=None)
+    load_p.add_argument(
+        "--knee-fraction", type=_rate, default=None, metavar="F",
+        help="saturated when throughput < F x offered rate (default: 0.8)",
+    )
+    load_p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep (10 bursts, rates 0.5 2 8 32)",
+    )
+    load_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the capacity payload (BENCH_serving.json layout) to PATH",
+    )
+    load_p.add_argument("--json", action="store_true", help="emit JSON instead of charts")
+    load_p.set_defaults(func=cmd_loadtest)
+
+    trace_p = sub.add_parser("trace", help="work with recorded telemetry traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    export_p = trace_sub.add_parser(
+        "export",
+        help="convert a JSONL telemetry trace to Chrome trace-event JSON (Perfetto)",
+    )
+    export_p.add_argument(
+        "source", help="JSONL telemetry file recorded with --telemetry jsonl:PATH"
+    )
+    export_p.add_argument(
+        "--out", default="out/trace_chrome.json", metavar="PATH",
+        help="Chrome trace-event JSON destination (default: out/trace_chrome.json)",
+    )
+    export_p.set_defaults(func=cmd_trace)
 
     cmp_p = sub.add_parser("compare", help="run several algorithms under identical conditions")
     cmp_p.add_argument(

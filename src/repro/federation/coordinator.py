@@ -115,6 +115,7 @@ class PendingUpload:
     attempts: int = 1  # send attempts the wire charged this delivery
     duplicate: bool = False  # an at-least-once copy, not the original
     lost: bool = False  # lease event of a retry-exhausted delivery
+    trace_key: int = -1  # serving delivery-trace handle; -1 = untraced
 
 
 @dataclass
@@ -161,6 +162,12 @@ class AsyncCoordinator:
     arrival_trace:
         Optional open-loop :class:`~repro.network.traffic.ArrivalTrace`
         replacing closed-loop cohort top-up while it lasts.
+    delivery_tracing:
+        When True, a :class:`~repro.serving.tracing.DeliveryTraceRecorder`
+        follows every dispatch through compute/network/buffer to its
+        terminal event (span trees + per-flush latency percentiles; see
+        ``docs/OBSERVABILITY.md``).  Off by default — the untraced event
+        loop is bit-identical and does zero extra work.
     """
 
     def __init__(
@@ -180,6 +187,7 @@ class AsyncCoordinator:
         model=None,
         network: Optional[NetworkPlan] = None,
         arrival_trace: Optional[ArrivalTrace] = None,
+        delivery_tracing: bool = False,
     ) -> None:
         if cohort_size < 1:
             raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
@@ -211,6 +219,8 @@ class AsyncCoordinator:
             NetworkModel(self.network) if self.network is not None else None
         )
         self.arrival_trace = arrival_trace
+        self.delivery_tracing = bool(delivery_tracing)
+        self.delivery_recorder = None  # built in run() when tracing is on
 
         self.server = Server(self.model.parameters_vector(), self.global_lr, len(registry))
         self.history = TrainingHistory()
@@ -336,6 +346,14 @@ class AsyncCoordinator:
                     # this upload; the device's work is lost.
                     self._abandoned_since_flush.append(client_id)
                     telemetry.counter("federation.abandoned").add(1)
+                    if self.delivery_recorder is not None:
+                        key = self._open_trace(
+                            client_id, state.round, self._clock,
+                            update.sim_time, arrival_time=None,
+                        )
+                        self.delivery_recorder.close(
+                            key, self._clock + update.sim_time, "abandoned"
+                        )
                     continue
                 if self._network_model is not None:
                     enqueued += self._dispatch_networked(client_id, state.round, update)
@@ -347,6 +365,11 @@ class AsyncCoordinator:
                     arrival_time=self._clock + update.sim_time,
                     update=update,
                 )
+                if self.delivery_recorder is not None:
+                    pending.trace_key = self._open_trace(
+                        client_id, state.round, self._clock,
+                        update.sim_time, arrival_time=pending.arrival_time,
+                    )
                 heapq.heappush(self._events, (pending.arrival_time, self._seq, pending))
                 self._seq += 1
                 self._pending_ids.add(client_id)
@@ -364,6 +387,29 @@ class AsyncCoordinator:
             self._deliveries_since_flush.get(outcome, 0) + count
         )
 
+    def _open_trace(
+        self,
+        client_id: int,
+        version: int,
+        compute_start: float,
+        sim_time: float,
+        arrival_time: Optional[float],
+        attempts: int = 1,
+        held_by_partition: bool = False,
+    ) -> int:
+        """Open a serving delivery trace for one dispatch (recorder is set)."""
+        return self.delivery_recorder.open_delivery(
+            client_id=client_id,
+            dispatch_version=version,
+            tier=self.registry.descriptor(client_id).speed_tier,
+            dispatch_time=self._clock,
+            compute_start=compute_start,
+            compute_end=compute_start + sim_time,
+            arrival_time=arrival_time,
+            attempts=attempts,
+            held_by_partition=held_by_partition,
+        )
+
     def _push_event(
         self,
         client_id: int,
@@ -375,6 +421,7 @@ class AsyncCoordinator:
         attempts: int = 1,
         duplicate: bool = False,
         lost: bool = False,
+        trace_key: int = -1,
     ) -> None:
         pending = PendingUpload(
             client_id=client_id,
@@ -387,6 +434,7 @@ class AsyncCoordinator:
             attempts=attempts,
             duplicate=duplicate,
             lost=lost,
+            trace_key=trace_key,
         )
         heapq.heappush(self._events, (arrival_time, self._seq, pending))
         self._seq += 1
@@ -411,6 +459,7 @@ class AsyncCoordinator:
         # the ones the wire drops — that is what retry traffic costs.
         self._uplink_bytes_since_flush += payload_bytes * max(outcome.attempts, 1)
 
+        compute_start = self._clock + outcome.decision.downlink_delay
         if outcome.lost:
             # The upload never arrives.  The server learns the slot is free
             # at lease expiry (or, lease-less, at the client's give-up
@@ -422,6 +471,12 @@ class AsyncCoordinator:
                 if plan.lease_timeout is not None
                 else outcome.give_up_time
             )
+            if self.delivery_recorder is not None:
+                key = self._open_trace(
+                    client_id, version, compute_start, update.sim_time,
+                    arrival_time=None, attempts=outcome.attempts,
+                )
+                self.delivery_recorder.close(key, learns_at, "lost")
             self._push_event(
                 client_id, version, learns_at, None, delivery_id,
                 kind="lease", lost=True,
@@ -440,9 +495,16 @@ class AsyncCoordinator:
             self._count_delivery("partition_held")
             telemetry.counter("network.partition_held").add(1)
 
+        trace_key = -1
+        if self.delivery_recorder is not None:
+            trace_key = self._open_trace(
+                client_id, version, compute_start, update.sim_time,
+                arrival_time=outcome.arrival_time, attempts=outcome.attempts,
+                held_by_partition=outcome.held_by_partition,
+            )
         self._push_event(
             client_id, version, outcome.arrival_time, update, delivery_id,
-            attempts=outcome.attempts,
+            attempts=outcome.attempts, trace_key=trace_key,
         )
         if outcome.duplicate_time is not None:
             # The at-least-once copy: arrives later, is never buffered, so
@@ -500,6 +562,10 @@ class AsyncCoordinator:
         if pending.delivery_id in self._revoked:
             if not pending.duplicate:
                 self._quarantined_since_flush[pending.client_id] = REASON_LATE
+                if self.delivery_recorder is not None and pending.trace_key >= 0:
+                    self.delivery_recorder.close(
+                        pending.trace_key, pending.arrival_time, "late"
+                    )
             self._count_delivery("late")
             telemetry.counter("network.late").add(1)
             return False
@@ -606,6 +672,23 @@ class AsyncCoordinator:
                 self.server.run_aggregation(self.strategy, updates)
         telemetry.counter("federation.flushes").add(1)
         telemetry.counter("federation.arrived").add(len(batch))
+
+        if self.delivery_recorder is not None:
+            outcomes = []
+            for pending in batch:
+                if pending.trace_key < 0:
+                    continue
+                reason = quarantined.get(pending.client_id)
+                if reason == REASON_STALE:
+                    label = "stale"
+                elif reason is not None:
+                    label = "quarantined"
+                else:
+                    label = "flushed"
+                outcomes.append((pending.trace_key, label))
+            self.delivery_recorder.record_flush(
+                round_index, self._clock, outcomes, skipped=skipped
+            )
 
         expelled = self._newly_expelled()
 
@@ -733,6 +816,16 @@ class AsyncCoordinator:
             get_telemetry().reset()
             get_introspector().reset()
 
+        if self.delivery_tracing and self.delivery_recorder is None:
+            # Deferred import: repro.serving's load-test harness imports
+            # this module, so binding at call time avoids the cycle.
+            from ..serving.tracing import DeliveryTraceRecorder
+
+            telemetry = get_telemetry()
+            self.delivery_recorder = DeliveryTraceRecorder(
+                tracer=telemetry.tracer if telemetry.enabled else None
+            )
+
         run_started = time.perf_counter()
         diverged = False
         while self.server.state.round < rounds:
@@ -804,10 +897,20 @@ class AsyncCoordinator:
             from ..runrecord import build_run_record, write_run_record
 
             write_run_record(
-                build_run_record(result, algorithm=getattr(self.strategy, "name", "unknown")),
+                build_run_record(
+                    result,
+                    algorithm=getattr(self.strategy, "name", "unknown"),
+                    serving=self.serving_summary(),
+                ),
                 record_path,
             )
         return result
+
+    def serving_summary(self) -> Optional[Dict[str, Any]]:
+        """Virtual-time delivery-trace summary, or None when tracing is off."""
+        if self.delivery_recorder is None:
+            return None
+        return self.delivery_recorder.summary()
 
     def _refresh_final_metrics(self, final_params: np.ndarray, diverged: bool) -> None:
         """Force a final evaluation when ``eval_every`` skipped the last flush."""

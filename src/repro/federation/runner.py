@@ -157,14 +157,21 @@ _UNSET = object()
 
 
 def build_coordinator(
-    config: FederateConfig, *, network=_UNSET, arrival_trace=_UNSET
+    config: FederateConfig,
+    *,
+    network=_UNSET,
+    arrival_trace=_UNSET,
+    delivery_tracing: bool = False,
 ) -> AsyncCoordinator:
     """Assemble the registry + coordinator a config describes.
 
     ``network`` / ``arrival_trace`` override the config-derived values
     when given (including an explicit ``None`` or an inert
     ``NetworkPlan.none()`` — the chaos harness uses this to check the
-    inert-plan bit-identity invariant).
+    inert-plan bit-identity invariant).  ``delivery_tracing`` is a
+    run-time switch, deliberately *not* part of :class:`FederateConfig`:
+    tracing never changes the run, so it must not change the serialised
+    config (runrecords with and without tracing stay diffable).
     """
     registry = ClientRegistry(
         population=config.population,
@@ -197,6 +204,7 @@ def build_coordinator(
         arrival_trace=(
             make_arrival_trace(config) if arrival_trace is _UNSET else arrival_trace
         ),
+        delivery_tracing=delivery_tracing,
     )
 
 
@@ -206,9 +214,10 @@ def run_federation(
     checkpoint_every: int = 0,
     checkpoint_dir=None,
     resume_from=None,
+    delivery_tracing: bool = False,
 ) -> Tuple[AsyncCoordinator, SimulationResult]:
     """Run one semi-async federation job end to end."""
-    coordinator = build_coordinator(config)
+    coordinator = build_coordinator(config, delivery_tracing=delivery_tracing)
     result = coordinator.run(
         config.rounds,
         record_path=None,
@@ -220,7 +229,12 @@ def run_federation(
         from ..runrecord import build_run_record, write_run_record
 
         write_run_record(
-            build_run_record(result, algorithm=config.algorithm, config=config),
+            build_run_record(
+                result,
+                algorithm=config.algorithm,
+                config=config,
+                serving=coordinator.serving_summary(),
+            ),
             record_path,
         )
     return coordinator, result

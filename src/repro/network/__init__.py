@@ -18,6 +18,7 @@ from .retry import RetryPolicy
 from .traffic import (
     TRACES,
     ArrivalTrace,
+    diurnal_trace,
     flash_crowd_trace,
     make_trace,
     poisson_trace,
@@ -33,6 +34,7 @@ __all__ = [
     "PartitionEpisode",
     "RetryPolicy",
     "TRACES",
+    "diurnal_trace",
     "flash_crowd_trace",
     "make_trace",
     "poisson_trace",

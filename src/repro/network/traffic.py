@@ -9,13 +9,17 @@ replays: at each burst time it dispatches ``count`` fresh clients, however
 full its pipeline already is.  Traces are plain tuples, so they serialise
 into checkpoints and replay deterministically.
 
-Builders cover the two workload shapes the chaos harness replays:
-:func:`poisson_trace` (memoryless bursts) and :func:`flash_crowd_trace`
-(a steady trickle interrupted by a synchronized spike).
+Builders cover the three workload shapes the chaos and load-test
+harnesses replay: :func:`poisson_trace` (memoryless bursts),
+:func:`flash_crowd_trace` (a steady trickle interrupted by a
+synchronized spike) and :func:`diurnal_trace` (a sinusoidal day/night
+wave).  :meth:`ArrivalTrace.scaled` compresses or stretches a trace in
+time — the knob the ``repro loadtest`` rate sweep turns.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
@@ -48,6 +52,27 @@ class ArrivalTrace:
     @property
     def horizon(self) -> float:
         return self.events[-1][0] if self.events else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        """Mean offered load in arrivals per virtual second (0 when empty)."""
+        if not self.events or self.horizon <= 0:
+            return 0.0
+        return self.total_arrivals / self.horizon
+
+    def scaled(self, time_factor: float) -> "ArrivalTrace":
+        """The same bursts with every time multiplied by ``time_factor``.
+
+        ``time_factor < 1`` compresses the trace (higher offered rate),
+        ``> 1`` stretches it — burst sizes and order are untouched, so a
+        swept load test replays the *same* workload shape at every rate.
+        """
+        if time_factor <= 0:
+            raise ValueError(f"time_factor must be positive, got {time_factor}")
+        return ArrivalTrace(
+            name=self.name,
+            events=tuple((t * time_factor, n) for t, n in self.events),
+        )
 
 
 def poisson_trace(
@@ -107,10 +132,53 @@ def flash_crowd_trace(
     )
 
 
+def diurnal_trace(
+    seed: int = 0,
+    bursts: int = 96,
+    mean_gap: float = 0.005,
+    base_size: int = 2,
+    peak_size: int = 10,
+    cycles: float = 2.0,
+) -> ArrivalTrace:
+    """A day/night wave: burst sizes follow a raised sinusoid.
+
+    Burst ``i`` dispatches ``base_size`` clients at the trough and
+    ``peak_size`` at the crest of a ``cycles``-period cosine over the
+    trace — the diurnal load pattern a planet-scale federation service
+    sees.  Gaps are exponential like :func:`poisson_trace`.
+    """
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    if base_size < 1 or peak_size < base_size:
+        raise ValueError("need 1 <= base_size <= peak_size")
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    rng = np.random.default_rng([seed, 0xD1E7])
+    times = np.cumsum(rng.exponential(mean_gap, size=bursts))
+    sizes = [
+        base_size
+        + int(
+            round(
+                (peak_size - base_size)
+                * 0.5
+                * (1.0 - math.cos(2.0 * math.pi * cycles * index / bursts))
+            )
+        )
+        for index in range(bursts)
+    ]
+    return ArrivalTrace(
+        name="diurnal",
+        events=tuple((float(t), int(n)) for t, n in zip(times, sizes)),
+    )
+
+
 #: Named trace builders for configs/CLI (``--trace poisson`` etc.).
 TRACES: Dict[str, Callable[..., ArrivalTrace]] = {
     "poisson": poisson_trace,
     "flash": flash_crowd_trace,
+    "diurnal": diurnal_trace,
 }
 
 

@@ -5,12 +5,15 @@
 - :mod:`repro.report.text` — ASCII fallback built on
   :func:`repro.analysis.plot_series`;
 - :mod:`repro.report.diff` — field-by-field record comparison with
-  tolerances, plus ``BENCH_*.json`` floor gating for CI.
+  tolerances, plus ``BENCH_*.json`` floor gating for CI;
+- :mod:`repro.report.serving` — the load-test capacity chapter
+  (throughput and latency vs offered load).
 """
 
 from .diff import (
     KERNEL_SPEEDUP_FLOORS,
     OVERHEAD_CEILING_PCT,
+    SERVING_MIN_SWEEP_POINTS,
     FieldDelta,
     check_bench,
     diff_records,
@@ -19,6 +22,7 @@ from .diff import (
 )
 from .html import render_html
 from .matrix import render_matrix_ascii, render_matrix_html
+from .serving import is_serving_payload, render_serving_ascii, render_serving_html
 from .text import render_ascii
 
 __all__ = [
@@ -26,6 +30,9 @@ __all__ = [
     "render_ascii",
     "render_matrix_html",
     "render_matrix_ascii",
+    "render_serving_html",
+    "render_serving_ascii",
+    "is_serving_payload",
     "FieldDelta",
     "diff_records",
     "render_deltas",
@@ -33,4 +40,5 @@ __all__ = [
     "check_bench",
     "KERNEL_SPEEDUP_FLOORS",
     "OVERHEAD_CEILING_PCT",
+    "SERVING_MIN_SWEEP_POINTS",
 ]

@@ -50,6 +50,9 @@ FEDERATION_MEMORY_RATIO_CEILING = 2.0
 #: in ``BENCH_chaos.json`` — the documented graceful-degradation bar.
 CHAOS_LOSS_THRESHOLD_FLOOR = 0.3
 
+#: Minimum offered-load points a ``BENCH_serving.json`` sweep must cover.
+SERVING_MIN_SWEEP_POINTS = 4
+
 
 @dataclass
 class FieldDelta:
@@ -173,9 +176,11 @@ def check_bench(path: str | Path) -> Tuple[List[List[str]], List[str]]:
         return _check_federation_bench(target.name, data)
     if "chaos" in data:
         return _check_chaos_bench(target.name, data)
+    if "serving" in data:
+        return _check_serving_bench(target.name, data)
     raise ValueError(
         f"{target}: unrecognised BENCH layout "
-        "(expected 'benchmarks', 'algorithms', 'populations', or 'chaos')"
+        "(expected 'benchmarks', 'algorithms', 'populations', 'chaos', or 'serving')"
     )
 
 
@@ -266,6 +271,72 @@ def _check_federation_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[
         )
         if diverged:
             failures.append(f"{name}: population {population} run diverged")
+    return rows, failures
+
+
+def _check_serving_bench(name: str, data: Dict[str, Any]) -> Tuple[List[List[str]], List[str]]:
+    """Floors for the load-test capacity sweep (``BENCH_serving.json``).
+
+    The sweep must cover at least :data:`SERVING_MIN_SWEEP_POINTS` offered
+    rates, every point must report positive throughput and ordered latency
+    percentiles (p99 >= p50 > 0), and the knee must mark saturation —
+    a sweep that never saturates did not push the coordinator hard enough
+    to measure capacity.
+    """
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    serving = data["serving"]
+    sweep = serving.get("sweep") or []
+    ok = len(sweep) >= SERVING_MIN_SWEEP_POINTS
+    rows.append(
+        [
+            "sweep",
+            "points",
+            str(len(sweep)),
+            f">= {SERVING_MIN_SWEEP_POINTS}",
+            "ok" if ok else "FAIL",
+        ]
+    )
+    if not ok:
+        failures.append(
+            f"{name}: sweep has {len(sweep)} offered-load points, need"
+            f" >= {SERVING_MIN_SWEEP_POINTS}"
+        )
+    for point in sweep:
+        label = f"rate x{point.get('rate_factor', '?')}"
+        throughput = float(point.get("throughput", 0.0))
+        ok = throughput > 0.0
+        rows.append(
+            [label, "throughput", f"{throughput:.1f}/s", "> 0", "ok" if ok else "FAIL"]
+        )
+        if not ok:
+            failures.append(f"{name}: {label} reports zero throughput")
+        latency = point.get("latency", {})
+        p50 = float(latency.get("p50", 0.0))
+        p99 = float(latency.get("p99", 0.0))
+        ok = p99 >= p50 > 0.0
+        rows.append(
+            [
+                label,
+                "latency p50/p99",
+                f"{p50:.4f}/{p99:.4f}",
+                "p99 >= p50 > 0",
+                "ok" if ok else "FAIL",
+            ]
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {label} latency percentiles malformed (p50={p50}, p99={p99})"
+            )
+    knee = serving.get("knee") or {}
+    saturated = bool(knee.get("saturated", False))
+    rows.append(
+        ["knee", "saturated", str(saturated), "True", "ok" if saturated else "FAIL"]
+    )
+    if not saturated:
+        failures.append(
+            f"{name}: sweep never saturated the coordinator — no capacity knee found"
+        )
     return rows, failures
 
 

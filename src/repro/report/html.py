@@ -22,6 +22,7 @@ from ..analysis.runrecords import (
     per_client_envelope,
     record_label,
     scalar_series,
+    serving_series,
     sim_time_series,
 )
 
@@ -311,13 +312,23 @@ def render_html(
     records: List[Dict[str, Any]],
     title: str = "repro run report",
     matrices: Optional[List[Dict[str, Any]]] = None,
+    serving: Optional[List[Dict[str, Any]]] = None,
 ) -> str:
-    """Render validated run records (and scenario matrices) into one page."""
+    """Render run records (plus scenario matrices / serving payloads) into one page."""
     matrices = matrices or []
-    if not records and not matrices:
-        raise ValueError("need at least one run record or scenario matrix")
+    serving = serving or []
+    if not records and not matrices and not serving:
+        raise ValueError(
+            "need at least one run record, scenario matrix, or serving payload"
+        )
+    serving_html = ""
+    if serving:
+        from .serving import serving_section
+
+        serving_html = "".join(serving_section(payload) for payload in serving)
     if not records:
-        return _render_page(title, "scenario matrix", "", "", matrices)
+        subtitle = "scenario matrix" if matrices else "serving capacity"
+        return _render_page(title, subtitle, serving_html, "", matrices)
     panels: List[str] = []
     panels.append(
         _panel(
@@ -410,6 +421,20 @@ def render_html(
                     momentum,
                 )
             )
+        serving = serving_series(record)
+        if serving:
+            panels.append(
+                _panel(
+                    f"Delivery latency — {label}",
+                    "per-flush end-to-end delivery latency percentiles "
+                    "and mean buffer residency (virtual seconds)",
+                    [
+                        (name, _rounds_x(values), values)
+                        for name, values in serving.items()
+                    ],
+                    y_label="seconds",
+                )
+            )
         deliveries = delivery_series(record)
         if deliveries:
             panels.append(
@@ -427,7 +452,7 @@ def render_html(
     return _render_page(
         title,
         subtitle,
-        _tiles(records) + f'<div class="grid">{"".join(panels)}</div>',
+        _tiles(records) + f'<div class="grid">{"".join(panels)}</div>' + serving_html,
         _config_section(records),
         matrices,
     )

@@ -1,0 +1,143 @@
+"""Capacity-report rendering for load-test payloads (``repro report``).
+
+A serving payload is the JSON :func:`repro.serving.loadtest.run_loadtest`
+emits — a single top-level ``serving`` key with a ``sweep`` of capacity
+points and a detected ``knee``.  :func:`is_serving_payload` recognises
+the layout so the report CLI can route mixed file lists;
+:func:`render_serving_html` / :func:`render_serving_ascii` draw the two
+capacity charts:
+
+- **throughput vs offered load** — with the ideal line (throughput =
+  offered rate) for reference, so the saturation knee is visible as the
+  point where the curves part;
+- **latency vs offered load** — p50/p90/p99 end-to-end delivery latency
+  climbing as the buffer fills.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List
+
+from ..analysis.ascii_plot import plot_series
+from .html import Series, _panel, _render_page
+
+
+def is_serving_payload(payload: Any) -> bool:
+    """True when ``payload`` is a load-test capacity artifact."""
+    return (
+        isinstance(payload, dict)
+        and set(payload) == {"serving"}
+        and isinstance(payload["serving"], dict)
+        and isinstance(payload["serving"].get("sweep"), list)
+    )
+
+
+def _sweep(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    sweep = payload["serving"]["sweep"]
+    if not sweep:
+        raise ValueError("serving payload has an empty sweep")
+    return sweep
+
+
+def _throughput_series(sweep: List[Dict[str, Any]]) -> List[Series]:
+    offered = [point["offered_rate"] for point in sweep]
+    return [
+        ("throughput", offered, [point["throughput"] for point in sweep]),
+        ("ideal (offered)", offered, list(offered)),
+    ]
+
+
+def _latency_series(sweep: List[Dict[str, Any]]) -> List[Series]:
+    offered = [point["offered_rate"] for point in sweep]
+    return [
+        (name, offered, [point["latency"][name] for point in sweep])
+        for name in ("p50", "p90", "p99")
+    ]
+
+
+def _knee_line(payload: Dict[str, Any]) -> str:
+    knee = payload["serving"].get("knee") or {}
+    if not knee:
+        return "no knee data"
+    state = "saturates" if knee.get("saturated") else "does not saturate"
+    return (
+        f"coordinator {state} at offered rate {knee.get('offered_rate', 0.0):.1f}/s "
+        f"(throughput {knee.get('throughput', 0.0):.1f}/s, "
+        f"p99 latency {knee.get('p99', 0.0):.4f}s)"
+    )
+
+
+def serving_section(payload: Dict[str, Any]) -> str:
+    """The capacity chapter as an embeddable HTML fragment (note + chart grid)."""
+    serving = payload["serving"]
+    sweep = _sweep(payload)
+    panels = [
+        _panel(
+            "Throughput vs offered load",
+            "flushed deliveries per virtual second at each swept arrival rate",
+            _throughput_series(sweep),
+            y_label="deliveries/s",
+        ),
+        _panel(
+            "Delivery latency vs offered load",
+            "end-to-end p50/p90/p99 latency (dispatch to flush, virtual seconds)",
+            _latency_series(sweep),
+            y_label="seconds",
+        ),
+    ]
+    note = (
+        f"serving capacity — trace={serving.get('trace', '?')} · "
+        f"{len(sweep)} offered-load points · " + _knee_line(payload)
+    )
+    return (
+        f'<p class="section-note">{_html.escape(note)}</p>'
+        f'<div class="grid">{"".join(panels)}</div>'
+    )
+
+
+def render_serving_html(
+    payload: Dict[str, Any], title: str = "serving capacity report"
+) -> str:
+    """Render one load-test payload as a self-contained HTML page."""
+    serving = payload["serving"]
+    subtitle = (
+        f"trace={serving.get('trace', '?')} · {len(_sweep(payload))} "
+        "offered-load points · " + _knee_line(payload)
+    )
+    return _render_page(title, subtitle, serving_section(payload), "", [])
+
+
+def render_serving_ascii(payload: Dict[str, Any]) -> str:
+    """Render one load-test payload as stacked ASCII charts."""
+    serving = payload["serving"]
+    sweep = _sweep(payload)
+    title = f"serving capacity — trace={serving.get('trace', '?')}"
+    sections = [title, "=" * len(title), _knee_line(payload)]
+    sections.append(
+        plot_series(
+            {
+                "throughput": [point["throughput"] for point in sweep],
+                "offered": [point["offered_rate"] for point in sweep],
+            },
+            title="throughput vs offered load (by sweep point)",
+        )
+    )
+    sections.append(
+        plot_series(
+            {
+                name: [point["latency"][name] for point in sweep]
+                for name in ("p50", "p90", "p99")
+            },
+            title="delivery latency vs offered load (by sweep point)",
+        )
+    )
+    rows = ["offered/s  throughput/s  p50        p99        flushed"]
+    for point in sweep:
+        rows.append(
+            f"{point['offered_rate']:>9.1f}  {point['throughput']:>11.1f}  "
+            f"{point['latency']['p50']:<9.4f}  {point['latency']['p99']:<9.4f}  "
+            f"{point['flushed']}"
+        )
+    sections.append("\n".join(rows))
+    return "\n\n".join(sections) + "\n"

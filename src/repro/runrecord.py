@@ -100,12 +100,17 @@ def build_run_record(
     algorithm: str,
     config=None,
     diagnostics: Optional[List] = None,
+    serving: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the versioned record for one :class:`SimulationResult`.
 
     ``config`` is an :class:`repro.experiments.ExperimentConfig` (or ``None``
     when the simulation was built by hand); ``diagnostics`` defaults to the
     diagnostics the run itself collected (``result.diagnostics``).
+    ``serving`` is the optional delivery-trace summary from
+    ``AsyncCoordinator.serving_summary()`` — virtual-time only, so it
+    keeps the determinism contract; the key is absent when tracing was
+    off, which preserves byte-identity with pre-tracing records.
     """
     from dataclasses import asdict, is_dataclass
 
@@ -146,6 +151,8 @@ def build_run_record(
             "created_unix": time.time(),
         },
     }
+    if serving is not None:
+        record["serving"] = serving
     return record
 
 
@@ -190,6 +197,12 @@ def validate_run_record(record: Any) -> Dict[str, Any]:
             raise RunRecordError(f"'final' is missing {key!r}")
     if "elapsed_seconds" not in record["timing"]:
         raise RunRecordError("'timing' is missing 'elapsed_seconds'")
+    if "serving" in record:  # optional: present only when delivery tracing ran
+        serving = record["serving"]
+        if not isinstance(serving, dict) or not isinstance(
+            serving.get("rounds"), list
+        ):
+            raise RunRecordError("'serving' must be an object with a 'rounds' list")
     return record
 
 

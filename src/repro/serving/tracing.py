@@ -1,0 +1,268 @@
+"""Causal delivery tracing for the async coordinator.
+
+Every dispatched client upload is one *delivery* travelling through the
+serving pipeline in virtual time::
+
+    dispatch --queue_wait--> local compute --network--> buffer --flush
+
+:class:`DeliveryTraceRecorder` turns each delivery into a span tree on a
+:class:`~repro.telemetry.spans.Tracer` (via the explicit
+:meth:`~repro.telemetry.spans.Tracer.add_span` API — delivery spans close
+in causal virtual-time order, not wall-clock LIFO order):
+
+- ``serving.delivery`` — the root span, dispatch to terminal event, with
+  the client id, speed tier, dispatch/flush versions and outcome;
+- ``serving.queue_wait`` — downlink delay before local work starts
+  (zero on the perfect wire);
+- ``serving.compute`` — the client's K local steps (``sim_time``);
+- ``serving.network`` — uplink transit including retry backoff and
+  partition holds (zero on the perfect wire);
+- ``serving.buffer`` — residency in the FedBuff buffer until the flush.
+
+Each span carries a ``lane`` attribute (``tier:fast`` / ``tier:medium`` /
+``tier:slow`` for deliveries, ``coordinator`` for flushes) — the thread
+lanes of the Chrome trace export (:mod:`repro.serving.chrome`).
+
+When global telemetry is enabled the recorder also feeds the
+``serving.stage_seconds{stage=...}`` and ``serving.e2e_seconds``
+histograms plus the ``serving.deliveries{outcome=...}`` counter — the
+raw material of the load-test latency percentiles.  The coordinator only
+constructs a recorder when ``delivery_tracing=True``, so the default
+path stays zero-overhead and bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry import Tracer, get_telemetry
+
+#: The per-delivery pipeline stages, in causal order.
+SERVING_STAGES: Tuple[str, ...] = ("queue_wait", "compute", "network", "buffer")
+
+#: Outcome label of a delivery that reached aggregation.
+OUTCOME_FLUSHED = "flushed"
+
+
+@dataclass
+class _OpenDelivery:
+    """Stage boundaries of a delivery that has not reached its terminal event."""
+
+    client_id: int
+    dispatch_version: int
+    tier: str
+    dispatch_time: float
+    compute_start: float
+    compute_end: float
+    arrival_time: Optional[float]  # None while the upload never arrives
+    attempts: int = 1
+    held_by_partition: bool = False
+
+
+class DeliveryTraceRecorder:
+    """Builds per-delivery span trees and per-flush latency summaries.
+
+    Parameters
+    ----------
+    tracer:
+        Destination :class:`~repro.telemetry.spans.Tracer`.  Pass the
+        active telemetry tracer to stream serving spans into the same
+        exporters (JSONL) as wall-clock spans; defaults to a private
+        tracer so tracing works without a telemetry session.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.round_stats: List[Dict[str, float]] = []
+        self.closed = 0
+        self._open: Dict[int, _OpenDelivery] = {}
+        self._next_key = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by AsyncCoordinator)
+    # ------------------------------------------------------------------
+    def open_delivery(
+        self,
+        *,
+        client_id: int,
+        dispatch_version: int,
+        tier: str,
+        dispatch_time: float,
+        compute_start: float,
+        compute_end: float,
+        arrival_time: Optional[float],
+        attempts: int = 1,
+        held_by_partition: bool = False,
+    ) -> int:
+        """Start tracing one dispatch; returns the trace key to close with."""
+        key = self._next_key
+        self._next_key += 1
+        self._open[key] = _OpenDelivery(
+            client_id=client_id,
+            dispatch_version=dispatch_version,
+            tier=tier,
+            dispatch_time=dispatch_time,
+            compute_start=compute_start,
+            compute_end=compute_end,
+            arrival_time=arrival_time,
+            attempts=attempts,
+            held_by_partition=held_by_partition,
+        )
+        return key
+
+    def close(
+        self, key: int, end_time: float, outcome: str
+    ) -> Optional[Dict[str, float]]:
+        """Close one delivery at its terminal virtual time.
+
+        ``outcome`` is ``"flushed"`` for aggregated deliveries or a
+        failure label (``lost`` / ``late`` / ``stale`` / ``abandoned`` /
+        ``quarantined``).  Returns the per-stage durations, or ``None``
+        for an unknown/already-closed key (e.g. state restored from a
+        checkpoint, where in-flight deliveries predate the recorder).
+        """
+        record = self._open.pop(key, None)
+        if record is None:
+            return None
+        return self._emit(record, end_time, outcome, flush_version=None)
+
+    def record_flush(
+        self,
+        version: int,
+        flush_time: float,
+        outcomes: Sequence[Tuple[int, str]],
+        skipped: bool = False,
+    ) -> None:
+        """Close every delivery the flush consumed and summarise the round.
+
+        ``outcomes`` pairs each trace key with its terminal label; only
+        ``"flushed"`` deliveries enter the latency percentiles.  Also
+        emits the coordinator-lane ``serving.flush`` span.
+        """
+        e2e: List[float] = []
+        stage_sums = {stage: 0.0 for stage in SERVING_STAGES}
+        flushed = 0
+        for key, outcome in outcomes:
+            record = self._open.get(key)
+            stages = None
+            if record is not None:
+                stages = self._emit(
+                    self._open.pop(key), flush_time, outcome,
+                    flush_version=version,
+                )
+            if stages is not None and outcome == OUTCOME_FLUSHED:
+                flushed += 1
+                e2e.append(sum(stages.values()))
+                for stage in SERVING_STAGES:
+                    stage_sums[stage] += stages[stage]
+        self.tracer.add_span(
+            "serving.flush",
+            start=flush_time,
+            end=flush_time,
+            lane="coordinator",
+            version=version,
+            updates=flushed,
+            skipped=skipped,
+        )
+        stats: Dict[str, float] = {
+            "round": version,
+            "flushed": flushed,
+            "e2e_p50": float(np.percentile(e2e, 50)) if e2e else 0.0,
+            "e2e_p90": float(np.percentile(e2e, 90)) if e2e else 0.0,
+            "e2e_p99": float(np.percentile(e2e, 99)) if e2e else 0.0,
+            "e2e_max": float(max(e2e)) if e2e else 0.0,
+        }
+        for stage in SERVING_STAGES:
+            stats[f"{stage}_mean"] = stage_sums[stage] / flushed if flushed else 0.0
+        self.round_stats.append(stats)
+
+    # ------------------------------------------------------------------
+    @property
+    def open_deliveries(self) -> int:
+        """Deliveries dispatched but not yet closed."""
+        return len(self._open)
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic virtual-time summary for the runrecord.
+
+        Contains no wall-clock data, so same-seed runrecords stay
+        byte-identical (the determinism contract keeps wall clock under
+        the top-level ``timing`` key).
+        """
+        return {
+            "deliveries": self.closed,
+            "rounds": [dict(stats) for stats in self.round_stats],
+        }
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        record: _OpenDelivery,
+        end_time: float,
+        outcome: str,
+        flush_version: Optional[int],
+    ) -> Dict[str, float]:
+        """Emit the span tree for one closed delivery; returns stage durations."""
+        end_time = max(end_time, record.dispatch_time)
+        arrival = record.arrival_time
+        compute_end = min(record.compute_end, end_time)
+        compute_start = min(record.compute_start, compute_end)
+        network_end = min(arrival, end_time) if arrival is not None else end_time
+        network_end = max(network_end, compute_end)
+        stages = {
+            "queue_wait": compute_start - record.dispatch_time,
+            "compute": compute_end - compute_start,
+            "network": network_end - compute_end,
+            "buffer": end_time - network_end,
+        }
+        lane = f"tier:{record.tier}"
+        attributes = {
+            "client": record.client_id,
+            "version": record.dispatch_version,
+            "tier": record.tier,
+            "lane": lane,
+            "outcome": outcome,
+            "attempts": record.attempts,
+        }
+        if record.held_by_partition:
+            attributes["held_by_partition"] = True
+        if flush_version is not None:
+            attributes["flush_version"] = flush_version
+        root = self.tracer.add_span(
+            "serving.delivery",
+            start=record.dispatch_time,
+            end=end_time,
+            **attributes,
+        )
+        cursor = record.dispatch_time
+        for stage in SERVING_STAGES:
+            duration = stages[stage]
+            if stage == "buffer" and (arrival is None or outcome != OUTCOME_FLUSHED):
+                break  # never buffered: no residency span
+            self.tracer.add_span(
+                f"serving.{stage}",
+                start=cursor,
+                end=cursor + duration,
+                parent_id=root.span_id,
+                depth=1,
+                lane=lane,
+                client=record.client_id,
+            )
+            cursor += duration
+        self.closed += 1
+
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("serving.deliveries", outcome=outcome).add(1)
+            if outcome == OUTCOME_FLUSHED:
+                for stage in SERVING_STAGES:
+                    telemetry.histogram(
+                        "serving.stage_seconds", stage=stage
+                    ).observe(stages[stage])
+                telemetry.histogram("serving.e2e_seconds").observe(
+                    end_time - record.dispatch_time
+                )
+        return stages

@@ -132,10 +132,11 @@ def render_prometheus(registry: MetricRegistry) -> str:
             snap = instrument.snapshot()
             lines.append(f"{base}_count{labels} {snap['count']}")
             lines.append(f"{base}_sum{labels} {snap['sum']}")
-            for q in (0.5, 0.95):
+            for q in (0.5, 0.9, 0.95, 0.99):
                 quantile_labels = labels[:-1] + "," if labels else "{"
                 lines.append(
-                    f'{base}{quantile_labels}quantile="{q}"}} {instrument.quantile(q)}'
+                    f'{base}{quantile_labels}quantile="{q}"}} '
+                    f"{instrument.percentile(q * 100.0)}"
                 )
         else:
             lines.append(f"{base}{labels} {instrument.value}")
@@ -186,9 +187,12 @@ class ConsoleExporter(Exporter):
         write("── telemetry summary ──\n")
         if self._span_total:
             write("spans (total seconds, calls):\n")
+            # Size the name column to the longest span name so long names
+            # (serving.delivery, ...) keep the duration column aligned.
+            name_width = max(24, max(len(name) for name in self._span_total))
             for name in sorted(self._span_total, key=self._span_total.get, reverse=True):
                 write(
-                    f"  {name:<24} {self._span_total[name]:>10.4f}s"
+                    f"  {name:<{name_width}} {self._span_total[name]:>10.4f}s"
                     f"  x{self._span_count[name]}\n"
                 )
         if len(registry):

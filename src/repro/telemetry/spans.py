@@ -102,6 +102,43 @@ class Tracer:
         """A context manager timing one named section of work."""
         return _ActiveSpan(self, name, dict(attributes))
 
+    def add_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        depth: int = 0,
+        **attributes: Any,
+    ) -> SpanRecord:
+        """Record an explicitly-timed span without touching the stack.
+
+        The stack-based :meth:`span` API can only describe work that nests
+        in wall-clock LIFO order.  Causal delivery tracing (``repro.serving``)
+        records *virtual-time* spans whose parents closed long ago in wall
+        time; ``add_span`` takes caller-supplied timestamps and an explicit
+        ``parent_id`` (a previously returned ``span_id``), appends the
+        finished record and streams it through ``on_finish`` like any other
+        span.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({end} < {start})")
+        record = SpanRecord(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            depth=depth,
+            start=float(start),
+            end=float(end),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self.finished.append(record)
+        if self.on_finish is not None:
+            self.on_finish(record)
+        return record
+
     @property
     def depth(self) -> int:
         """How many spans are currently open."""

@@ -9,6 +9,7 @@ from repro.algorithms import make_strategy
 from repro.federation import AsyncCoordinator, ClientRegistry
 from repro.fl.degradation import REASON_LATE, REASON_LOST
 from repro.network import (
+    ArrivalTrace,
     NetworkPlan,
     PartitionEpisode,
     RetryPolicy,
@@ -215,6 +216,40 @@ class TestTrafficReplay:
         summary = coordinator.history.delivery_summary()
         assert summary["dispatched"] > 0
         assert len(coordinator.history.records) == 3
+
+    def test_zero_rate_trace_falls_back_to_closed_loop(self):
+        """An empty trace never fires; the run still completes closed-loop."""
+        trace = ArrivalTrace(name="idle", events=())
+        assert trace.offered_rate == 0.0
+        coordinator = chaos_coordinator(arrival_trace=trace)
+        result = coordinator.run(2)
+        assert len(coordinator.history.records) == 2
+        assert np.all(np.isfinite(result.final_params))
+
+    def test_single_client_trace_completes(self):
+        """One burst of one client, then closed-loop top-up finishes the run."""
+        trace = ArrivalTrace(name="solo", events=((0.0, 1),))
+        coordinator = chaos_coordinator(
+            network=chaotic_plan(loss_rate=0.0, duplicate_rate=0.0),
+            arrival_trace=trace,
+        )
+        coordinator.run(2)
+        summary = coordinator.history.delivery_summary()
+        assert summary["dispatched"] >= 1
+        assert len(coordinator.history.records) == 2
+
+    def test_trace_longer_than_run_is_truncated(self):
+        """A long trace does not extend the run past the requested rounds;
+        the same prefix replays identically regardless of trace tail."""
+        long_trace = poisson_trace(seed=2, bursts=200, mean_gap=0.01, mean_size=3.0)
+        coordinator = chaos_coordinator(arrival_trace=long_trace)
+        result = coordinator.run(2)
+        assert len(coordinator.history.records) == 2
+        short = chaos_coordinator(arrival_trace=long_trace)
+        short_result = short.run(1)
+        assert len(short.history.records) == 1
+        assert np.all(np.isfinite(result.final_params))
+        assert np.all(np.isfinite(short_result.final_params))
 
 
 class TestMidChaosResume:

@@ -78,6 +78,18 @@ class TestSchema:
         with pytest.raises(RunRecordError, match="must be an object"):
             validate_run_record([1, 2, 3])
 
+    def test_serving_section_optional_and_validated(self, tiny_config, fresh_cache):
+        record = self._valid_record(tiny_config)
+        assert "serving" not in record  # absent unless delivery tracing ran
+        record["serving"] = {"deliveries": 4, "rounds": [{"round": 0}]}
+        assert validate_run_record(record) is record
+        record["serving"] = {"deliveries": 4}  # no rounds list
+        with pytest.raises(RunRecordError, match="serving"):
+            validate_run_record(record)
+        record["serving"] = ["not", "a", "dict"]
+        with pytest.raises(RunRecordError, match="serving"):
+            validate_run_record(record)
+
     def test_load_rejects_invalid_json(self, tmp_path):
         path = tmp_path / "runrecord.json"
         path.write_text("{not json")

@@ -4,6 +4,7 @@ import pytest
 
 from repro.network import (
     ArrivalTrace,
+    diurnal_trace,
     flash_crowd_trace,
     make_trace,
     poisson_trace,
@@ -25,6 +26,30 @@ class TestTraceValidation:
         assert trace.total_arrivals == 5
         assert trace.horizon == 1.0
 
+    def test_empty_trace_has_zero_rate(self):
+        trace = ArrivalTrace(name="idle", events=())
+        assert trace.total_arrivals == 0
+        assert trace.offered_rate == 0.0
+
+    def test_single_burst_trace(self):
+        trace = ArrivalTrace(name="one", events=((0.0, 1),))
+        assert trace.total_arrivals == 1
+        assert trace.horizon == 0.0
+        # a zero-length horizon must not divide by zero
+        assert trace.offered_rate == 0.0
+
+    def test_scaled_stretches_time_not_counts(self):
+        trace = ArrivalTrace(name="ok", events=((0.0, 2), (1.0, 3)))
+        slow = trace.scaled(2.0)
+        assert slow.total_arrivals == trace.total_arrivals
+        assert slow.horizon == pytest.approx(2.0)
+        assert slow.offered_rate == pytest.approx(trace.offered_rate / 2.0)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        trace = ArrivalTrace(name="ok", events=((0.0, 2), (1.0, 3)))
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
 
 class TestGenerators:
     def test_poisson_deterministic_per_seed(self):
@@ -36,8 +61,20 @@ class TestGenerators:
         sizes = [count for _, count in trace.events]
         assert max(sizes) > 2 * min(sizes)
 
+    def test_diurnal_deterministic_per_seed(self):
+        assert diurnal_trace(seed=3, bursts=24) == diurnal_trace(seed=3, bursts=24)
+        assert diurnal_trace(seed=3, bursts=24) != diurnal_trace(seed=4, bursts=24)
+
+    def test_diurnal_wave_rises_and_falls(self):
+        trace = diurnal_trace(seed=0, bursts=24, base_size=2, peak_size=10, cycles=2.0)
+        sizes = [count for _, count in trace.events]
+        # two day/night cycles: peak sizes well above the base, base revisited
+        assert max(sizes) >= 8
+        assert min(sizes) <= 3
+        assert sizes.count(max(sizes)) >= 2
+
     def test_registry_round_trip(self):
-        assert set(trace_names()) == {"poisson", "flash"}
+        assert set(trace_names()) == {"poisson", "flash", "diurnal"}
         for name in trace_names():
             trace = make_trace(name, seed=1, bursts=8)
             assert len(trace.events) == 8
@@ -46,3 +83,10 @@ class TestGenerators:
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             make_trace("tsunami")
+
+    def test_unknown_name_error_lists_registry(self):
+        with pytest.raises(ValueError, match="poisson") as excinfo:
+            make_trace("tsunami")
+        message = str(excinfo.value)
+        for name in trace_names():
+            assert name in message

@@ -1,0 +1,163 @@
+"""Delivery-trace recorder: span trees, outcomes, summaries, zero overhead."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_strategy
+from repro.federation import AsyncCoordinator, ClientRegistry
+from repro.serving import SERVING_STAGES, DeliveryTraceRecorder
+from repro.telemetry import JsonlExporter, telemetry_session
+
+
+def open_one(recorder, **overrides):
+    kwargs = dict(
+        client_id=7,
+        dispatch_version=2,
+        tier="fast",
+        dispatch_time=1.0,
+        compute_start=1.1,
+        compute_end=1.6,
+        arrival_time=1.9,
+    )
+    kwargs.update(overrides)
+    return recorder.open_delivery(**kwargs)
+
+
+def coordinator(delivery_tracing, seed=0, rounds=3):
+    registry = ClientRegistry(
+        population=100, seed=seed, samples_per_client=16, batch_size=8
+    )
+    strategy = make_strategy("fedavg", local_lr=0.05, local_steps=2, rounds=rounds)
+    return AsyncCoordinator(
+        registry=registry,
+        strategy=strategy,
+        test_set=registry.test_set(40),
+        cohort_size=8,
+        buffer_size=4,
+        seed=seed,
+        model=registry.make_model(width_multiplier=0.5),
+        delivery_tracing=delivery_tracing,
+    )
+
+
+class TestRecorder:
+    def test_flushed_delivery_emits_full_span_tree(self):
+        recorder = DeliveryTraceRecorder()
+        key = open_one(recorder)
+        recorder.record_flush(3, 2.5, [(key, "flushed")])
+
+        spans = {span.name: span for span in recorder.tracer.finished}
+        root = spans["serving.delivery"]
+        assert root.start == 1.0 and root.end == 2.5
+        assert root.attributes["outcome"] == "flushed"
+        assert root.attributes["lane"] == "tier:fast"
+        assert root.attributes["flush_version"] == 3
+        for stage in SERVING_STAGES:
+            child = spans[f"serving.{stage}"]
+            assert child.parent_id == root.span_id
+            assert child.depth == 1
+            assert child.attributes["lane"] == "tier:fast"
+        # stage boundaries partition [dispatch, flush]
+        assert spans["serving.queue_wait"].start == 1.0
+        assert spans["serving.queue_wait"].end == pytest.approx(1.1)
+        assert spans["serving.compute"].end == pytest.approx(1.6)
+        assert spans["serving.network"].end == pytest.approx(1.9)
+        assert spans["serving.buffer"].end == pytest.approx(2.5)
+        flush = spans["serving.flush"]
+        assert flush.attributes["lane"] == "coordinator"
+        assert flush.attributes["updates"] == 1
+
+    def test_lost_delivery_has_no_buffer_span(self):
+        recorder = DeliveryTraceRecorder()
+        key = open_one(recorder, arrival_time=None)
+        stages = recorder.close(key, 2.0, "lost")
+        names = {span.name for span in recorder.tracer.finished}
+        assert "serving.buffer" not in names
+        assert "serving.network" in names
+        assert stages["buffer"] == 0.0
+
+    def test_failure_outcomes_excluded_from_percentiles(self):
+        recorder = DeliveryTraceRecorder()
+        good = open_one(recorder)
+        stale = open_one(recorder, dispatch_time=0.5)
+        recorder.record_flush(1, 2.5, [(good, "flushed"), (stale, "stale")])
+        stats = recorder.round_stats[-1]
+        assert stats["flushed"] == 1
+        # percentiles come only from the flushed delivery: e2e = 2.5 - 1.0
+        assert stats["e2e_p50"] == pytest.approx(1.5)
+        assert stats["e2e_max"] == pytest.approx(1.5)
+
+    def test_unknown_key_close_returns_none(self):
+        recorder = DeliveryTraceRecorder()
+        assert recorder.close(999, 1.0, "lost") is None
+        key = open_one(recorder)
+        assert recorder.close(key, 2.0, "flushed") is not None
+        assert recorder.close(key, 2.0, "flushed") is None  # already closed
+
+    def test_clamping_never_produces_negative_durations(self):
+        recorder = DeliveryTraceRecorder()
+        # terminal event before compute nominally ends (e.g. abandoned early)
+        key = open_one(recorder, compute_end=5.0, arrival_time=None)
+        stages = recorder.close(key, 1.3, "abandoned")
+        assert all(duration >= 0.0 for duration in stages.values())
+        for span in recorder.tracer.finished:
+            assert span.end >= span.start
+
+    def test_summary_shape(self):
+        recorder = DeliveryTraceRecorder()
+        key = open_one(recorder)
+        recorder.record_flush(0, 2.5, [(key, "flushed")])
+        summary = recorder.summary()
+        assert summary["deliveries"] == 1
+        (stats,) = summary["rounds"]
+        assert {"round", "flushed", "e2e_p50", "e2e_p90", "e2e_p99", "e2e_max"} <= set(
+            stats
+        )
+        assert {f"{stage}_mean" for stage in SERVING_STAGES} <= set(stats)
+
+    def test_open_deliveries_counter(self):
+        recorder = DeliveryTraceRecorder()
+        key = open_one(recorder)
+        assert recorder.open_deliveries == 1
+        recorder.close(key, 2.0, "flushed")
+        assert recorder.open_deliveries == 0
+
+
+class TestCoordinatorIntegration:
+    def test_tracing_off_builds_no_recorder(self):
+        untraced = coordinator(delivery_tracing=False)
+        untraced.run(2)
+        assert untraced.delivery_recorder is None
+        assert untraced.serving_summary() is None
+
+    def test_tracing_records_every_flush(self):
+        traced = coordinator(delivery_tracing=True)
+        traced.run(3)
+        summary = traced.serving_summary()
+        assert summary["deliveries"] >= 12  # 3 flushes x buffer 4
+        assert len(summary["rounds"]) == 3
+        for stats in summary["rounds"]:
+            assert stats["flushed"] == 4
+            assert stats["e2e_p99"] >= stats["e2e_p50"] > 0.0
+
+    def test_tracing_is_bit_identical(self):
+        plain = coordinator(delivery_tracing=False).run(3)
+        traced = coordinator(delivery_tracing=True).run(3)
+        assert plain.final_params.tobytes() == traced.final_params.tobytes()
+        assert np.all(np.isfinite(traced.final_params))
+
+    def test_spans_stream_to_jsonl_when_telemetry_enabled(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry_session([JsonlExporter(str(path))]):
+            coordinator(delivery_tracing=True).run(2)
+        import json
+
+        spans = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line).get("type") == "span"
+        ]
+        names = {span["name"] for span in spans}
+        assert {"serving.delivery", "serving.compute", "serving.flush"} <= names
+        delivery = next(s for s in spans if s["name"] == "serving.delivery")
+        assert delivery["attributes"]["lane"].startswith("tier:")

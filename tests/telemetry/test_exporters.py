@@ -155,3 +155,45 @@ def test_numpy_values_serialise_in_events(tmp_path):
         telemetry.event("norms", value=np.float64(0.5), count=np.int64(3))
     line = json.loads(path.read_text().splitlines()[0])
     assert line["fields"] == {"value": 0.5, "count": 3}
+
+
+def test_prometheus_histogram_renders_type_and_quantiles():
+    from repro.telemetry import MetricRegistry, render_prometheus
+
+    registry = MetricRegistry()
+    hist = registry.histogram("serving.e2e_seconds")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(value)
+    text = render_prometheus(registry)
+    assert "# TYPE serving_e2e_seconds summary" in text
+    assert "serving_e2e_seconds_count 4" in text
+    assert 'serving_e2e_seconds{quantile="0.5"} 2.5' in text
+    assert 'serving_e2e_seconds{quantile="0.99"}' in text
+
+
+def test_prometheus_labelled_histogram_quantiles_keep_labels():
+    from repro.telemetry import MetricRegistry, render_prometheus
+
+    registry = MetricRegistry()
+    registry.histogram("serving.stage_seconds", stage="buffer").observe(0.5)
+    text = render_prometheus(registry)
+    assert "# TYPE serving_stage_seconds summary" in text
+    assert 'serving_stage_seconds{stage="buffer",quantile="0.5"} 0.5' in text
+
+
+def test_console_exporter_aligns_long_span_names():
+    stream = io.StringIO()
+    exporter = ConsoleExporter(stream=stream)
+    with telemetry_session([exporter], clock=FakeClock(tick=1.0)) as telemetry:
+        with telemetry.span("r"):
+            pass
+        with telemetry.span("serving.delivery.extremely.long.span.name"):
+            pass
+    lines = [
+        line for line in stream.getvalue().splitlines()
+        if line.startswith("  ") and line.rstrip().endswith("x1")
+    ]
+    assert len(lines) == 2
+    # the seconds column starts at the same offset on every row
+    offsets = {line.index("s  x1") for line in lines}
+    assert len(offsets) == 1

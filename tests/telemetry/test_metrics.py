@@ -115,3 +115,96 @@ def test_render_prometheus_text_format():
 
 def test_render_prometheus_empty_registry():
     assert render_prometheus(MetricRegistry()) == ""
+
+
+class TestPercentiles:
+    """Histogram.percentile / .percentiles — exact and bucketed modes."""
+
+    def test_exact_percentile_matches_numpy(self):
+        import numpy as np
+
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.e2e_seconds")
+        values = [0.5, 1.0, 2.0, 4.0, 8.0]
+        for value in values:
+            hist.observe(value)
+        for q in (0.0, 50.0, 90.0, 99.0, 100.0):
+            assert hist.percentile(q) == pytest.approx(np.percentile(values, q))
+
+    def test_percentiles_returns_tuple_in_order(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.e2e_seconds")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        p50, p90, p99 = hist.percentiles((50.0, 90.0, 99.0))
+        assert p50 < p90 < p99
+        assert p50 == pytest.approx(50.5)
+
+    def test_percentile_rejects_out_of_range(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.e2e_seconds")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.e2e_seconds")
+        assert hist.percentile(99.0) == 0.0
+        assert hist.minimum == 0.0 and hist.maximum == 0.0
+
+    def test_minimum_maximum(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.e2e_seconds")
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+
+
+class TestBucketedHistogram:
+    def test_bounds_validation(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad.bounds", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("bad.empty", bounds=())
+
+    def test_bucketed_keeps_o_k_memory(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.stage_seconds", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.observations == []  # nothing retained beyond buckets
+        assert hist.bucket_counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(55.55)
+        assert hist.minimum == 0.05 and hist.maximum == 50.0
+
+    def test_bucketed_percentile_interpolates_and_clamps(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.stage_seconds", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        # interpolated estimates stay inside the observed range
+        for q in (1.0, 25.0, 50.0, 75.0, 99.0):
+            assert hist.minimum <= hist.percentile(q) <= hist.maximum
+        assert hist.percentile(100.0) == pytest.approx(hist.maximum)
+        # exact-mode median of these values is 2.0; bucketed is close
+        assert hist.percentile(50.0) == pytest.approx(2.0, abs=1.0)
+
+    def test_bucketed_snapshot_round_trips(self):
+        from repro.telemetry import registry_from_snapshot
+
+        registry = MetricRegistry()
+        hist = registry.histogram("serving.stage_seconds", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        restored = registry_from_snapshot(registry.snapshot())
+        twin = restored.histogram("serving.stage_seconds", bounds=(0.1, 1.0))
+        assert twin.count == hist.count
+        assert twin.total == pytest.approx(hist.total)
+        assert twin.bucket_counts == hist.bucket_counts
+        assert twin.percentile(90.0) == pytest.approx(hist.percentile(90.0))

@@ -248,3 +248,66 @@ class TestFederate:
                      "--checkpoint-dir", str(checkpoints), "--resume"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["rounds"] == 5
+
+
+class TestServingObservability:
+    def test_federate_trace_deliveries_summary(self, capsys):
+        assert main(["federate", "--smoke", "--json", "--trace-deliveries"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        serving = payload["serving"]
+        assert serving["deliveries"] >= 12
+        assert len(serving["rounds"]) == payload["rounds"]
+        for stats in serving["rounds"]:
+            assert stats["e2e_p99"] >= stats["e2e_p50"] > 0
+
+    def test_federate_without_flag_has_no_serving_key(self, capsys):
+        assert main(["federate", "--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "serving" not in payload
+
+    def test_traced_runrecord_has_serving_section(self, tmp_path, capsys):
+        assert main(["federate", "--smoke", "--json", "--trace-deliveries",
+                     "--record-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        (record_path,) = tmp_path.rglob("runrecord.json")
+        record = json.loads(record_path.read_text(encoding="utf-8"))
+        assert record["serving"]["deliveries"] >= 12
+
+    def test_loadtest_writes_payload_and_table(self, tmp_path, capsys):
+        out = tmp_path / "loadtest.json"
+        assert main(["loadtest", "--rates", "0.5", "2", "--bursts", "8",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "serving capacity" in stdout
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert len(payload["serving"]["sweep"]) == 2
+
+    def test_loadtest_json_output(self, capsys):
+        assert main(["loadtest", "--rates", "0.5", "--bursts", "8",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serving"]["sweep"][0]["rate_factor"] == 0.5
+
+    def test_loadtest_rejects_descending_rates(self, capsys):
+        assert main(["loadtest", "--rates", "4", "1"]) == 2
+        assert "invalid load test" in capsys.readouterr().err
+
+    def test_trace_export_round_trip(self, tmp_path, capsys):
+        jsonl = tmp_path / "serving.jsonl"
+        assert main(["federate", "--smoke", "--trace-deliveries", "--json",
+                     "--telemetry", f"jsonl:{jsonl}"]) == 0
+        capsys.readouterr()
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(jsonl), "--out", str(out)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {"serving.delivery", "serving.flush"} <= {e["name"] for e in spans}
+        assert all(isinstance(e["ts"], int) for e in spans)
+
+    def test_trace_export_empty_source_is_usage_error(self, tmp_path, capsys):
+        source = tmp_path / "empty.jsonl"
+        source.write_text("")
+        assert main(["trace", "export", str(source),
+                     "--out", str(tmp_path / "chrome.json")]) == 2
+        assert "no span events" in capsys.readouterr().err

@@ -214,3 +214,96 @@ class TestBenchGate:
         bad.write_text(json.dumps({"something": 1}))
         assert main(["diff", "--bench", str(bad)]) == 2
         assert "unrecognised BENCH layout" in capsys.readouterr().err
+
+
+class TestServingBenchGate:
+    def test_committed_serving_artifact_passes(self, capsys):
+        code = main(["diff", "--bench", str(REPO_ROOT / "BENCH_serving.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturated" in out
+        assert "throughput" in out
+
+    def test_unsaturated_knee_fails(self, tmp_path, capsys):
+        data = json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+        data["serving"]["knee"]["saturated"] = False
+        bad = tmp_path / "BENCH_serving.json"
+        bad.write_text(json.dumps(data))
+        assert main(["diff", "--bench", str(bad)]) == 1
+        assert "knee" in capsys.readouterr().err
+
+    def test_disordered_percentiles_fail(self, tmp_path, capsys):
+        data = json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+        point = data["serving"]["sweep"][0]
+        point["latency"]["p99"] = point["latency"]["p50"] / 2.0
+        bad = tmp_path / "BENCH_serving.json"
+        bad.write_text(json.dumps(data))
+        assert main(["diff", "--bench", str(bad)]) == 1
+
+    def test_short_sweep_fails(self, tmp_path, capsys):
+        data = json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+        data["serving"]["sweep"] = data["serving"]["sweep"][:2]
+        bad = tmp_path / "BENCH_serving.json"
+        bad.write_text(json.dumps(data))
+        assert main(["diff", "--bench", str(bad)]) == 1
+        assert "sweep" in capsys.readouterr().err
+
+
+class TestServingReport:
+    @pytest.fixture(scope="class")
+    def loadtest_payload_path(self, tmp_path_factory):
+        from repro.serving import LoadTestConfig, run_loadtest
+
+        payload = run_loadtest(LoadTestConfig(rate_factors=(0.5, 2.0), bursts=8))
+        path = tmp_path_factory.mktemp("serving") / "loadtest.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_is_serving_payload_routing(self, loadtest_payload_path):
+        from repro.report import is_serving_payload
+
+        payload = json.loads(loadtest_payload_path.read_text())
+        assert is_serving_payload(payload)
+        assert not is_serving_payload({"benchmarks": {}})
+        assert not is_serving_payload([])
+
+    def test_render_serving_html(self, loadtest_payload_path):
+        from repro.report import render_serving_html
+
+        payload = json.loads(loadtest_payload_path.read_text())
+        page = render_serving_html(payload)
+        assert "Throughput vs offered load" in page
+        assert "Delivery latency vs offered load" in page
+        assert "<svg" in page
+
+    def test_render_serving_ascii(self, loadtest_payload_path):
+        from repro.report import render_serving_ascii
+
+        payload = json.loads(loadtest_payload_path.read_text())
+        text = render_serving_ascii(payload)
+        assert "serving capacity" in text
+        assert "throughput" in text
+
+    def test_report_command_routes_serving_payload(
+        self, loadtest_payload_path, tmp_path, capsys
+    ):
+        out = tmp_path / "serving.html"
+        code = main(["report", str(loadtest_payload_path), "--out", str(out)])
+        assert code == 0
+        assert "Throughput vs offered load" in out.read_text()
+        code = main(["report", str(loadtest_payload_path), "--ascii"])
+        assert code == 0
+        assert "serving capacity" in capsys.readouterr().out
+
+    def test_report_command_mixes_records_and_serving(
+        self, taco_record_path, loadtest_payload_path, tmp_path
+    ):
+        out = tmp_path / "mixed.html"
+        code = main(
+            ["report", str(taco_record_path), str(loadtest_payload_path),
+             "--out", str(out)]
+        )
+        assert code == 0
+        page = out.read_text()
+        assert "Test accuracy" in page
+        assert "Throughput vs offered load" in page
